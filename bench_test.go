@@ -1,0 +1,295 @@
+package strex
+
+// Benchmark harness: one testing.B target per table and figure of the
+// paper's evaluation (Section 5), plus ablations for the design choices
+// DESIGN.md calls out. Each bench iteration regenerates the experiment
+// at bench scale (smaller than cmd/experiments' default so `go test
+// -bench=.` completes in minutes); cmd/experiments produces the
+// full-scale numbers recorded in EXPERIMENTS.md.
+//
+// Benchmarks report, besides ns/op, the experiment's headline metric as
+// custom units (I-MPKI, relative throughput, ...) via b.ReportMetric.
+
+import (
+	"testing"
+
+	"strex/internal/core"
+	"strex/internal/experiments"
+	"strex/internal/prefetch"
+	"strex/internal/sched"
+	"strex/internal/sim"
+	"strex/internal/smt"
+	"strex/internal/tpcc"
+	"strex/internal/workload"
+)
+
+// wlSet unwraps the façade for benches that drive internal/sim directly.
+func wlSet(w *Workload) *workload.Set { return w.set }
+
+func benchSuite() *experiments.Suite {
+	return experiments.NewSuite(experiments.Options{Txns: 40, Seed: 42, Cores: []int{2, 4}})
+}
+
+// BenchmarkFigure2Overlap regenerates the temporal-overlap analysis
+// (Figure 2): 16 same-type transactions on 16 32KB L1-Is.
+func BenchmarkFigure2Overlap(b *testing.B) {
+	w := tpcc.New(tpcc.Config{Warehouses: 1, Seed: 42})
+	set := w.GenerateTyped(1 /* NewOrder */, 16)
+	b.ResetTimer()
+	var last experiments.OverlapSummary
+	for i := 0; i < b.N; i++ {
+		last = experiments.Summarize(experiments.OverlapSeries(set, 32, 100))
+	}
+	b.ReportMetric(last.AtLeast5*100, "%blocks>=5caches")
+	b.ReportMetric(last.Single*100, "%blocks-single")
+}
+
+// BenchmarkFigure4Identical regenerates the identical-transaction
+// potential study (Figure 4) for one representative type.
+func BenchmarkFigure4Identical(b *testing.B) {
+	s := benchSuite()
+	var impki float64
+	for i := 0; i < b.N; i++ {
+		tab := s.Figure4()
+		impki = parseFloatCell(b, tab.Rows[1][3]) // NewOrder CTX-Identical
+	}
+	b.ReportMetric(impki, "CTX-I-MPKI")
+}
+
+// BenchmarkFigure5MPKI regenerates the L1 miss-rate grid (Figure 5).
+func BenchmarkFigure5MPKI(b *testing.B) {
+	s := benchSuite()
+	for i := 0; i < b.N; i++ {
+		_ = s.Figure5()
+	}
+}
+
+// BenchmarkFigure6Throughput regenerates the relative-throughput grid
+// (Figure 6) including next-line, PIF, SLICC and the hybrid.
+func BenchmarkFigure6Throughput(b *testing.B) {
+	s := benchSuite()
+	for i := 0; i < b.N; i++ {
+		_ = s.Figure6()
+	}
+}
+
+// BenchmarkFigure7Latency regenerates the latency distributions
+// (Figure 7).
+func BenchmarkFigure7Latency(b *testing.B) {
+	s := benchSuite()
+	for i := 0; i < b.N; i++ {
+		_ = s.Figure7()
+	}
+}
+
+// BenchmarkFigure8TeamSize regenerates the team-size throughput sweep
+// (Figure 8).
+func BenchmarkFigure8TeamSize(b *testing.B) {
+	s := benchSuite()
+	for i := 0; i < b.N; i++ {
+		_ = s.Figure8()
+	}
+}
+
+// BenchmarkFigure9Replacement regenerates the replacement-policy study
+// (Figure 9).
+func BenchmarkFigure9Replacement(b *testing.B) {
+	s := benchSuite()
+	for i := 0; i < b.N; i++ {
+		_ = s.Figure9()
+	}
+}
+
+// BenchmarkTable3FPTable regenerates the footprint table (Table 3).
+func BenchmarkTable3FPTable(b *testing.B) {
+	s := benchSuite()
+	for i := 0; i < b.N; i++ {
+		_ = s.Table3()
+	}
+}
+
+// --- ablations -----------------------------------------------------------
+
+func benchWorkload(b *testing.B, txns int) *Workload {
+	b.Helper()
+	w, err := TPCC(TPCCConfig{Warehouses: 1, Txns: txns, Seed: 42})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return w
+}
+
+// BenchmarkAblationSwitchCost sweeps the context-switch cost (the paper
+// assumes contexts save/restore through the local L2 slice but does not
+// pin a number; DESIGN.md §5).
+func BenchmarkAblationSwitchCost(b *testing.B) {
+	w := benchWorkload(b, 40)
+	for _, cost := range []int{0, 160, 1000} {
+		cost := cost
+		b.Run(fmtInt("cost", cost), func(b *testing.B) {
+			var tpm float64
+			for i := 0; i < b.N; i++ {
+				cfg := sim.DefaultConfig(2)
+				cfg.Mem.Lat.SwitchCost = cost
+				res := sim.New(cfg, wlSet(w), sched.NewStrex()).Run()
+				tpm = res.Stats.SteadyThroughput(w.Txns(), 2)
+			}
+			b.ReportMetric(tpm, "txn/Mcycle")
+		})
+	}
+}
+
+// BenchmarkAblationPoolWindow sweeps the transaction pool window (the
+// paper fixes 30; team quality degrades when the formation unit sees
+// fewer candidates).
+func BenchmarkAblationPoolWindow(b *testing.B) {
+	w := benchWorkload(b, 60)
+	for _, window := range []int{5, 15, 30, 60} {
+		window := window
+		b.Run(fmtInt("window", window), func(b *testing.B) {
+			var impki float64
+			for i := 0; i < b.N; i++ {
+				cfg := sim.DefaultConfig(2)
+				cfg.PoolWindow = window
+				s := sched.NewStrexSized(core.FormationConfig{Window: window, TeamSize: 10})
+				res := sim.New(cfg, wlSet(w), s).Run()
+				impki = res.Stats.IMPKI()
+			}
+			b.ReportMetric(impki, "I-MPKI")
+		})
+	}
+}
+
+// BenchmarkAblationSliccMigrationCost sweeps SLICC's migration cost to
+// show the low-core-count cliff is structural, not a cost artifact.
+func BenchmarkAblationSliccMigrationCost(b *testing.B) {
+	w := benchWorkload(b, 40)
+	for _, cost := range []int{0, 320, 1000} {
+		cost := cost
+		b.Run(fmtInt("cost", cost), func(b *testing.B) {
+			var tpm float64
+			for i := 0; i < b.N; i++ {
+				cfg := sim.DefaultConfig(2)
+				cfg.Mem.Lat.MigrateCost = cost
+				res := sim.New(cfg, wlSet(w), sched.NewSlicc()).Run()
+				tpm = res.Stats.SteadyThroughput(w.Txns(), 2)
+			}
+			b.ReportMetric(tpm, "txn/Mcycle")
+		})
+	}
+}
+
+// BenchmarkAblationL1ISize sweeps the L1-I capacity: STREX's benefit
+// shrinks as the cache approaches the transaction footprint.
+func BenchmarkAblationL1ISize(b *testing.B) {
+	w := benchWorkload(b, 40)
+	for _, kb := range []int{16, 32, 64, 128} {
+		kb := kb
+		b.Run(fmtInt("l1i-kb", kb), func(b *testing.B) {
+			var impki float64
+			for i := 0; i < b.N; i++ {
+				cfg := sim.DefaultConfig(2)
+				cfg.L1IKB = kb
+				res := sim.New(cfg, wlSet(w), sched.NewStrex()).Run()
+				impki = res.Stats.IMPKI()
+			}
+			b.ReportMetric(impki, "I-MPKI")
+		})
+	}
+}
+
+// BenchmarkExtensionSMT runs the Section 4.4.4 future-work study:
+// single-thread vs 2-way SMT with arrival vs stratified co-scheduling.
+func BenchmarkExtensionSMT(b *testing.B) {
+	w := tpcc.New(tpcc.Config{Warehouses: 1, Seed: 42})
+	set := w.Generate(24)
+	var single, arrival, strat smt.Result
+	for i := 0; i < b.N; i++ {
+		single, arrival, strat = smt.Compare(smt.DefaultConfig(2), set)
+	}
+	b.ReportMetric(single.IMPKI, "1T-I-MPKI")
+	b.ReportMetric(arrival.IMPKI, "SMT2-I-MPKI")
+	b.ReportMetric(strat.IMPKI, "SMT2strat-I-MPKI")
+}
+
+// BenchmarkExtensionStrexPlusPrefetch combines STREX with the next-line
+// prefetcher — the Section 4.4.3 discussion item ("PIF could reduce
+// execution time for the lead transaction... when used in conjunction
+// with STREX"); next-line is the cheap stand-in.
+func BenchmarkExtensionStrexPlusPrefetch(b *testing.B) {
+	w := benchWorkload(b, 40)
+	var alone, combined float64
+	for i := 0; i < b.N; i++ {
+		cfg := sim.DefaultConfig(2)
+		alone = sim.New(cfg, wlSet(w), sched.NewStrex()).Run().Stats.SteadyThroughput(w.Txns(), 2)
+		cfg = sim.DefaultConfig(2)
+		cfg.Prefetcher = prefetch.NextLine
+		combined = sim.New(cfg, wlSet(w), sched.NewStrex()).Run().Stats.SteadyThroughput(w.Txns(), 2)
+	}
+	b.ReportMetric(alone, "STREX-txn/Mcycle")
+	b.ReportMetric(combined, "STREX+NL-txn/Mcycle")
+}
+
+// BenchmarkEngineThroughput measures raw simulator speed (entries/s) —
+// a regression canary for the event loop.
+func BenchmarkEngineThroughput(b *testing.B) {
+	w := benchWorkload(b, 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := sim.New(sim.DefaultConfig(2), wlSet(w), sched.NewBaseline()).Run()
+		b.SetBytes(int64(res.Stats.Instrs))
+	}
+}
+
+// BenchmarkWorkloadGeneration measures trace-generation speed.
+func BenchmarkWorkloadGeneration(b *testing.B) {
+	wl := tpcc.New(tpcc.Config{Warehouses: 1, Seed: 42})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = wl.Generate(10)
+	}
+}
+
+// --- small helpers ---------------------------------------------------------
+
+func fmtInt(prefix string, v int) string {
+	return prefix + "=" + itoa(v)
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+func parseFloatCell(b *testing.B, s string) float64 {
+	b.Helper()
+	var v float64
+	var frac, div float64 = 0, 1
+	seenDot := false
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '.':
+			seenDot = true
+		case c >= '0' && c <= '9':
+			if seenDot {
+				div *= 10
+				frac = frac*10 + float64(c-'0')
+			} else {
+				v = v*10 + float64(c-'0')
+			}
+		default:
+			b.Fatalf("bad float cell %q", s)
+		}
+	}
+	return v + frac/div
+}

@@ -1,0 +1,84 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation section and prints them in paper order. The output of a
+// full run is recorded in EXPERIMENTS.md.
+//
+// Usage:
+//
+//	experiments [-txns N] [-seed S] [-only fig6] [-csv]
+//
+// -txns scales the sample size per configuration (default 160
+// transactions; the paper replays 1.2B instructions, see DESIGN.md §6).
+// -only runs a single experiment: table1, table2, table3, table4, fig2,
+// fig4, fig5, fig6, fig7, fig8 or fig9.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"strex/internal/experiments"
+	"strex/internal/metrics"
+)
+
+func main() {
+	txns := flag.Int("txns", 160, "transactions per configuration (scale knob)")
+	seed := flag.Uint64("seed", 42, "master seed")
+	only := flag.String("only", "", "run a single experiment (e.g. fig6)")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
+	flag.Parse()
+
+	suite := experiments.NewSuite(experiments.Options{Txns: *txns, Seed: *seed})
+	drivers := map[string]func() *metrics.Table{
+		"table1": suite.Table1,
+		"table2": suite.Table2,
+		"table3": suite.Table3,
+		"table4": suite.Table4,
+		"fig2":   suite.Figure2,
+		"fig4":   suite.Figure4,
+		"fig5":   suite.Figure5,
+		"fig6":   suite.Figure6,
+		"fig7":   suite.Figure7,
+		"fig8":   suite.Figure8,
+		"fig9":   suite.Figure9,
+	}
+	order := []string{"table1", "table2", "fig2", "fig4", "fig5", "fig6", "fig7", "fig8", "table3", "fig9", "table4"}
+
+	run := func(name string) error {
+		drv, ok := drivers[strings.ToLower(name)]
+		if !ok {
+			return fmt.Errorf("unknown experiment %q (have %s)", name, strings.Join(order, ", "))
+		}
+		start := time.Now()
+		tab := drv()
+		if *csv {
+			fmt.Printf("# %s\n", tab.Title)
+			if err := tab.WriteCSV(os.Stdout); err != nil {
+				return err
+			}
+		} else {
+			if err := tab.WriteText(os.Stdout); err != nil {
+				return err
+			}
+		}
+		fmt.Printf("(%s in %v)\n\n", name, time.Since(start).Round(time.Millisecond))
+		return nil
+	}
+
+	if *only != "" {
+		if err := run(*only); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	fmt.Printf("STREX evaluation reproduction — %d txns/config, seed %d\n\n", *txns, *seed)
+	for _, name := range order {
+		if err := run(name); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+	}
+}

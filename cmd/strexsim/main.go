@@ -1,0 +1,98 @@
+// Command strexsim runs a single simulation configuration and prints the
+// resulting miss rates, throughput and latency summary.
+//
+// Usage:
+//
+//	strexsim -workload tpcc10 -cores 8 -sched strex -team 10
+//	strexsim -workload tpce -cores 16 -sched hybrid
+//	strexsim -workload tpcc1 -sched base -prefetch next-line
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"strex"
+)
+
+func main() {
+	wl := flag.String("workload", "tpcc1", "workload: tpcc1, tpcc10, tpce, mapreduce")
+	cores := flag.Int("cores", 4, "number of cores")
+	schedName := flag.String("sched", "strex", "scheduler: base, strex, slicc, hybrid")
+	txns := flag.Int("txns", 120, "transactions to run")
+	team := flag.Int("team", 10, "STREX team size")
+	policy := flag.String("policy", "LRU", "L1-I replacement policy")
+	pf := flag.String("prefetch", "", "instruction prefetcher: empty, next-line, pif")
+	seed := flag.Uint64("seed", 1, "workload seed")
+	flag.Parse()
+
+	w, err := buildWorkload(*wl, *txns, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "strexsim:", err)
+		os.Exit(1)
+	}
+	kind, err := parseSched(*schedName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "strexsim:", err)
+		os.Exit(1)
+	}
+
+	cfg := strex.DefaultConfig(*cores)
+	cfg.TeamSize = *team
+	cfg.Policy = *policy
+	cfg.Prefetcher = *pf
+	cfg.Seed = *seed
+
+	res, err := strex.Run(cfg, w, kind)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "strexsim:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("workload   %s (%d txns, %d Minstr)\n", w.Name(), w.Txns(), w.Instrs()/1e6)
+	fmt.Printf("system     %d cores, %s L1-I policy, prefetch=%q\n", *cores, *policy, *pf)
+	fmt.Printf("scheduler  %s\n", res.Scheduler)
+	fmt.Printf("cycles     %d (busy %d)\n", res.Cycles, res.BusyCycles)
+	fmt.Printf("I-MPKI     %.2f\n", res.IMPKI)
+	fmt.Printf("D-MPKI     %.2f\n", res.DMPKI)
+	fmt.Printf("throughput %.2f txn/Mcycle (steady-state)\n", res.ThroughputTPM)
+	fmt.Printf("switches   %d   migrations %d\n", res.Switches, res.Migrations)
+	lat := append([]uint64(nil), res.Latencies...)
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	if len(lat) > 0 {
+		fmt.Printf("latency    mean %.2f Mcyc, p50 %.2f, p99 %.2f\n",
+			res.MeanLatency/1e6,
+			float64(lat[len(lat)/2])/1e6,
+			float64(lat[len(lat)*99/100])/1e6)
+	}
+}
+
+func buildWorkload(name string, txns int, seed uint64) (*strex.Workload, error) {
+	switch name {
+	case "tpcc1":
+		return strex.TPCC(strex.TPCCConfig{Warehouses: 1, Txns: txns, Seed: seed})
+	case "tpcc10":
+		return strex.TPCC(strex.TPCCConfig{Warehouses: 10, Txns: txns, Seed: seed})
+	case "tpce":
+		return strex.TPCE(strex.TPCEConfig{Txns: txns, Seed: seed})
+	case "mapreduce":
+		return strex.MapReduce(strex.MapReduceConfig{Tasks: txns, Seed: seed})
+	}
+	return nil, fmt.Errorf("unknown workload %q (tpcc1, tpcc10, tpce, mapreduce)", name)
+}
+
+func parseSched(name string) (strex.SchedulerKind, error) {
+	switch name {
+	case "base", "baseline":
+		return strex.SchedBaseline, nil
+	case "strex":
+		return strex.SchedSTREX, nil
+	case "slicc":
+		return strex.SchedSLICC, nil
+	case "hybrid":
+		return strex.SchedHybrid, nil
+	}
+	return 0, fmt.Errorf("unknown scheduler %q (base, strex, slicc, hybrid)", name)
+}

@@ -1,0 +1,88 @@
+// Command tracegen generates workload traces and prints per-transaction
+// summaries (and optionally raw entries) — useful for inspecting the
+// synthetic instruction/data streams the simulator replays, and for the
+// overlap analysis of the paper's Figure 2.
+//
+// Usage:
+//
+//	tracegen -workload tpcc1 -type NewOrder -n 4
+//	tracegen -workload tpce -n 10 -dump | head -50
+//	tracegen -workload tpcc1 -type Payment -n 16 -overlap
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"strex/internal/codegen"
+	"strex/internal/experiments"
+	"strex/internal/mapreduce"
+	"strex/internal/tpcc"
+	"strex/internal/tpce"
+	"strex/internal/workload"
+)
+
+func main() {
+	wl := flag.String("workload", "tpcc1", "workload: tpcc1, tpcc10, tpce, mapreduce")
+	typeName := flag.String("type", "", "generate only this transaction type")
+	n := flag.Int("n", 5, "transactions to generate")
+	dump := flag.Bool("dump", false, "dump raw trace entries")
+	overlap := flag.Bool("overlap", false, "run the Figure 2 overlap analysis on the set")
+	seed := flag.Uint64("seed", 1, "seed")
+	flag.Parse()
+
+	var gen workload.Generator
+	switch *wl {
+	case "tpcc1":
+		gen = tpcc.New(tpcc.Config{Warehouses: 1, Seed: *seed})
+	case "tpcc10":
+		gen = tpcc.New(tpcc.Config{Warehouses: 10, Seed: *seed})
+	case "tpce":
+		gen = tpce.New(tpce.Config{Seed: *seed})
+	case "mapreduce":
+		gen = mapreduce.New(mapreduce.Config{Seed: *seed})
+	default:
+		fmt.Fprintf(os.Stderr, "tracegen: unknown workload %q\n", *wl)
+		os.Exit(1)
+	}
+
+	var set *workload.Set
+	if *typeName != "" {
+		typ := -1
+		for i, name := range gen.TypeNames() {
+			if name == *typeName {
+				typ = i
+			}
+		}
+		if typ < 0 {
+			fmt.Fprintf(os.Stderr, "tracegen: unknown type %q (have %v)\n", *typeName, gen.TypeNames())
+			os.Exit(1)
+		}
+		set = gen.GenerateTyped(typ, *n)
+	} else {
+		set = gen.Generate(*n)
+	}
+
+	fmt.Printf("workload %s: %d txns, %d Kinstr total, data %d blocks\n",
+		set.Name, len(set.Txns), set.Instrs()/1000, set.DataBlocks)
+	for _, tx := range set.Txns {
+		fmt.Printf("txn %3d %-12s instrs=%-8d entries=%-6d iblocks=%-5d (%.1f L1-I units) loads=%d stores=%d\n",
+			tx.ID, set.Types[tx.Type], tx.Trace.Instrs, tx.Trace.Len(),
+			tx.Trace.UniqueIBlocks(),
+			float64(tx.Trace.UniqueIBlocks())/float64(codegen.L1IUnitBlocks),
+			tx.Trace.Loads, tx.Trace.Stores)
+		if *dump {
+			for _, e := range tx.Trace.Entries {
+				fmt.Printf("  %s block=%d n=%d\n", e.Kind, e.Block, e.N)
+			}
+		}
+	}
+
+	if *overlap {
+		series := experiments.OverlapSeries(set, 32, 100)
+		sum := experiments.Summarize(series)
+		fmt.Printf("overlap (Figure 2 analysis over %d intervals): >=5 caches %.0f%%, >=10 caches %.0f%%, single %.0f%%\n",
+			len(series), sum.AtLeast5*100, sum.AtLeast10*100, sum.Single*100)
+	}
+}

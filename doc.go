@@ -1,0 +1,37 @@
+// Package strex is a reproduction of "STREX: Boosting Instruction Cache
+// Reuse in OLTP Workloads Through Stratified Transaction Execution"
+// (Atta, Tözün, Tong, Ailamaki, Moshovos — ISCA 2013).
+//
+// STREX groups same-type OLTP transactions into teams on a single core
+// and time-multiplexes their execution in cache-sized slices: every
+// instruction block a transaction touches is tagged with the core's
+// current 8-bit phaseID; the moment a transaction would evict a block
+// tagged with the *current* phase — a block its teammates still need —
+// it is context-switched to the back of the team queue. The lead
+// transaction increments the phase whenever it resumes, so the team
+// marches through the shared instruction footprint one L1-I-sized
+// segment at a time, and only the lead pays the misses.
+//
+// The package exposes a small façade over the full simulation stack:
+//
+//   - build a workload (TPCC, TPCE, MapReduce),
+//   - pick a scheduler (Baseline, STREX, SLICC, Hybrid),
+//   - Run it on a simulated chip multiprocessor,
+//   - inspect misses, throughput and latency in the Result.
+//
+// The heavy machinery lives in internal/ packages: a set-associative
+// cache model with pluggable replacement policies and phaseID tags, a
+// NUCA L2 + directory-coherent memory system, a miniature storage
+// manager (B+-trees, heap tables, locking, logging) that generates
+// instruction/data traces with the code-overlap structure of Shore-MT,
+// the schedulers, and drivers reproducing every table and figure of the
+// paper's evaluation (see DESIGN.md and EXPERIMENTS.md).
+//
+// Quick start:
+//
+//	wl, err := strex.TPCC(strex.TPCCConfig{Warehouses: 1, Txns: 100, Seed: 1})
+//	if err != nil { ... }
+//	base, _ := strex.Run(strex.DefaultConfig(4), wl, strex.SchedBaseline)
+//	fast, _ := strex.Run(strex.DefaultConfig(4), wl, strex.SchedSTREX)
+//	fmt.Printf("I-MPKI %.1f -> %.1f\n", base.IMPKI, fast.IMPKI)
+package strex

@@ -1,0 +1,47 @@
+// Consolidation: the paper's motivating deployment scenario (Section 1).
+// A data center consolidates VMs, so an OLTP tenant may get anywhere from
+// 2 to 16 cores. SLICC needs enough aggregate L1-I capacity to spread a
+// transaction's footprint across cores; below that it thrashes. STREX is
+// insensitive to the core count; the hybrid profiles the footprint
+// (FPTable) and picks whichever wins for the cores it actually has.
+//
+//	go run ./examples/consolidation
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"strex"
+)
+
+func main() {
+	wl, err := strex.TPCE(strex.TPCEConfig{Txns: 160, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("tenant workload: %s, footprint %.1f L1-I units\n",
+		wl.Name(), wl.FootprintUnits())
+	fmt.Println("(hybrid rule: use SLICC when cores >= ceil(avg footprint), else STREX)")
+	fmt.Println()
+	fmt.Printf("%-6s %12s %12s %12s %16s\n", "cores", "STREX", "SLICC", "hybrid", "hybrid picked")
+
+	for _, cores := range []int{2, 4, 8, 16} {
+		cfg := strex.DefaultConfig(cores)
+		s, err := strex.Run(cfg, wl, strex.SchedSTREX)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sl, err := strex.Run(cfg, wl, strex.SchedSLICC)
+		if err != nil {
+			log.Fatal(err)
+		}
+		h, err := strex.Run(cfg, wl, strex.SchedHybrid)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-6d %12.2f %12.2f %12.2f %16s\n",
+			cores, s.ThroughputTPM, sl.ThroughputTPM, h.ThroughputTPM, h.Scheduler)
+	}
+	fmt.Println("\nthroughput in txn/Mcycle (steady state); higher is better")
+}

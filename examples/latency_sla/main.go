@@ -1,0 +1,61 @@
+// Latency SLA tuning: STREX trades transaction latency for throughput
+// through the team-size parameter, like the request batch size in
+// VoltDB that the paper cites (Section 5.4). This example sweeps the
+// team size and reports mean and tail latency next to throughput, then
+// picks the largest team that still meets a latency budget.
+//
+//	go run ./examples/latency_sla
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"strex"
+)
+
+// The budget covers queue + service time for the whole offered batch;
+// larger teams raise the tail through batching delay (paper Figure 7).
+const latencyBudgetMcyc = 45.0 // SLA: p95 latency under 45 M cycles
+
+func main() {
+	wl, err := strex.TPCC(strex.TPCCConfig{Warehouses: 10, Txns: 160, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("workload: %s, %d txns; SLA: p95 < %.0f Mcycles\n\n",
+		wl.Name(), wl.Txns(), latencyBudgetMcyc)
+	fmt.Printf("%-10s %12s %12s %12s\n", "team size", "txn/Mcycle", "mean Mcyc", "p95 Mcyc")
+
+	bestTeam, bestTPM := 0, 0.0
+	for _, team := range []int{2, 4, 8, 10, 16, 20} {
+		cfg := strex.DefaultConfig(4)
+		cfg.TeamSize = team
+		res, err := strex.Run(cfg, wl, strex.SchedSTREX)
+		if err != nil {
+			log.Fatal(err)
+		}
+		p95 := percentile(res.Latencies, 0.95) / 1e6
+		fmt.Printf("%-10d %12.2f %12.2f %12.2f\n",
+			team, res.ThroughputTPM, res.MeanLatency/1e6, p95)
+		if p95 <= latencyBudgetMcyc && res.ThroughputTPM > bestTPM {
+			bestTeam, bestTPM = team, res.ThroughputTPM
+		}
+	}
+	if bestTeam == 0 {
+		fmt.Println("\nno team size meets the SLA; fall back to baseline execution")
+		return
+	}
+	fmt.Printf("\npick team size %d: %.2f txn/Mcycle within the latency budget\n", bestTeam, bestTPM)
+}
+
+func percentile(latencies []uint64, q float64) float64 {
+	if len(latencies) == 0 {
+		return 0
+	}
+	s := append([]uint64(nil), latencies...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	idx := int(q * float64(len(s)-1))
+	return float64(s[idx])
+}

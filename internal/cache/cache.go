@@ -1,0 +1,355 @@
+// Package cache implements the set-associative cache model used for the
+// private L1 instruction and data caches and the shared L2 of the STREX
+// simulator.
+//
+// The model is block-granular: callers address the cache by *block index*
+// (byte address >> log2(block size)); the cache never sees byte offsets.
+// Each line carries, in addition to the usual tag/valid/dirty state, an
+// 8-bit phaseID tag. In hardware this would live in the auxiliary PIDT
+// table the paper describes (Section 4.3) so that the L1-I array itself
+// is untouched; in the simulator the distinction is immaterial, but the
+// 8-bit width and modulo semantics are preserved exactly.
+//
+// Replacement policies are pluggable (Section 5.7 of the paper):
+// LRU, LIP, BIP, SRRIP and BRRIP.
+package cache
+
+import (
+	"fmt"
+
+	"strex/internal/xrand"
+)
+
+// InvalidBlock is a block index that is never inserted into a cache.
+// AccessResult uses it for "no victim".
+const InvalidBlock = ^uint32(0)
+
+// Stats counts cache events. All counters are cumulative since creation
+// or the last Reset.
+type Stats struct {
+	Accesses      uint64 // demand accesses (hit + miss)
+	Hits          uint64
+	Misses        uint64
+	Evictions     uint64 // valid lines displaced by fills
+	Invalidations uint64 // lines removed by coherence actions
+	WriteBacks    uint64 // dirty lines displaced or invalidated
+	PrefetchFills uint64 // lines inserted by a prefetcher
+	PrefetchHits  uint64 // demand hits on lines a prefetcher inserted
+}
+
+// Reset zeroes all counters.
+func (s *Stats) Reset() { *s = Stats{} }
+
+// MissRate returns misses/accesses, or 0 when idle.
+func (s *Stats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// Config describes a cache geometry.
+type Config struct {
+	SizeBytes  int        // total capacity
+	BlockBytes int        // line size (the simulator uses 64)
+	Ways       int        // associativity
+	Policy     PolicyKind // replacement policy
+	Seed       uint64     // seed for bimodal policies (BIP/BRRIP)
+}
+
+// Validate reports whether the configuration is internally consistent.
+func (c Config) Validate() error {
+	if c.SizeBytes <= 0 || c.BlockBytes <= 0 || c.Ways <= 0 {
+		return fmt.Errorf("cache: non-positive geometry %+v", c)
+	}
+	blocks := c.SizeBytes / c.BlockBytes
+	if blocks*c.BlockBytes != c.SizeBytes {
+		return fmt.Errorf("cache: size %d not a multiple of block %d", c.SizeBytes, c.BlockBytes)
+	}
+	if blocks%c.Ways != 0 {
+		return fmt.Errorf("cache: %d blocks not divisible by %d ways", blocks, c.Ways)
+	}
+	return nil
+}
+
+// AccessResult describes the outcome of a demand access or a touch.
+type AccessResult struct {
+	Hit         bool
+	PrefetchHit bool   // the hit line was installed by a prefetcher
+	Evicted     bool   // a valid line was displaced to make room
+	VictimBlock uint32 // block index of the displaced line (if Evicted)
+	VictimPhase uint8  // phaseID tag of the displaced line (if Evicted)
+	VictimDirty bool
+}
+
+// Cache is a set-associative, write-back, block-granular cache model.
+// It is not safe for concurrent use; the simulator is single-goroutine
+// by design (determinism).
+type Cache struct {
+	sets  int
+	ways  int
+	cfg   Config
+	tags  []uint32 // block index per line; indexed set*ways+way
+	valid []bool
+	dirty []bool
+	phase []uint8 // PIDT: 8-bit phaseID tag per block (Section 4.3)
+	pf    []bool  // line was prefetched and not yet demand-touched
+	pol   policy
+	Stats Stats
+
+	// OnEvict, when non-nil, is invoked for every valid line displaced
+	// by a fill, before the new line is installed. STREX's victim block
+	// monitoring unit hooks here.
+	OnEvict func(block uint32, phase uint8)
+}
+
+// New builds a cache from cfg. It panics on invalid geometry, which is a
+// programming error (configurations are static).
+func New(cfg Config) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	blocks := cfg.SizeBytes / cfg.BlockBytes
+	sets := blocks / cfg.Ways
+	c := &Cache{
+		sets:  sets,
+		ways:  cfg.Ways,
+		cfg:   cfg,
+		tags:  make([]uint32, blocks),
+		valid: make([]bool, blocks),
+		dirty: make([]bool, blocks),
+		phase: make([]uint8, blocks),
+		pf:    make([]bool, blocks),
+	}
+	c.pol = newPolicy(cfg.Policy, sets, cfg.Ways, xrand.New(cfg.Seed^0xCACE))
+	return c
+}
+
+// Sets returns the number of sets.
+func (c *Cache) Sets() int { return c.sets }
+
+// Ways returns the associativity.
+func (c *Cache) Ways() int { return c.ways }
+
+// Blocks returns the total number of lines.
+func (c *Cache) Blocks() int { return c.sets * c.ways }
+
+// Config returns the construction-time configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+func (c *Cache) setOf(block uint32) int { return int(block) % c.sets }
+
+func (c *Cache) find(block uint32) (set, way int, ok bool) {
+	set = c.setOf(block)
+	base := set * c.ways
+	for w := 0; w < c.ways; w++ {
+		if c.valid[base+w] && c.tags[base+w] == block {
+			return set, w, true
+		}
+	}
+	return set, -1, false
+}
+
+// Access performs a demand access to block. write marks the line dirty on
+// hit or fill. On a miss the block is filled, possibly displacing a
+// victim chosen by the replacement policy.
+func (c *Cache) Access(block uint32, write bool) AccessResult {
+	return c.access(block, write, 0, false)
+}
+
+// Touch performs a demand access and additionally tags the touched line
+// with phaseID, whether the access hit or missed. This is STREX's rule 2
+// (Section 4.2): "as a transaction touches instruction blocks it tags the
+// block with the current phaseID value no matter whether the access was a
+// hit or a miss."
+func (c *Cache) Touch(block uint32, phaseID uint8) AccessResult {
+	return c.access(block, false, phaseID, true)
+}
+
+func (c *Cache) access(block uint32, write bool, phaseID uint8, tagPhase bool) AccessResult {
+	if block == InvalidBlock {
+		panic("cache: access to InvalidBlock")
+	}
+	c.Stats.Accesses++
+	set, way, ok := c.find(block)
+	if ok {
+		idx := set*c.ways + way
+		c.Stats.Hits++
+		var res AccessResult
+		res.Hit = true
+		if c.pf[idx] {
+			c.pf[idx] = false
+			c.Stats.PrefetchHits++
+			res.PrefetchHit = true
+		}
+		if write {
+			c.dirty[idx] = true
+		}
+		if tagPhase {
+			c.phase[idx] = phaseID
+		}
+		c.pol.onHit(set, way)
+		return res
+	}
+	c.Stats.Misses++
+	res := c.fill(set, block, write, phaseID)
+	return res
+}
+
+// fill installs block into set, evicting if needed. Returns the
+// AccessResult with victim information (Hit=false).
+func (c *Cache) fill(set int, block uint32, write bool, phaseID uint8) AccessResult {
+	var res AccessResult
+	base := set * c.ways
+	way := -1
+	for w := 0; w < c.ways; w++ {
+		if !c.valid[base+w] {
+			way = w
+			break
+		}
+	}
+	if way == -1 {
+		way = c.pol.victim(set)
+		idx := base + way
+		res.Evicted = true
+		res.VictimBlock = c.tags[idx]
+		res.VictimPhase = c.phase[idx]
+		res.VictimDirty = c.dirty[idx]
+		if c.dirty[idx] {
+			c.Stats.WriteBacks++
+		}
+		c.Stats.Evictions++
+		if c.OnEvict != nil {
+			c.OnEvict(c.tags[idx], c.phase[idx])
+		}
+	} else {
+		res.VictimBlock = InvalidBlock
+	}
+	idx := base + way
+	c.tags[idx] = block
+	c.valid[idx] = true
+	c.dirty[idx] = write
+	c.phase[idx] = phaseID
+	c.pf[idx] = false
+	c.pol.onInsert(set, way)
+	return res
+}
+
+// InsertPrefetch installs block without counting a demand access, as a
+// hardware prefetcher would. If the block is already present it is a
+// no-op. The displaced victim (if any) still triggers OnEvict: a prefetch
+// can steal a teammate's block just like a demand fill can.
+func (c *Cache) InsertPrefetch(block uint32) {
+	if _, _, ok := c.find(block); ok {
+		return
+	}
+	set := c.setOf(block)
+	c.fill(set, block, false, 0)
+	idx, _ := c.indexOf(block)
+	c.pf[idx] = true
+	c.Stats.PrefetchFills++
+}
+
+func (c *Cache) indexOf(block uint32) (int, bool) {
+	set, way, ok := c.find(block)
+	if !ok {
+		return 0, false
+	}
+	return set*c.ways + way, true
+}
+
+// Contains reports whether block is resident. It does not disturb
+// replacement state (probes are free, as a coherence snoop would be).
+func (c *Cache) Contains(block uint32) bool {
+	_, _, ok := c.find(block)
+	return ok
+}
+
+// WouldEvict reports what a fill of block would displace, without
+// performing the fill or disturbing replacement state. would is false
+// when the block is already resident or its set has a free way. STREX's
+// victim block monitoring unit uses this to context-switch *before* a
+// current-phase block is lost (Section 4.1: a transaction runs "up to
+// the point where it would be forced to evict" a block of the current
+// phase).
+func (c *Cache) WouldEvict(block uint32) (victimPhase uint8, would bool) {
+	set, _, ok := c.find(block)
+	if ok {
+		return 0, false
+	}
+	base := set * c.ways
+	for w := 0; w < c.ways; w++ {
+		if !c.valid[base+w] {
+			return 0, false
+		}
+	}
+	way := c.pol.peekVictim(set)
+	return c.phase[base+way], true
+}
+
+// PhaseOf returns the phaseID tag of a resident block.
+func (c *Cache) PhaseOf(block uint32) (uint8, bool) {
+	idx, ok := c.indexOf(block)
+	if !ok {
+		return 0, false
+	}
+	return c.phase[idx], true
+}
+
+// Invalidate removes block if resident (coherence action). Reports
+// whether a line was removed.
+func (c *Cache) Invalidate(block uint32) bool {
+	idx, ok := c.indexOf(block)
+	if !ok {
+		return false
+	}
+	if c.dirty[idx] {
+		c.Stats.WriteBacks++
+	}
+	c.valid[idx] = false
+	c.dirty[idx] = false
+	c.pf[idx] = false
+	c.Stats.Invalidations++
+	return true
+}
+
+// Flush invalidates every line (used between experiment repetitions).
+func (c *Cache) Flush() {
+	for i := range c.valid {
+		c.valid[i] = false
+		c.dirty[i] = false
+		c.pf[i] = false
+		c.phase[i] = 0
+	}
+}
+
+// ResetPhases zeroes every resident line's phaseID tag. Used by the
+// hybrid mechanism's profiling mode (Section 5.5: "All phaseID tables are
+// reset to zero on all cores").
+func (c *Cache) ResetPhases() {
+	for i := range c.phase {
+		c.phase[i] = 0
+	}
+}
+
+// ForEach invokes fn for every resident block. Iteration order is
+// deterministic (set-major). Used to build SLICC cache signatures and the
+// Figure 2 overlap analysis.
+func (c *Cache) ForEach(fn func(block uint32, phase uint8)) {
+	for i := range c.valid {
+		if c.valid[i] {
+			fn(c.tags[i], c.phase[i])
+		}
+	}
+}
+
+// Residency returns the number of valid lines.
+func (c *Cache) Residency() int {
+	n := 0
+	for _, v := range c.valid {
+		if v {
+			n++
+		}
+	}
+	return n
+}

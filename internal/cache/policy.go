@@ -1,0 +1,241 @@
+package cache
+
+import (
+	"fmt"
+
+	"strex/internal/xrand"
+)
+
+// PolicyKind selects a replacement policy (paper Section 5.7 / Figure 9).
+type PolicyKind int
+
+const (
+	// LRU evicts the least-recently-used line.
+	LRU PolicyKind = iota
+	// LIP (LRU Insertion Policy, Qureshi et al.) inserts new lines in
+	// the LRU position so streaming blocks leave quickly.
+	LIP
+	// BIP (Bimodal Insertion Policy) inserts at MRU with small
+	// probability epsilon (1/32), otherwise at LRU.
+	BIP
+	// SRRIP (Static Re-Reference Interval Prediction, Jaleel et al.)
+	// uses 2-bit RRPVs, inserting with RRPV=2 and promoting to 0 on hit.
+	SRRIP
+	// BRRIP (Bimodal RRIP) inserts with RRPV=3 most of the time and
+	// RRPV=2 with probability 1/32.
+	BRRIP
+)
+
+// String returns the canonical policy name.
+func (k PolicyKind) String() string {
+	switch k {
+	case LRU:
+		return "LRU"
+	case LIP:
+		return "LIP"
+	case BIP:
+		return "BIP"
+	case SRRIP:
+		return "SRRIP"
+	case BRRIP:
+		return "BRRIP"
+	}
+	return fmt.Sprintf("PolicyKind(%d)", int(k))
+}
+
+// ParsePolicy converts a policy name to its PolicyKind.
+func ParsePolicy(s string) (PolicyKind, error) {
+	for _, k := range []PolicyKind{LRU, LIP, BIP, SRRIP, BRRIP} {
+		if k.String() == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("cache: unknown replacement policy %q", s)
+}
+
+// policy is the internal replacement-state interface. The cache informs
+// the policy of hits and fills; the policy picks victims among valid
+// lines of a full set. peekVictim predicts the next victim without
+// mutating policy state (RRIP's victim search ages lines; the peek
+// simulates that aging).
+type policy interface {
+	onHit(set, way int)
+	onInsert(set, way int)
+	victim(set int) int
+	peekVictim(set int) int
+}
+
+func newPolicy(kind PolicyKind, sets, ways int, rng *xrand.RNG) policy {
+	switch kind {
+	case LRU:
+		return newStackPolicy(sets, ways, insertMRU, nil)
+	case LIP:
+		return newStackPolicy(sets, ways, insertLRU, nil)
+	case BIP:
+		return newStackPolicy(sets, ways, insertBimodal, rng)
+	case SRRIP:
+		return newRRIP(sets, ways, false, nil)
+	case BRRIP:
+		return newRRIP(sets, ways, true, rng)
+	default:
+		panic(fmt.Sprintf("cache: bad policy kind %d", int(kind)))
+	}
+}
+
+// --- recency-stack policies (LRU / LIP / BIP) ---
+
+type insertMode int
+
+const (
+	insertMRU insertMode = iota
+	insertLRU
+	insertBimodal
+)
+
+// stackPolicy tracks per-line logical timestamps. Higher stamp = more
+// recently promoted. The victim is the valid line with the lowest stamp.
+type stackPolicy struct {
+	ways  int
+	stamp []uint64
+	clock uint64
+	mode  insertMode
+	rng   *xrand.RNG
+	// lowWater tracks, per set, a stamp strictly below every current
+	// member so LIP/BIP can insert "at LRU".
+	lowWater []uint64
+}
+
+func newStackPolicy(sets, ways int, mode insertMode, rng *xrand.RNG) *stackPolicy {
+	return &stackPolicy{
+		ways:     ways,
+		stamp:    make([]uint64, sets*ways),
+		mode:     mode,
+		rng:      rng,
+		lowWater: make([]uint64, sets),
+		clock:    1,
+	}
+}
+
+func (p *stackPolicy) onHit(set, way int) {
+	p.clock++
+	p.stamp[set*p.ways+way] = p.clock
+}
+
+func (p *stackPolicy) onInsert(set, way int) {
+	idx := set*p.ways + way
+	switch p.mode {
+	case insertMRU:
+		p.clock++
+		p.stamp[idx] = p.clock
+	case insertLRU:
+		p.insertAtLRU(set, idx)
+	case insertBimodal:
+		if p.rng.OneIn(32) {
+			p.clock++
+			p.stamp[idx] = p.clock
+		} else {
+			p.insertAtLRU(set, idx)
+		}
+	}
+}
+
+func (p *stackPolicy) insertAtLRU(set, idx int) {
+	// Give the line a stamp lower than every other line in the set so it
+	// is next to leave unless promoted by a hit.
+	min := p.minStamp(set)
+	if min == 0 {
+		min = 1
+	}
+	p.stamp[idx] = min - 1
+}
+
+func (p *stackPolicy) minStamp(set int) uint64 {
+	base := set * p.ways
+	min := ^uint64(0)
+	for w := 0; w < p.ways; w++ {
+		if s := p.stamp[base+w]; s < min {
+			min = s
+		}
+	}
+	return min
+}
+
+func (p *stackPolicy) victim(set int) int {
+	base := set * p.ways
+	best, bestStamp := 0, ^uint64(0)
+	for w := 0; w < p.ways; w++ {
+		if s := p.stamp[base+w]; s < bestStamp {
+			bestStamp = s
+			best = w
+		}
+	}
+	return best
+}
+
+// peekVictim is identical to victim: stack-policy selection is pure.
+func (p *stackPolicy) peekVictim(set int) int { return p.victim(set) }
+
+// --- RRIP policies (SRRIP / BRRIP) ---
+
+const rripMax = 3 // 2-bit RRPV
+
+type rrip struct {
+	ways    int
+	rrpv    []uint8
+	bimodal bool
+	rng     *xrand.RNG
+}
+
+func newRRIP(sets, ways int, bimodal bool, rng *xrand.RNG) *rrip {
+	r := &rrip{ways: ways, rrpv: make([]uint8, sets*ways), bimodal: bimodal, rng: rng}
+	for i := range r.rrpv {
+		r.rrpv[i] = rripMax
+	}
+	return r
+}
+
+func (r *rrip) onHit(set, way int) {
+	r.rrpv[set*r.ways+way] = 0 // hit promotion: near-immediate re-reference
+}
+
+func (r *rrip) onInsert(set, way int) {
+	idx := set*r.ways + way
+	if r.bimodal {
+		if r.rng.OneIn(32) {
+			r.rrpv[idx] = rripMax - 1
+		} else {
+			r.rrpv[idx] = rripMax
+		}
+		return
+	}
+	r.rrpv[idx] = rripMax - 1 // SRRIP: long re-reference interval
+}
+
+func (r *rrip) victim(set int) int {
+	base := set * r.ways
+	for {
+		for w := 0; w < r.ways; w++ {
+			if r.rrpv[base+w] == rripMax {
+				return w
+			}
+		}
+		for w := 0; w < r.ways; w++ {
+			r.rrpv[base+w]++
+		}
+	}
+}
+
+// peekVictim predicts the victim without aging: RRIP's search increments
+// all RRPVs until one reaches the maximum, so the victim is the first
+// way holding the set's maximum RRPV.
+func (r *rrip) peekVictim(set int) int {
+	base := set * r.ways
+	maxV, way := uint8(0), 0
+	for w := 0; w < r.ways; w++ {
+		if r.rrpv[base+w] > maxV {
+			maxV = r.rrpv[base+w]
+			way = w
+		}
+	}
+	return way
+}

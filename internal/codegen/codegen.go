@@ -1,0 +1,231 @@
+// Package codegen synthesizes the instruction side of execution traces.
+//
+// The paper's workloads run on Shore-MT; their instruction streams are
+// x86 traces of the storage manager's basic functions (index lookup,
+// update, insert, scan — Section 2.1) plus transaction-specific statement
+// code. We reproduce that structure synthetically:
+//
+//   - the code address space is divided into *functions*, each a
+//     contiguous range of 64-byte instruction blocks;
+//   - a function has a common path (always executed), plus a set of
+//     data-dependent *variant* paths of which exactly one is executed per
+//     call, selected by a key hash — this produces the partial overlap
+//     between same-type transactions that Section 2.2 measures;
+//   - calling a function walks its common blocks in order (each block
+//     contributing a deterministic 8–16 instructions) and then one
+//     variant group.
+//
+// Transactions of the same type call the same functions in (almost) the
+// same order, so their instruction streams overlap heavily but not
+// perfectly — exactly the property STREX exploits.
+//
+// Block-index spaces: instruction blocks occupy [0, DataBase);
+// data blocks are allocated at and above DataBase. Both share the L2.
+package codegen
+
+import (
+	"fmt"
+
+	"strex/internal/trace"
+	"strex/internal/xrand"
+)
+
+// BlockBytes is the line size used throughout the simulator.
+const BlockBytes = 64
+
+// L1IUnitBlocks is one "L1-I size unit" (32KB of 64B blocks), the unit
+// the paper's Table 3 footprints are expressed in.
+const L1IUnitBlocks = (32 << 10) / BlockBytes
+
+// DataBase is the first data block index. All instruction blocks are
+// strictly below it.
+const DataBase uint32 = 1 << 26
+
+// FuncID names a registered function.
+type FuncID int
+
+// Func describes one synthetic function's code layout.
+type Func struct {
+	ID            FuncID
+	Name          string
+	Base          uint32 // first instruction block
+	CommonBlocks  int    // blocks on the always-executed path
+	VariantGroups int    // number of alternative data-dependent paths (0 = none)
+	VariantBlocks int    // blocks per variant path
+}
+
+// TotalBlocks returns the function's static code size in blocks.
+func (f *Func) TotalBlocks() int { return f.CommonBlocks + f.VariantGroups*f.VariantBlocks }
+
+// TouchedBlocks returns the blocks touched by a single call.
+func (f *Func) TouchedBlocks() int {
+	if f.VariantGroups == 0 {
+		return f.CommonBlocks
+	}
+	return f.CommonBlocks + f.VariantBlocks
+}
+
+// Layout is a registry of functions laid out in a single code address
+// space. Layouts are immutable once built and shared by all transactions
+// of a workload.
+type Layout struct {
+	funcs   []Func
+	byName  map[string]FuncID
+	nextBlk uint32
+}
+
+// NewLayout returns an empty layout.
+func NewLayout() *Layout {
+	return &Layout{byName: make(map[string]FuncID)}
+}
+
+// AddFunc registers a function of kb kilobytes of code, split into a
+// common path and variantGroups alternative paths that each take
+// variantShare (0..1) of the remainder... more precisely: variant paths
+// evenly split variantFrac of the code, the common path gets the rest.
+// It panics if the layout would exceed the instruction space, which is a
+// configuration bug.
+func (l *Layout) AddFunc(name string, kb int, variantGroups int, variantFrac float64) FuncID {
+	if kb <= 0 {
+		panic(fmt.Sprintf("codegen: function %s with %dKB", name, kb))
+	}
+	if _, dup := l.byName[name]; dup {
+		panic("codegen: duplicate function " + name)
+	}
+	blocks := kb * 1024 / BlockBytes
+	variantBlocks := 0
+	if variantGroups > 0 {
+		variantBlocks = int(float64(blocks) * variantFrac / float64(variantGroups))
+		if variantBlocks == 0 {
+			variantBlocks = 1
+		}
+	}
+	common := blocks - variantGroups*variantBlocks
+	if common < 1 {
+		common = 1
+	}
+	f := Func{
+		ID:            FuncID(len(l.funcs)),
+		Name:          name,
+		Base:          l.nextBlk,
+		CommonBlocks:  common,
+		VariantGroups: variantGroups,
+		VariantBlocks: variantBlocks,
+	}
+	l.nextBlk += uint32(f.TotalBlocks())
+	if l.nextBlk >= DataBase {
+		panic("codegen: instruction space exhausted")
+	}
+	l.funcs = append(l.funcs, f)
+	l.byName[name] = f.ID
+	return f.ID
+}
+
+// Func returns the function with the given id.
+func (l *Layout) Func(id FuncID) *Func { return &l.funcs[id] }
+
+// Lookup returns the function registered under name.
+func (l *Layout) Lookup(name string) (FuncID, bool) {
+	id, ok := l.byName[name]
+	return id, ok
+}
+
+// NumFuncs returns the number of registered functions.
+func (l *Layout) NumFuncs() int { return len(l.funcs) }
+
+// CodeBlocks returns the total instruction blocks allocated.
+func (l *Layout) CodeBlocks() int { return int(l.nextBlk) }
+
+// instrInBlock deterministically assigns each code block an instruction
+// count in [8,16]: not every fetched block is fully executed (branches),
+// which keeps I-MPKI in a realistic range.
+func instrInBlock(block uint32) int {
+	return 8 + int(xrand.Hash64(uint64(block))%9)
+}
+
+// Emitter appends the instruction-side trace of function calls, and the
+// data-side trace of storage-manager touches, to a transaction's buffer.
+//
+// When StackBase/StackBlocks are set, Call interleaves accesses to the
+// transaction's private stack / working-set region with the code walk
+// (roughly one per 12 code blocks, 1-in-4 a store). Real transactions
+// keep ~25–30% memory operations; emitting a representative subset at
+// block granularity preserves the L1-D behaviour — private-stack reuse,
+// loss of the stack on context switches and migrations — at a fraction
+// of the trace volume.
+type Emitter struct {
+	L           *Layout
+	Buf         *trace.Buffer
+	StackBase   uint32
+	StackBlocks int
+}
+
+// stackStride is the code-block interval between stack touches.
+const stackStride = 8
+
+// Call emits one execution of fn. pathKey selects the variant path (the
+// same key always takes the same path, different keys usually diverge).
+// coverage in (0,1] optionally truncates the common path — used for early
+// exits (e.g. a key found in the first leaf probed).
+func (e *Emitter) Call(fn FuncID, pathKey uint64) {
+	e.CallPartial(fn, pathKey, 1.0)
+}
+
+// CallPartial is Call with a fraction of the common path executed.
+func (e *Emitter) CallPartial(fn FuncID, pathKey uint64, coverage float64) {
+	f := &e.L.funcs[fn]
+	n := f.CommonBlocks
+	if coverage < 1.0 {
+		n = int(float64(n) * coverage)
+		if n < 1 {
+			n = 1
+		}
+	}
+	for i := 0; i < n; i++ {
+		b := f.Base + uint32(i)
+		e.Buf.AppendInstr(b, instrInBlock(b))
+		e.maybeStack(uint64(fn)<<32^pathKey^uint64(i), i)
+	}
+	if f.VariantGroups > 0 {
+		v := int(xrand.Hash64(pathKey^uint64(fn)*0x9E37) % uint64(f.VariantGroups))
+		vbase := f.Base + uint32(f.CommonBlocks) + uint32(v*f.VariantBlocks)
+		for i := 0; i < f.VariantBlocks; i++ {
+			b := vbase + uint32(i)
+			e.Buf.AppendInstr(b, instrInBlock(b))
+			e.maybeStack(uint64(fn)<<40^pathKey^uint64(i), i)
+		}
+	}
+}
+
+// maybeStack interleaves a stack access every stackStride code blocks.
+func (e *Emitter) maybeStack(key uint64, i int) {
+	if e.StackBlocks <= 0 || i%stackStride != stackStride-1 {
+		return
+	}
+	h := xrand.Hash64(key)
+	blk := e.StackBase + uint32(h%uint64(e.StackBlocks))
+	e.Buf.AppendData(blk, h&3 == 0)
+}
+
+// Data emits one data access to block (an absolute block index at or
+// above DataBase).
+func (e *Emitter) Data(block uint32, write bool) {
+	if block < DataBase {
+		panic("codegen: data access below DataBase")
+	}
+	e.Buf.AppendData(block, write)
+}
+
+// FootprintBlocks returns the unique instruction blocks a single call of
+// fn touches (common + one variant).
+func (l *Layout) FootprintBlocks(fn FuncID) int { return l.funcs[fn].TouchedBlocks() }
+
+// UnitString formats a block count in L1-I size units as the paper's
+// Table 3 does (rounded to nearest unit).
+func UnitString(blocks int) string {
+	units := (blocks + L1IUnitBlocks/2) / L1IUnitBlocks
+	return fmt.Sprintf("%d", units)
+}
+
+// Units converts blocks to (rounded) L1-I size units.
+func Units(blocks int) int { return (blocks + L1IUnitBlocks/2) / L1IUnitBlocks }

@@ -1,0 +1,206 @@
+package codegen
+
+import (
+	"testing"
+	"testing/quick"
+
+	"strex/internal/trace"
+)
+
+func TestAddFuncLayout(t *testing.T) {
+	l := NewLayout()
+	a := l.AddFunc("a", 8, 0, 0)
+	b := l.AddFunc("b", 16, 4, 0.5)
+	fa, fb := l.Func(a), l.Func(b)
+	if fa.Base != 0 {
+		t.Fatalf("first function base = %d", fa.Base)
+	}
+	if fb.Base != uint32(fa.TotalBlocks()) {
+		t.Fatal("functions overlap or leave gaps")
+	}
+	if fa.TotalBlocks() != 8*1024/BlockBytes {
+		t.Fatalf("a blocks = %d", fa.TotalBlocks())
+	}
+	if fb.VariantGroups != 4 || fb.VariantBlocks == 0 {
+		t.Fatalf("b variants: %+v", fb)
+	}
+}
+
+func TestAddFuncDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate function name did not panic")
+		}
+	}()
+	l := NewLayout()
+	l.AddFunc("x", 4, 0, 0)
+	l.AddFunc("x", 4, 0, 0)
+}
+
+func TestLookup(t *testing.T) {
+	l := NewLayout()
+	id := l.AddFunc("foo", 4, 0, 0)
+	got, ok := l.Lookup("foo")
+	if !ok || got != id {
+		t.Fatalf("Lookup = %v,%v", got, ok)
+	}
+	if _, ok := l.Lookup("bar"); ok {
+		t.Fatal("Lookup found unregistered function")
+	}
+}
+
+func TestCallEmitsCommonPath(t *testing.T) {
+	l := NewLayout()
+	id := l.AddFunc("f", 4, 0, 0) // 64 blocks
+	var buf trace.Buffer
+	e := Emitter{L: l, Buf: &buf}
+	e.Call(id, 1)
+	if buf.UniqueIBlocks() != 64 {
+		t.Fatalf("unique blocks = %d, want 64", buf.UniqueIBlocks())
+	}
+	if buf.Instrs < 64*8 || buf.Instrs > 64*16 {
+		t.Fatalf("instruction count %d outside [512, 1024]", buf.Instrs)
+	}
+}
+
+func TestCallVariantsDeterministic(t *testing.T) {
+	l := NewLayout()
+	id := l.AddFunc("f", 32, 8, 0.5)
+	emit := func(key uint64) []trace.Entry {
+		var buf trace.Buffer
+		e := Emitter{L: l, Buf: &buf}
+		e.Call(id, key)
+		return buf.Entries
+	}
+	a1, a2 := emit(77), emit(77)
+	if len(a1) != len(a2) {
+		t.Fatal("same key produced different traces")
+	}
+	for i := range a1 {
+		if a1[i] != a2[i] {
+			t.Fatal("same key produced different traces")
+		}
+	}
+}
+
+func TestCallVariantsDiverge(t *testing.T) {
+	l := NewLayout()
+	id := l.AddFunc("f", 32, 8, 0.5)
+	blocks := func(key uint64) map[uint32]bool {
+		var buf trace.Buffer
+		e := Emitter{L: l, Buf: &buf}
+		e.Call(id, key)
+		m := map[uint32]bool{}
+		for _, en := range buf.Entries {
+			m[en.Block] = true
+		}
+		return m
+	}
+	diverged := false
+	base := blocks(0)
+	for k := uint64(1); k < 16 && !diverged; k++ {
+		other := blocks(k)
+		for b := range other {
+			if !base[b] {
+				diverged = true
+				break
+			}
+		}
+	}
+	if !diverged {
+		t.Fatal("no key diverged from key 0 across 16 tries")
+	}
+	// but the common path overlaps
+	common := 0
+	other := blocks(5)
+	for b := range other {
+		if base[b] {
+			common++
+		}
+	}
+	f := l.Func(id)
+	if common < f.CommonBlocks {
+		t.Fatalf("common overlap %d < common path %d", common, f.CommonBlocks)
+	}
+}
+
+func TestCallPartialTruncates(t *testing.T) {
+	l := NewLayout()
+	id := l.AddFunc("f", 8, 0, 0) // 128 blocks
+	var full, half trace.Buffer
+	(&Emitter{L: l, Buf: &full}).CallPartial(id, 1, 1.0)
+	(&Emitter{L: l, Buf: &half}).CallPartial(id, 1, 0.5)
+	if half.UniqueIBlocks() >= full.UniqueIBlocks() {
+		t.Fatalf("partial call touched %d blocks, full %d", half.UniqueIBlocks(), full.UniqueIBlocks())
+	}
+	if half.UniqueIBlocks() != 64 {
+		t.Fatalf("half coverage = %d blocks, want 64", half.UniqueIBlocks())
+	}
+}
+
+func TestDataSpaceGuard(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("data access below DataBase did not panic")
+		}
+	}()
+	var buf trace.Buffer
+	e := Emitter{L: NewLayout(), Buf: &buf}
+	e.Data(5, false)
+}
+
+func TestDataEmission(t *testing.T) {
+	var buf trace.Buffer
+	e := Emitter{L: NewLayout(), Buf: &buf}
+	e.Data(DataBase+3, true)
+	if buf.Stores != 1 || buf.Entries[0].Block != DataBase+3 {
+		t.Fatalf("data entry: %+v", buf.Entries)
+	}
+}
+
+func TestInstrInBlockRange(t *testing.T) {
+	f := func(b uint32) bool {
+		n := instrInBlock(b)
+		return n >= 8 && n <= 16
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnits(t *testing.T) {
+	if Units(L1IUnitBlocks) != 1 {
+		t.Fatal("one unit of blocks != 1 unit")
+	}
+	if Units(14*L1IUnitBlocks) != 14 {
+		t.Fatal("14 units wrong")
+	}
+	if Units(L1IUnitBlocks+L1IUnitBlocks/2) != 2 {
+		t.Fatal("rounding wrong")
+	}
+	if UnitString(5*L1IUnitBlocks) != "5" {
+		t.Fatal("UnitString wrong")
+	}
+}
+
+func TestFunctionsDoNotOverlap(t *testing.T) {
+	l := NewLayout()
+	ids := []FuncID{
+		l.AddFunc("a", 12, 0, 0),
+		l.AddFunc("b", 20, 4, 0.4),
+		l.AddFunc("c", 8, 2, 0.3),
+	}
+	seen := map[uint32]string{}
+	for _, id := range ids {
+		f := l.Func(id)
+		for b := f.Base; b < f.Base+uint32(f.TotalBlocks()); b++ {
+			if prev, ok := seen[b]; ok {
+				t.Fatalf("block %d in both %s and %s", b, prev, f.Name)
+			}
+			seen[b] = f.Name
+		}
+	}
+	if len(seen) != l.CodeBlocks() {
+		t.Fatalf("layout has gaps: %d blocks seen, %d allocated", len(seen), l.CodeBlocks())
+	}
+}

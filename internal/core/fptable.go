@@ -1,0 +1,116 @@
+package core
+
+import (
+	"sort"
+
+	"strex/internal/codegen"
+	"strex/internal/workload"
+)
+
+// FPTable is the transaction footprint size table of Section 5.5: the
+// average instruction footprint of each transaction type, in L1-I size
+// units. The hybrid mechanism consults it (together with the available
+// core count) to pick STREX or SLICC.
+type FPTable struct {
+	units map[uint32]int // header block -> footprint units
+	names map[uint32]string
+}
+
+// MeasureFPTable profiles a workload set and records per-type footprints.
+//
+// The paper measures footprints by running a profiling phase under SLICC
+// with all phaseID tables reset, tagging every block the sample thread
+// touches and counting blocks whose tag had to change; because a block
+// stays tagged once touched (across all cores), the count equals the
+// number of *unique* instruction blocks the transaction touches. We
+// compute that quantity directly from the sample's trace, then round to
+// L1-I units exactly as the paper does. samplesPerType bounds how many
+// instances contribute to each type's average (the paper samples one
+// random transaction per type per profiling phase; averaging a few
+// samples just reduces variance).
+func MeasureFPTable(set *workload.Set, samplesPerType int) *FPTable {
+	if samplesPerType <= 0 {
+		samplesPerType = 1
+	}
+	sum := make(map[uint32]int)
+	cnt := make(map[uint32]int)
+	names := make(map[uint32]string)
+	for _, tx := range set.Txns {
+		if cnt[tx.Header] >= samplesPerType {
+			continue
+		}
+		sum[tx.Header] += tx.Trace.UniqueIBlocks()
+		cnt[tx.Header]++
+		if tx.Type >= 0 && tx.Type < len(set.Types) {
+			names[tx.Header] = set.Types[tx.Type]
+		}
+	}
+	units := make(map[uint32]int, len(sum))
+	for h, s := range sum {
+		avgBlocks := s / cnt[h]
+		u := codegen.Units(avgBlocks)
+		if u < 1 {
+			u = 1
+		}
+		units[h] = u
+	}
+	return &FPTable{units: units, names: names}
+}
+
+// Units returns the recorded footprint for a transaction header, in L1-I
+// units, and whether the type was profiled.
+func (f *FPTable) Units(header uint32) (int, bool) {
+	u, ok := f.units[header]
+	return u, ok
+}
+
+// Types returns the number of profiled types.
+func (f *FPTable) Types() int { return len(f.units) }
+
+// Entry is one FPTable row (for reporting Table 3).
+type Entry struct {
+	Name  string
+	Units int
+}
+
+// Entries returns the table sorted by type name.
+func (f *FPTable) Entries() []Entry {
+	out := make([]Entry, 0, len(f.units))
+	for h, u := range f.units {
+		out = append(out, Entry{Name: f.names[h], Units: u})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// AverageUnits returns the mean footprint across profiled types —
+// the aggregate-capacity requirement the hybrid compares against the
+// core count.
+func (f *FPTable) AverageUnits() float64 {
+	if len(f.units) == 0 {
+		return 0
+	}
+	total := 0
+	for _, u := range f.units {
+		total += u
+	}
+	return float64(total) / float64(len(f.units))
+}
+
+// ChooseSLICC implements the hybrid decision (Section 5.5): use SLICC
+// when the aggregate L1-I capacity (one unit per core) fits the
+// workload's footprint, i.e. when cores ≥ ⌈average footprint⌉; otherwise
+// use STREX. With the paper's Table 3 values this selects SLICC for
+// TPC-C only above 12 cores and for TPC-E at 8 cores and above —
+// matching Section 5.5.1.
+func (f *FPTable) ChooseSLICC(cores int) bool {
+	avg := f.AverageUnits()
+	if avg == 0 {
+		return false
+	}
+	need := int(avg)
+	if avg > float64(need) {
+		need++
+	}
+	return cores >= need
+}

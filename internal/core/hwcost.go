@@ -1,0 +1,65 @@
+package core
+
+// Hardware storage-cost model reproducing the paper's Table 4. All sizes
+// are in bits unless named otherwise; totals are per core.
+
+// ThreadQueueEntryBits is one thread-queue entry: 12-bit thread ID,
+// 48-bit pointer to the thread context in the L2, 1-bit lead flag.
+const ThreadQueueEntryBits = 12 + 48 + 1
+
+// TeamMgmtEntryBits is one team-management-table entry: 12-bit ID,
+// 32-bit timestamp, 4-bit type ID, 4-bit team ID, 8-bit team index.
+const TeamMgmtEntryBits = 12 + 32 + 4 + 4 + 8
+
+// SliccMonitorBits are the extra SLICC components the hybrid needs:
+// missed-tag queue (60b), miss shift-vector (100b), cache signature (2Kb).
+const SliccMonitorBits = 60 + 100 + 2048
+
+// HardwareCost computes per-core storage for a STREX configuration.
+type HardwareCost struct {
+	ThreadQueueEntries int // max team size (paper: 20 considered)
+	PhaseBits          int // phaseID width (paper: 8)
+	CacheBlocks        int // L1-I blocks tagged by the PIDT (32KB/64B = 512)
+	TeamTableEntries   int // team formation window (paper: 30)
+	IncludeHybrid      bool
+}
+
+// DefaultHardwareCost returns the paper's Table 4 configuration.
+func DefaultHardwareCost() HardwareCost {
+	return HardwareCost{
+		ThreadQueueEntries: 20,
+		PhaseBits:          8,
+		CacheBlocks:        512,
+		TeamTableEntries:   30,
+	}
+}
+
+// ThreadSchedulerBits returns the thread scheduler unit's storage:
+// thread queue + phaseID counter + auxiliary phaseID table.
+func (h HardwareCost) ThreadSchedulerBits() int {
+	return h.ThreadQueueEntries*ThreadQueueEntryBits + h.PhaseBits + h.PhaseBits*h.CacheBlocks
+}
+
+// TeamFormationBits returns the team formation unit's storage.
+func (h HardwareCost) TeamFormationBits() int {
+	return h.TeamTableEntries * TeamMgmtEntryBits
+}
+
+// TotalBits returns the per-core storage, optionally including the
+// hybrid's SLICC cache-monitor unit.
+func (h HardwareCost) TotalBits() int {
+	t := h.ThreadSchedulerBits() + h.TeamFormationBits()
+	if h.IncludeHybrid {
+		t += SliccMonitorBits
+	}
+	return t
+}
+
+// TotalBytes returns TotalBits in bytes (may be fractional in the paper's
+// presentation; we round up to the next half byte the way Table 4 does by
+// reporting bits/8 exactly).
+func (h HardwareCost) TotalBytes() float64 { return float64(h.TotalBits()) / 8 }
+
+// PIFStorageBytes is the storage PIF requires per core (~40KB, Section
+// 4.4.3); STREX's claim is that it needs <2% of this.
+const PIFStorageBytes = 40 << 10

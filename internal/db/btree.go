@@ -1,0 +1,343 @@
+package db
+
+import "strex/internal/xrand"
+
+// btree node capacities. Small fanouts keep populated trees 2–4 levels
+// deep at our scaled-down table sizes, matching the per-lookup loop
+// structure of a production index at full scale.
+const (
+	btLeafCap  = 32
+	btInnerCap = 64
+)
+
+// BTree is a B+-tree mapping int64 keys to int64 values (tuple ids).
+// Interior nodes hold separator keys; leaves hold key/value pairs and
+// are chained for range scans. Every node owns one data block so index
+// probes produce realistic data-access streams (root hot and shared,
+// leaves cold and private).
+type BTree struct {
+	db     *Database
+	name   string
+	nameH  uint32
+	root   *btNode
+	height int // number of levels including the leaf level
+	size   int
+}
+
+type btNode struct {
+	page     uint32
+	keys     []int64
+	children []*btNode // interior only
+	vals     []int64   // leaf only
+	next     *btNode   // leaf chain
+	leaf     bool
+}
+
+func newBTree(db *Database, name string) *BTree {
+	leaf := &btNode{page: db.allocBlocks(1), leaf: true}
+	return &BTree{
+		db:     db,
+		name:   name,
+		nameH:  uint32(xrand.Hash64(hashString(name))),
+		root:   leaf,
+		height: 1,
+	}
+}
+
+func hashString(s string) uint64 {
+	var h uint64 = 1469598103934665603
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// Name returns the index name.
+func (t *BTree) Name() string { return t.name }
+
+// Size returns the number of keys stored.
+func (t *BTree) Size() int { return t.size }
+
+// Height returns the number of levels.
+func (t *BTree) Height() int { return t.height }
+
+// RootBlock returns the root page's data block (hot and shared).
+func (t *BTree) RootBlock() uint32 { return t.root.page }
+
+// descend walks from the root to the leaf that owns key, emitting the
+// per-level descend code and page reads when tx is non-nil. The returned
+// slice is the root-to-leaf path.
+func (t *BTree) descend(tx *Txn, key int64) []*btNode {
+	path := make([]*btNode, 0, t.height)
+	n := t.root
+	for {
+		path = append(path, n)
+		if tx != nil {
+			tx.em.Call(t.db.fns.btDescend, uint64(n.page)^uint64(key>>8))
+			tx.fixPage(n.page)
+			// Binary search re-reads the page's key area.
+			tx.em.Data(n.page, false)
+		}
+		if n.leaf {
+			return path
+		}
+		n = n.children[n.childIndex(key)]
+	}
+}
+
+// childIndex returns which child of an interior node owns key.
+func (n *btNode) childIndex(key int64) int {
+	i := 0
+	for i < len(n.keys) && key >= n.keys[i] {
+		i++
+	}
+	return i
+}
+
+// leafIndex returns the position of key in a leaf, or (insertPos, false).
+func (n *btNode) leafIndex(key int64) (int, bool) {
+	lo, hi := 0, len(n.keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if n.keys[mid] < key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, lo < len(n.keys) && n.keys[lo] == key
+}
+
+// Lookup probes the index for key. With a non-nil tx it emits the probe's
+// instruction and data trace, including the leaf search and a key lock.
+func (t *BTree) Lookup(tx *Txn, key int64) (int64, bool) {
+	path := t.descend(tx, key)
+	leaf := path[len(path)-1]
+	if tx != nil {
+		tx.em.Call(t.db.fns.btLeaf, uint64(key))
+		tx.acquireLock(t.nameH, key)
+	}
+	i, ok := leaf.leafIndex(key)
+	if !ok {
+		return 0, false
+	}
+	return leaf.vals[i], true
+}
+
+// Insert adds key→val, splitting as needed. Duplicate keys overwrite.
+func (t *BTree) Insert(tx *Txn, key, val int64) {
+	path := t.descend(tx, key)
+	leaf := path[len(path)-1]
+	if tx != nil {
+		tx.em.Call(t.db.fns.btInsert, uint64(key))
+		tx.acquireLock(t.nameH, key)
+		tx.em.Data(leaf.page, true)
+		t.db.log.insert(tx, leaf.page)
+	}
+	i, ok := leaf.leafIndex(key)
+	if ok {
+		leaf.vals[i] = val
+		return
+	}
+	leaf.keys = insertAt(leaf.keys, i, key)
+	leaf.vals = insertAt(leaf.vals, i, val)
+	t.size++
+	if len(leaf.keys) > btLeafCap {
+		t.splitPath(tx, path)
+	}
+}
+
+// Delete removes key if present, reporting whether it existed. Underfull
+// nodes are tolerated (no merge), as in many production trees.
+func (t *BTree) Delete(tx *Txn, key int64) bool {
+	path := t.descend(tx, key)
+	leaf := path[len(path)-1]
+	if tx != nil {
+		tx.em.Call(t.db.fns.btInsert, uint64(key)) // delete shares the modify path
+		tx.acquireLock(t.nameH, key)
+		tx.em.Data(leaf.page, true)
+		t.db.log.insert(tx, leaf.page)
+	}
+	i, ok := leaf.leafIndex(key)
+	if !ok {
+		return false
+	}
+	leaf.keys = removeAt(leaf.keys, i)
+	leaf.vals = removeAt(leaf.vals, i)
+	t.size--
+	return true
+}
+
+// Scan visits up to limit entries with key >= from, calling fn for each.
+// It emits per-step scan code and leaf page reads.
+func (t *BTree) Scan(tx *Txn, from int64, limit int, fn func(key, val int64) bool) int {
+	path := t.descend(tx, from)
+	leaf := path[len(path)-1]
+	i, _ := leaf.leafIndex(from)
+	visited := 0
+	for leaf != nil && visited < limit {
+		if i >= len(leaf.keys) {
+			leaf = leaf.next
+			i = 0
+			continue
+		}
+		if tx != nil {
+			tx.em.Call(t.db.fns.btScan, uint64(leaf.page)+uint64(i))
+			tx.em.Data(leaf.page, false)
+		}
+		visited++
+		if fn != nil && !fn(leaf.keys[i], leaf.vals[i]) {
+			break
+		}
+		i++
+	}
+	return visited
+}
+
+// splitPath splits the (overfull) leaf at the end of path and propagates
+// splits upward, growing the tree when the root splits.
+func (t *BTree) splitPath(tx *Txn, path []*btNode) {
+	for level := len(path) - 1; level >= 0; level-- {
+		n := path[level]
+		overfull := (n.leaf && len(n.keys) > btLeafCap) || (!n.leaf && len(n.keys) > btInnerCap)
+		if !overfull {
+			return
+		}
+		if tx != nil {
+			tx.em.Call(t.db.fns.btSplit, uint64(n.page))
+		}
+		sep, right := n.split(t.db)
+		if tx != nil {
+			tx.em.Data(right.page, true)
+			t.db.log.insert(tx, right.page)
+		}
+		if level == 0 {
+			newRoot := &btNode{
+				page:     t.db.allocBlocks(1),
+				keys:     []int64{sep},
+				children: []*btNode{n, right},
+			}
+			t.root = newRoot
+			t.height++
+			return
+		}
+		parent := path[level-1]
+		at := parent.childIndex(sep)
+		parent.keys = insertAt(parent.keys, at, sep)
+		parent.children = insertChildAt(parent.children, at+1, right)
+	}
+}
+
+// split divides n in half, returning the separator key and new right
+// sibling.
+func (n *btNode) split(db *Database) (int64, *btNode) {
+	mid := len(n.keys) / 2
+	right := &btNode{page: db.allocBlocks(1), leaf: n.leaf}
+	var sep int64
+	if n.leaf {
+		sep = n.keys[mid]
+		right.keys = append(right.keys, n.keys[mid:]...)
+		right.vals = append(right.vals, n.vals[mid:]...)
+		n.keys = n.keys[:mid]
+		n.vals = n.vals[:mid]
+		right.next = n.next
+		n.next = right
+	} else {
+		sep = n.keys[mid]
+		right.keys = append(right.keys, n.keys[mid+1:]...)
+		right.children = append(right.children, n.children[mid+1:]...)
+		n.keys = n.keys[:mid]
+		n.children = n.children[:mid+1]
+	}
+	return sep, right
+}
+
+// Validate checks B+-tree invariants (test support): sorted keys, fanout
+// bounds, leaf chain consistency and size agreement. Returns nil when the
+// tree is well-formed.
+func (t *BTree) Validate() error {
+	count := 0
+	var prev int64
+	first := true
+	var walk func(n *btNode, lo, hi *int64) error
+	walk = func(n *btNode, lo, hi *int64) error {
+		for i := 1; i < len(n.keys); i++ {
+			if n.keys[i-1] >= n.keys[i] {
+				return errf("unsorted keys in node %d", n.page)
+			}
+		}
+		for _, k := range n.keys {
+			if lo != nil && k < *lo {
+				return errf("key %d below lower bound %d", k, *lo)
+			}
+			if hi != nil && k >= *hi {
+				return errf("key %d at/above upper bound %d", k, *hi)
+			}
+		}
+		if n.leaf {
+			count += len(n.keys)
+			for _, k := range n.keys {
+				if !first && k <= prev {
+					return errf("leaf chain out of order at key %d", k)
+				}
+				prev, first = k, false
+			}
+			return nil
+		}
+		if len(n.children) != len(n.keys)+1 {
+			return errf("node %d: %d children for %d keys", n.page, len(n.children), len(n.keys))
+		}
+		for i, c := range n.children {
+			var clo, chi *int64
+			if i > 0 {
+				clo = &n.keys[i-1]
+			} else {
+				clo = lo
+			}
+			if i < len(n.keys) {
+				chi = &n.keys[i]
+			} else {
+				chi = hi
+			}
+			if err := walk(c, clo, chi); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(t.root, nil, nil); err != nil {
+		return err
+	}
+	if count != t.size {
+		return errf("size %d but %d keys reachable", t.size, count)
+	}
+	return nil
+}
+
+func insertAt(s []int64, i int, v int64) []int64 {
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
+}
+
+func removeAt(s []int64, i int) []int64 {
+	copy(s[i:], s[i+1:])
+	return s[:len(s)-1]
+}
+
+func insertChildAt(s []*btNode, i int, v *btNode) []*btNode {
+	s = append(s, nil)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
+}
+
+type dbError string
+
+func (e dbError) Error() string { return string(e) }
+
+func errf(format string, args ...interface{}) error {
+	return dbError(sprintf(format, args...))
+}

@@ -1,0 +1,223 @@
+// Package db implements the miniature storage manager that stands in for
+// Shore-MT (paper Section 5.1). It is a real — if small — transactional
+// engine: B+-tree indexes, heap tables, a key-hash lock manager and a
+// write-ahead log. Every operation both performs actual data-structure
+// work and emits the corresponding synthetic instruction/data trace
+// through internal/codegen, so the traces the simulator replays have the
+// control-flow structure of a storage manager rather than of a random
+// stream: shared basic functions, per-level index loops, data-dependent
+// variants, hot shared metadata, lock words and a global log tail.
+package db
+
+import (
+	"fmt"
+
+	"strex/internal/codegen"
+	"strex/internal/trace"
+	"strex/internal/xrand"
+)
+
+// infra holds the FuncIDs of the storage manager's basic functions —
+// the paper's "index lookup, scan/update an index, insert a tuple,
+// update a tuple, etc." (Section 2.1). Sizes are calibrated so that the
+// per-transaction footprints land near the paper's Table 3.
+type infra struct {
+	txnBegin   codegen.FuncID
+	txnCommit  codegen.FuncID
+	lockAcq    codegen.FuncID
+	lockRel    codegen.FuncID
+	logInsert  codegen.FuncID
+	bufFix     codegen.FuncID
+	btDescend  codegen.FuncID
+	btLeaf     codegen.FuncID
+	btInsert   codegen.FuncID
+	btSplit    codegen.FuncID
+	btScan     codegen.FuncID
+	heapRead   codegen.FuncID
+	heapUpdate codegen.FuncID
+	heapInsert codegen.FuncID
+}
+
+func registerInfra(l *codegen.Layout) infra {
+	return infra{
+		txnBegin:   l.AddFunc("xct.begin", 10, 2, 0.25),
+		txnCommit:  l.AddFunc("xct.commit", 22, 4, 0.3),
+		lockAcq:    l.AddFunc("lock.acquire", 10, 4, 0.35),
+		lockRel:    l.AddFunc("lock.release", 6, 2, 0.3),
+		logInsert:  l.AddFunc("log.insert", 12, 4, 0.3),
+		bufFix:     l.AddFunc("bf.fix", 8, 4, 0.35),
+		btDescend:  l.AddFunc("bt.descend", 12, 4, 0.35),
+		btLeaf:     l.AddFunc("bt.leaf_search", 10, 8, 0.5),
+		btInsert:   l.AddFunc("bt.insert", 18, 6, 0.4),
+		btSplit:    l.AddFunc("bt.split", 16, 2, 0.25),
+		btScan:     l.AddFunc("bt.scan_next", 10, 4, 0.4),
+		heapRead:   l.AddFunc("heap.read", 8, 4, 0.4),
+		heapUpdate: l.AddFunc("heap.update", 12, 4, 0.4),
+		heapInsert: l.AddFunc("heap.insert", 14, 4, 0.4),
+	}
+}
+
+// Database is one storage-manager instance: a code layout shared by all
+// transactions, a data-block allocator, and the named tables and indexes
+// of a workload.
+type Database struct {
+	Layout    *codegen.Layout
+	fns       infra
+	nextBlk   uint32
+	tables    map[string]*Table
+	indexes   map[string]*BTree
+	lock      *LockManager
+	log       *LogManager
+	stackBase uint32
+}
+
+// NewDatabase creates an empty database with a fresh code layout.
+// Workloads register their statement functions on db.Layout after this.
+func NewDatabase() *Database {
+	l := codegen.NewLayout()
+	db := &Database{
+		Layout:  l,
+		fns:     registerInfra(l),
+		nextBlk: codegen.DataBase,
+		tables:  make(map[string]*Table),
+		indexes: make(map[string]*BTree),
+	}
+	db.lock = newLockManager(db, 64)
+	db.log = newLogManager(db, 256)
+	db.stackBase = db.allocBlocks(stackSlots * stackBlocksPerTxn)
+	return db
+}
+
+// Per-transaction private stack/working-set regions. Slots are reused
+// modulo stackSlots, so long-lived databases do not grow unboundedly and
+// the region stays hot in the L2. The per-transaction region is sized so
+// that a whole STREX team's stacks co-reside in one 32KB L1-D (the paper
+// saves switched contexts to the L2 precisely "to avoid thrashing the
+// L1-D", Section 4.4.2).
+const (
+	stackSlots        = 1024
+	stackBlocksPerTxn = 24 // 1.5KB of stack + cursor state
+)
+
+// allocBlocks reserves n contiguous data blocks and returns the first.
+func (db *Database) allocBlocks(n int) uint32 {
+	if n <= 0 {
+		panic("db: allocBlocks with n <= 0")
+	}
+	b := db.nextBlk
+	db.nextBlk += uint32(n)
+	return b
+}
+
+// DataBlocks returns the database's resident size in 64-byte blocks:
+// tables, indexes, lock words and log buffer. The fixed-size transaction
+// stack region is runtime state, not data, and is excluded so that the
+// TPC-C-10 : TPC-C-1 size ratio reflects the stored data (~10x).
+func (db *Database) DataBlocks() int {
+	return int(db.nextBlk-codegen.DataBase) - stackSlots*stackBlocksPerTxn
+}
+
+// CreateTable creates a heap table. tuplesPerBlock controls data density.
+func (db *Database) CreateTable(name string, tuplesPerBlock int) *Table {
+	if _, dup := db.tables[name]; dup {
+		panic("db: duplicate table " + name)
+	}
+	t := newTable(db, name, tuplesPerBlock)
+	db.tables[name] = t
+	return t
+}
+
+// CreateIndex creates a B+-tree index.
+func (db *Database) CreateIndex(name string) *BTree {
+	if _, dup := db.indexes[name]; dup {
+		panic("db: duplicate index " + name)
+	}
+	bt := newBTree(db, name)
+	db.indexes[name] = bt
+	return bt
+}
+
+// Table returns a table by name, or nil.
+func (db *Database) Table(name string) *Table { return db.tables[name] }
+
+// Index returns an index by name, or nil.
+func (db *Database) Index(name string) *BTree { return db.indexes[name] }
+
+// Lock returns the lock manager.
+func (db *Database) Lock() *LockManager { return db.lock }
+
+// Log returns the log manager.
+func (db *Database) Log() *LogManager { return db.log }
+
+// Txn is an executing transaction: the emitter its trace goes to, a
+// per-transaction RNG stream, and the set of locks to release at commit.
+type Txn struct {
+	db    *Database
+	em    codegen.Emitter
+	id    uint64
+	rng   *xrand.RNG
+	locks []uint32 // lock-word blocks to touch at release
+}
+
+// Begin starts a transaction whose trace is appended to buf. Each
+// transaction gets a private stack region (slot id mod stackSlots);
+// stack accesses are interleaved with every function call it makes.
+func (db *Database) Begin(id uint64, buf *trace.Buffer) *Txn {
+	tx := &Txn{
+		db: db,
+		em: codegen.Emitter{
+			L:           db.Layout,
+			Buf:         buf,
+			StackBase:   db.stackBase + uint32(id%stackSlots)*stackBlocksPerTxn,
+			StackBlocks: stackBlocksPerTxn,
+		},
+		id:  id,
+		rng: xrand.New(id*0x9E3779B97F4A7C15 + 0xB5),
+	}
+	tx.em.Call(db.fns.txnBegin, id)
+	return tx
+}
+
+// ID returns the transaction identifier.
+func (tx *Txn) ID() uint64 { return tx.id }
+
+// RNG returns the transaction's private random stream (for workload
+// input decisions that must be per-instance deterministic).
+func (tx *Txn) RNG() *xrand.RNG { return tx.rng }
+
+// Emit exposes the trace emitter so workloads can call their statement
+// functions.
+func (tx *Txn) Emit() *codegen.Emitter { return &tx.em }
+
+// Commit emits the commit path: log flush, lock release, commit logic.
+func (tx *Txn) Commit() {
+	tx.db.log.flush(tx)
+	for _, blk := range tx.locks {
+		tx.em.Call(tx.db.fns.lockRel, uint64(blk))
+		tx.em.Data(blk, true)
+	}
+	tx.locks = tx.locks[:0]
+	tx.em.Call(tx.db.fns.txnCommit, tx.id)
+}
+
+// acquireLock funnels all lock acquisitions through the lock manager.
+func (tx *Txn) acquireLock(space uint32, key int64) {
+	blk := tx.db.lock.wordBlock(space, key)
+	tx.em.Call(tx.db.fns.lockAcq, uint64(blk))
+	tx.em.Data(blk, true) // CAS on the lock word: a write, hence coherence traffic
+	tx.locks = append(tx.locks, blk)
+}
+
+// fixPage models a buffer-pool fix: code plus a read of the page header.
+func (tx *Txn) fixPage(page uint32) {
+	tx.em.Call(tx.db.fns.bufFix, uint64(page))
+	tx.em.Data(page, false)
+}
+
+// String implements fmt.Stringer for diagnostics.
+func (db *Database) String() string {
+	return fmt.Sprintf("db{tables=%d indexes=%d code=%dKB data=%dKB}",
+		len(db.tables), len(db.indexes),
+		db.Layout.CodeBlocks()*codegen.BlockBytes/1024,
+		db.DataBlocks()*codegen.BlockBytes/1024)
+}

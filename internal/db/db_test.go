@@ -1,0 +1,342 @@
+package db
+
+import (
+	"testing"
+	"testing/quick"
+
+	"strex/internal/codegen"
+	"strex/internal/trace"
+)
+
+func TestBTreeInsertLookup(t *testing.T) {
+	db := NewDatabase()
+	bt := db.CreateIndex("idx")
+	for k := int64(0); k < 1000; k++ {
+		bt.Insert(nil, k, k*10)
+	}
+	if bt.Size() != 1000 {
+		t.Fatalf("size = %d", bt.Size())
+	}
+	for k := int64(0); k < 1000; k++ {
+		v, ok := bt.Lookup(nil, k)
+		if !ok || v != k*10 {
+			t.Fatalf("Lookup(%d) = %d,%v", k, v, ok)
+		}
+	}
+	if _, ok := bt.Lookup(nil, 5000); ok {
+		t.Fatal("found absent key")
+	}
+	if err := bt.Validate(); err != nil {
+		t.Fatalf("invalid tree: %v", err)
+	}
+	if bt.Height() < 2 {
+		t.Fatalf("1000 keys should split: height %d", bt.Height())
+	}
+}
+
+func TestBTreeDuplicateOverwrites(t *testing.T) {
+	db := NewDatabase()
+	bt := db.CreateIndex("idx")
+	bt.Insert(nil, 7, 1)
+	bt.Insert(nil, 7, 2)
+	if bt.Size() != 1 {
+		t.Fatalf("size = %d after duplicate insert", bt.Size())
+	}
+	if v, _ := bt.Lookup(nil, 7); v != 2 {
+		t.Fatalf("value = %d, want 2", v)
+	}
+}
+
+func TestBTreeDelete(t *testing.T) {
+	db := NewDatabase()
+	bt := db.CreateIndex("idx")
+	for k := int64(0); k < 200; k++ {
+		bt.Insert(nil, k, k)
+	}
+	if !bt.Delete(nil, 100) {
+		t.Fatal("delete of present key returned false")
+	}
+	if bt.Delete(nil, 100) {
+		t.Fatal("double delete returned true")
+	}
+	if _, ok := bt.Lookup(nil, 100); ok {
+		t.Fatal("deleted key still found")
+	}
+	if bt.Size() != 199 {
+		t.Fatalf("size = %d", bt.Size())
+	}
+	if err := bt.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBTreeRandomizedAgainstMap(t *testing.T) {
+	f := func(keys []int16) bool {
+		db := NewDatabase()
+		bt := db.CreateIndex("idx")
+		ref := map[int64]int64{}
+		for i, k16 := range keys {
+			k := int64(k16)
+			v := int64(i)
+			bt.Insert(nil, k, v)
+			ref[k] = v
+		}
+		if bt.Size() != len(ref) {
+			return false
+		}
+		for k, v := range ref {
+			got, ok := bt.Lookup(nil, k)
+			if !ok || got != v {
+				return false
+			}
+		}
+		return bt.Validate() == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBTreeScanOrderAndLimit(t *testing.T) {
+	db := NewDatabase()
+	bt := db.CreateIndex("idx")
+	for k := int64(0); k < 500; k += 2 { // even keys
+		bt.Insert(nil, k, k)
+	}
+	var got []int64
+	n := bt.Scan(nil, 100, 10, func(k, v int64) bool {
+		got = append(got, k)
+		return true
+	})
+	if n != 10 || len(got) != 10 {
+		t.Fatalf("scan visited %d", n)
+	}
+	for i, k := range got {
+		want := int64(100 + 2*i)
+		if k != want {
+			t.Fatalf("scan[%d] = %d, want %d", i, k, want)
+		}
+	}
+}
+
+func TestBTreeScanEarlyStop(t *testing.T) {
+	db := NewDatabase()
+	bt := db.CreateIndex("idx")
+	for k := int64(0); k < 100; k++ {
+		bt.Insert(nil, k, k)
+	}
+	calls := 0
+	bt.Scan(nil, 0, 50, func(k, v int64) bool {
+		calls++
+		return calls < 5
+	})
+	if calls != 5 {
+		t.Fatalf("early stop after %d calls", calls)
+	}
+}
+
+func TestLookupEmitsTrace(t *testing.T) {
+	db := NewDatabase()
+	bt := db.CreateIndex("idx")
+	for k := int64(0); k < 2000; k++ {
+		bt.Insert(nil, k, k)
+	}
+	var buf trace.Buffer
+	tx := db.Begin(1, &buf)
+	bt.Lookup(tx, 1234)
+	tx.Commit()
+	if buf.Instrs == 0 {
+		t.Fatal("no instructions emitted")
+	}
+	if buf.Loads == 0 || buf.Stores == 0 {
+		t.Fatalf("loads=%d stores=%d: expected page reads and lock writes", buf.Loads, buf.Stores)
+	}
+	// Deeper trees emit longer probe traces.
+	var shallow trace.Buffer
+	db2 := NewDatabase()
+	bt2 := db2.CreateIndex("idx")
+	bt2.Insert(nil, 1, 1)
+	tx2 := db2.Begin(1, &shallow)
+	bt2.Lookup(tx2, 1)
+	tx2.Commit()
+	if buf.Instrs <= shallow.Instrs {
+		t.Fatalf("deep probe (%d instrs) not longer than shallow (%d)", buf.Instrs, shallow.Instrs)
+	}
+}
+
+func TestSameKeyProbesOverlap(t *testing.T) {
+	db := NewDatabase()
+	bt := db.CreateIndex("idx")
+	for k := int64(0); k < 2000; k++ {
+		bt.Insert(nil, k, k)
+	}
+	probe := func(id uint64, key int64) map[uint32]bool {
+		var buf trace.Buffer
+		tx := db.Begin(id, &buf)
+		bt.Lookup(tx, key)
+		tx.Commit()
+		m := map[uint32]bool{}
+		for _, e := range buf.Entries {
+			if e.Kind == trace.KInstr {
+				m[e.Block] = true
+			}
+		}
+		return m
+	}
+	a := probe(1, 500)
+	b := probe(2, 501) // different key, same type of work
+	inter := 0
+	for blk := range b {
+		if a[blk] {
+			inter++
+		}
+	}
+	// Same-type operations must share most of their instruction blocks.
+	if frac := float64(inter) / float64(len(b)); frac < 0.7 {
+		t.Fatalf("instruction overlap %.2f < 0.7 (a=%d b=%d common=%d)", frac, len(a), len(b), inter)
+	}
+}
+
+func TestHeapInsertReadUpdate(t *testing.T) {
+	db := NewDatabase()
+	tbl := db.CreateTable("t", 4)
+	var tids []int64
+	for i := 0; i < 10; i++ {
+		tids = append(tids, tbl.Insert(nil))
+	}
+	if tbl.Tuples() != 10 {
+		t.Fatalf("tuples = %d", tbl.Tuples())
+	}
+	for i, tid := range tids {
+		if tid != int64(i) {
+			t.Fatalf("tid %d = %d", i, tid)
+		}
+	}
+	var buf trace.Buffer
+	tx := db.Begin(1, &buf)
+	tbl.Read(tx, 3)
+	loads := buf.Loads
+	tbl.Update(tx, 3)
+	if buf.Loads <= loads || buf.Stores == 0 {
+		t.Fatal("update did not emit reads+writes")
+	}
+	tx.Commit()
+}
+
+func TestHeapTidOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range tid did not panic")
+		}
+	}()
+	db := NewDatabase()
+	tbl := db.CreateTable("t", 4)
+	tbl.Insert(nil)
+	tbl.Read(nil, 99)
+}
+
+func TestHeapBlockPacking(t *testing.T) {
+	db := NewDatabase()
+	tbl := db.CreateTable("t", 4)
+	for i := 0; i < 9; i++ {
+		tbl.Insert(nil)
+	}
+	if len(tbl.blocks) != 3 {
+		t.Fatalf("9 tuples at 4/block should use 3 blocks, got %d", len(tbl.blocks))
+	}
+	if tbl.blockOf(0) != tbl.blockOf(3) {
+		t.Fatal("tuples 0 and 3 should share a block")
+	}
+	if tbl.blockOf(3) == tbl.blockOf(4) {
+		t.Fatal("tuples 3 and 4 should be in different blocks")
+	}
+}
+
+func TestLockWordsSharedAcrossTxns(t *testing.T) {
+	db := NewDatabase()
+	lm := db.Lock()
+	a := lm.wordBlock(1, 42)
+	b := lm.wordBlock(1, 42)
+	if a != b {
+		t.Fatal("same lock name mapped to different words")
+	}
+	spread := map[uint32]bool{}
+	for k := int64(0); k < 1000; k++ {
+		spread[lm.wordBlock(1, k)] = true
+	}
+	if len(spread) < lm.Words()/2 {
+		t.Fatalf("lock words poorly distributed: %d of %d used", len(spread), lm.Words())
+	}
+}
+
+func TestLogTailIsShared(t *testing.T) {
+	db := NewDatabase()
+	var b1, b2 trace.Buffer
+	tx1 := db.Begin(1, &b1)
+	tx2 := db.Begin(2, &b2)
+	db.Log().insert(tx1, 100+codegen.DataBase)
+	db.Log().insert(tx2, 200+codegen.DataBase)
+	// Consecutive log inserts write the same or adjacent tail blocks.
+	var w1, w2 uint32
+	for _, e := range b1.Entries {
+		if e.Kind == trace.KStore {
+			w1 = e.Block
+		}
+	}
+	for _, e := range b2.Entries {
+		if e.Kind == trace.KStore {
+			w2 = e.Block
+		}
+	}
+	if d := int64(w1) - int64(w2); d < -1 || d > 1 {
+		t.Fatalf("log tail blocks %d and %d not adjacent", w1, w2)
+	}
+}
+
+func TestCommitReleasesLocks(t *testing.T) {
+	db := NewDatabase()
+	bt := db.CreateIndex("idx")
+	bt.Insert(nil, 1, 1)
+	var buf trace.Buffer
+	tx := db.Begin(1, &buf)
+	bt.Lookup(tx, 1)
+	if len(tx.locks) == 0 {
+		t.Fatal("lookup did not acquire a lock")
+	}
+	tx.Commit()
+	if len(tx.locks) != 0 {
+		t.Fatal("commit did not release locks")
+	}
+}
+
+func TestDataBlocksGrow(t *testing.T) {
+	db := NewDatabase()
+	before := db.DataBlocks()
+	tbl := db.CreateTable("t", 1)
+	for i := 0; i < 100; i++ {
+		tbl.Insert(nil)
+	}
+	if db.DataBlocks() <= before {
+		t.Fatal("inserts did not allocate data blocks")
+	}
+}
+
+func TestTxnRNGDeterministic(t *testing.T) {
+	db := NewDatabase()
+	var b1, b2 trace.Buffer
+	a := db.Begin(5, &b1).RNG().Uint64()
+	b := db.Begin(5, &b2).RNG().Uint64()
+	if a != b {
+		t.Fatal("same txn id produced different RNG streams")
+	}
+}
+
+func TestDatabaseString(t *testing.T) {
+	db := NewDatabase()
+	db.CreateTable("a", 4)
+	db.CreateIndex("b")
+	s := db.String()
+	if s == "" {
+		t.Fatal("empty String()")
+	}
+}

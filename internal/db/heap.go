@@ -1,0 +1,149 @@
+package db
+
+import "fmt"
+
+func sprintf(format string, args ...interface{}) string {
+	return fmt.Sprintf(format, args...)
+}
+
+// Table is a heap table: tuples are addressed by dense tuple id (tid)
+// and packed several to a data block. Reads and updates touch the owning
+// block; inserts extend the heap and write the new slot and the log.
+type Table struct {
+	db             *Database
+	name           string
+	nameH          uint32
+	tuplesPerBlock int
+	blocks         []uint32 // allocated data blocks, in insertion order
+	tuples         int
+	metaBlock      uint32 // table descriptor: read by every operation (hot, shared)
+}
+
+func newTable(db *Database, name string, tuplesPerBlock int) *Table {
+	if tuplesPerBlock <= 0 {
+		panic("db: tuplesPerBlock must be positive")
+	}
+	return &Table{
+		db:             db,
+		name:           name,
+		nameH:          uint32(hashString(name)),
+		tuplesPerBlock: tuplesPerBlock,
+		metaBlock:      db.allocBlocks(1),
+	}
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.name }
+
+// Tuples returns the number of tuples stored.
+func (t *Table) Tuples() int { return t.tuples }
+
+// MetaBlock returns the table-descriptor block (hot shared read).
+func (t *Table) MetaBlock() uint32 { return t.metaBlock }
+
+// blockOf returns the data block owning tid. It panics on an
+// out-of-range tid, which indicates a workload bug.
+func (t *Table) blockOf(tid int64) uint32 {
+	idx := int(tid) / t.tuplesPerBlock
+	if tid < 0 || idx >= len(t.blocks) {
+		panic(sprintf("db: table %s: tid %d out of range (%d tuples)", t.name, tid, t.tuples))
+	}
+	return t.blocks[idx]
+}
+
+// Insert appends a tuple and returns its tid.
+func (t *Table) Insert(tx *Txn) int64 {
+	tid := int64(t.tuples)
+	if t.tuples%t.tuplesPerBlock == 0 {
+		t.blocks = append(t.blocks, t.db.allocBlocks(1))
+	}
+	t.tuples++
+	if tx != nil {
+		tx.em.Call(t.db.fns.heapInsert, uint64(t.nameH)^uint64(tid))
+		tx.em.Data(t.metaBlock, false)
+		tx.acquireLock(t.nameH, tid)
+		tx.em.Data(t.blockOf(tid), true)
+		t.db.log.insert(tx, t.blockOf(tid))
+	}
+	return tid
+}
+
+// Read fetches tuple tid (code + meta read + tuple read).
+func (t *Table) Read(tx *Txn, tid int64) {
+	blk := t.blockOf(tid)
+	if tx != nil {
+		tx.em.Call(t.db.fns.heapRead, uint64(t.nameH)^uint64(tid))
+		tx.em.Data(t.metaBlock, false)
+		tx.em.Data(blk, false)
+	}
+}
+
+// Update modifies tuple tid in place: lock, write, log.
+func (t *Table) Update(tx *Txn, tid int64) {
+	blk := t.blockOf(tid)
+	if tx != nil {
+		tx.em.Call(t.db.fns.heapUpdate, uint64(t.nameH)^uint64(tid))
+		tx.em.Data(t.metaBlock, false)
+		tx.acquireLock(t.nameH, tid)
+		tx.em.Data(blk, true)
+		t.db.log.insert(tx, blk)
+	}
+}
+
+// LockManager hashes (space, key) pairs onto a fixed array of lock-word
+// blocks. Transactions CAS the word on acquire and write it again on
+// release, so concurrently running transactions that touch the same
+// tables contend on the same blocks — the source of the coherence-miss
+// growth with core count that the paper's Figure 5 baseline shows.
+type LockManager struct {
+	db     *Database
+	base   uint32
+	nWords int
+}
+
+func newLockManager(db *Database, words int) *LockManager {
+	return &LockManager{db: db, base: db.allocBlocks(words), nWords: words}
+}
+
+// wordBlock maps a lock name to its word's data block.
+func (lm *LockManager) wordBlock(space uint32, key int64) uint32 {
+	h := uint64(space)*0x9E3779B97F4A7C15 + uint64(key)*0xBF58476D1CE4E5B9
+	return lm.base + uint32(h%uint64(lm.nWords))
+}
+
+// Words returns the number of lock words.
+func (lm *LockManager) Words() int { return lm.nWords }
+
+// LogManager models the WAL: a circular region of data blocks with a
+// global tail. Every log insert writes the current tail block — a single
+// hot, written-by-everyone block, as in a centralized log buffer.
+type LogManager struct {
+	db           *Database
+	base         uint32
+	nBlocks      int
+	lsn          uint64
+	recsPerBlock uint64
+}
+
+func newLogManager(db *Database, blocks int) *LogManager {
+	return &LogManager{db: db, base: db.allocBlocks(blocks), nBlocks: blocks, recsPerBlock: 8}
+}
+
+// insert appends a record describing a change to pageBlk.
+func (lg *LogManager) insert(tx *Txn, pageBlk uint32) {
+	lg.lsn++
+	tail := lg.base + uint32((lg.lsn/lg.recsPerBlock)%uint64(lg.nBlocks))
+	tx.em.Call(lg.db.fns.logInsert, uint64(pageBlk))
+	tx.em.Data(tail, true)
+}
+
+// flush emits the commit-time log force (a burst of writes to the tail
+// region).
+func (lg *LogManager) flush(tx *Txn) {
+	tail := lg.base + uint32((lg.lsn/lg.recsPerBlock)%uint64(lg.nBlocks))
+	tx.em.Call(lg.db.fns.logInsert, tx.id)
+	tx.em.Data(tail, true)
+}
+
+// LSN returns the current log sequence number.
+func (lg *LogManager) LSN() uint64 { return lg.lsn }

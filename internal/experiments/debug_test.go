@@ -1,0 +1,44 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+
+	"strex/internal/sched"
+)
+
+// TestDebugIdenticalSync is a diagnostic for the Figure 4 pipeline; run
+// with -v to see per-phase behaviour. It keeps a loose assertion so it
+// doubles as a regression net.
+func TestDebugIdenticalSync(t *testing.T) {
+	s := smallSuite()
+	instances := s.tpcc1().GenerateTyped(tpccType("Payment"), 1)
+	identical := replicate(instances, 10)
+	base := s.runOn(identical, 1, sched.NewBaseline(), nil).Stats
+	strex := s.runOn(identical, 1, sched.NewStrex(), nil).Stats
+	t.Logf("baseline: IMPKI=%.2f misses=%d instrs=%d", base.IMPKI(), base.IMisses, base.Instrs)
+	t.Logf("strex:    IMPKI=%.2f misses=%d switches=%d", strex.IMPKI(), strex.IMisses, strex.Switches)
+	t.Logf("unique blocks per txn: %d", identical.Txns[0].Trace.UniqueIBlocks())
+	t.Logf("entries per txn: %d", identical.Txns[0].Trace.Len())
+	if strex.IMisses >= base.IMisses {
+		t.Fatal("no improvement at all")
+	}
+}
+
+func TestDebugRunSpeed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing diagnostic")
+	}
+	s := NewSuite(Options{Txns: 320, Seed: 42, Cores: []int{16}})
+	set := s.Set("TPC-C-1")
+	start := time.Now()
+	res := s.runOn(set, 16, sched.NewStrex(), nil)
+	t.Logf("STREX 16c 320txn: %v wall, %d Mcycles, %d instrs",
+		time.Since(start), res.Stats.Cycles/1e6, res.Stats.Instrs)
+	start = time.Now()
+	res = s.runOn(set, 16, sched.NewBaseline(), nil)
+	t.Logf("Base  16c 320txn: %v wall, %d Mcycles", time.Since(start), res.Stats.Cycles/1e6)
+	start = time.Now()
+	res = s.runOn(set, 16, sched.NewSlicc(), nil)
+	t.Logf("SLICC 16c 320txn: %v wall, %d Mcycles, migrations %d", time.Since(start), res.Stats.Cycles/1e6, res.Stats.Migrations)
+}

@@ -1,0 +1,180 @@
+package experiments
+
+import (
+	"fmt"
+
+	"strex/internal/cache"
+	"strex/internal/metrics"
+	"strex/internal/trace"
+	"strex/internal/workload"
+)
+
+// OverlapPoint is one interval of the Figure 2 analysis: the fraction of
+// instruction blocks touched in the interval that are resident in
+// exactly one, fewer than five, fewer than ten, and at least ten of the
+// 16 L1-I caches.
+type OverlapPoint struct {
+	KInstr    float64 // x-axis: thousands of instructions per core
+	One       float64
+	Under5    float64
+	Under10   float64
+	AtLeast10 float64
+}
+
+// OverlapSeries reproduces the Figure 2 methodology: n same-type
+// transactions run concurrently on n cores at one instruction per cycle,
+// each with a private L1-I; every intervalInstr instructions per core the
+// unique instruction blocks touched by each core during the interval are
+// checked against all n caches. Measurement stops when at least half the
+// threads have completed.
+func OverlapSeries(set *workload.Set, l1iKB, intervalInstr int) []OverlapPoint {
+	n := len(set.Txns)
+	caches := make([]*cache.Cache, n)
+	cursors := make([]trace.Cursor, n)
+	for i, tx := range set.Txns {
+		caches[i] = cache.New(cache.Config{
+			SizeBytes: l1iKB << 10, BlockBytes: 64, Ways: 8,
+			Policy: cache.LRU, Seed: uint64(i + 1),
+		})
+		cursors[i] = trace.NewCursor(tx.Trace)
+	}
+	var series []OverlapPoint
+	interval := 0
+	for {
+		done := 0
+		for i := range cursors {
+			if cursors[i].Done() {
+				done++
+			}
+		}
+		if done*2 >= n {
+			return series
+		}
+		// Each live core executes intervalInstr instructions.
+		touched := make([]map[uint32]struct{}, n)
+		for i := range cursors {
+			touched[i] = make(map[uint32]struct{})
+			budget := intervalInstr
+			for budget > 0 && !cursors[i].Done() {
+				e := cursors[i].Next()
+				if e.Kind != trace.KInstr {
+					continue
+				}
+				caches[i].Access(e.Block, false)
+				touched[i][e.Block] = struct{}{}
+				budget -= int(e.N)
+			}
+		}
+		// Classify every touched block by how many caches now hold it.
+		var one, u5, u10, ge10, total int
+		for i := range touched {
+			for b := range touched[i] {
+				sharers := 0
+				for c := range caches {
+					if caches[c].Contains(b) {
+						sharers++
+					}
+				}
+				total++
+				switch {
+				case sharers >= 10:
+					ge10++
+				case sharers >= 5:
+					u10++
+				case sharers >= 2:
+					u5++
+				default:
+					one++
+				}
+			}
+		}
+		interval++
+		if total == 0 {
+			continue
+		}
+		ft := float64(total)
+		series = append(series, OverlapPoint{
+			KInstr:    float64(interval*intervalInstr) / 1000,
+			One:       float64(one) / ft,
+			Under5:    float64(u5) / ft,
+			Under10:   float64(u10) / ft,
+			AtLeast10: float64(ge10) / ft,
+		})
+	}
+}
+
+// OverlapSummary averages a series (the paper's headline numbers quote
+// fractions "most of the time").
+type OverlapSummary struct {
+	AtLeast5  float64 // mean fraction of blocks in ≥5 caches
+	AtLeast10 float64
+	Single    float64
+}
+
+// Summarize averages the series.
+func Summarize(series []OverlapPoint) OverlapSummary {
+	var s OverlapSummary
+	if len(series) == 0 {
+		return s
+	}
+	for _, p := range series {
+		s.AtLeast5 += p.Under10 + p.AtLeast10
+		s.AtLeast10 += p.AtLeast10
+		s.Single += p.One
+	}
+	n := float64(len(series))
+	s.AtLeast5 /= n
+	s.AtLeast10 /= n
+	s.Single /= n
+	return s
+}
+
+// Figure2 runs the temporal-overlap analysis for the TPC-C New Order and
+// Payment transactions (16 same-type transactions on 16 32KB L1-Is,
+// 100-instruction intervals), as in the paper's Figure 2.
+func (s *Suite) Figure2() *metrics.Table {
+	tab := &metrics.Table{
+		Title:  "Figure 2: Temporal overlap (16 same-type txns, 16 cores, 32KB L1-I)",
+		Header: []string{"txn type", "K-instr", "1 cache", "<5", "<10", ">=10"},
+	}
+	for _, tc := range []struct {
+		label string
+		typ   int
+	}{
+		{"NewOrder", tpccType("NewOrder")},
+		{"Payment", tpccType("Payment")},
+	} {
+		set := s.tpcc1().GenerateTyped(tc.typ, 16)
+		series := OverlapSeries(set, 32, 100)
+		step := len(series) / 12
+		if step == 0 {
+			step = 1
+		}
+		for i := 0; i < len(series); i += step {
+			p := series[i]
+			tab.AddRow(tc.label, fmt.Sprintf("%.1f", p.KInstr),
+				pct(p.One), pct(p.Under5), pct(p.Under10), pct(p.AtLeast10))
+		}
+		sum := Summarize(series)
+		tab.AddNote("%s: mean >=5 caches %.0f%%, >=10 caches %.0f%%, single %.0f%% (paper: >70%%, >40%%, <10%%)",
+			tc.label, sum.AtLeast5*100, sum.AtLeast10*100, sum.Single*100)
+	}
+	return tab
+}
+
+func pct(f float64) string { return fmt.Sprintf("%.0f%%", f*100) }
+
+// tpccType maps a paper label to the tpcc type id. It panics on unknown
+// labels (a programming error in the drivers).
+func tpccType(name string) int {
+	for i, n := range tpccNames() {
+		if n == name {
+			return i
+		}
+	}
+	panic("experiments: unknown tpcc type " + name)
+}
+
+func tpccNames() []string {
+	return []string{"Delivery", "NewOrder", "OrderStatus", "Payment", "StockLevel"}
+}

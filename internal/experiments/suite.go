@@ -1,0 +1,169 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (Section 5). Each driver returns a metrics.Table whose rows
+// mirror the series the paper plots; cmd/experiments renders them and
+// EXPERIMENTS.md records paper-vs-measured values.
+//
+// Scale note: the paper replays 1.2B-instruction samples per
+// configuration on a cycle-level simulator. The default Options replay
+// tens of millions of instructions per configuration so the entire grid
+// (hundreds of runs) finishes in minutes; Options.Txns scales runs up
+// for higher-fidelity numbers. Footprints, cache geometry and the
+// schedulers are identical at every scale — only the sample length
+// changes.
+package experiments
+
+import (
+	"fmt"
+
+	"strex/internal/mapreduce"
+	"strex/internal/sim"
+	"strex/internal/tpcc"
+	"strex/internal/tpce"
+	"strex/internal/workload"
+)
+
+// Options parameterizes a Suite.
+type Options struct {
+	Txns  int    // transactions per throughput/MPKI run (default 160)
+	Seed  uint64 // master seed
+	Cores []int  // core-count sweep (default 2,4,8,16)
+}
+
+// DefaultOptions returns the scale used by cmd/experiments.
+func DefaultOptions() Options {
+	return Options{Txns: 160, Seed: 42, Cores: []int{2, 4, 8, 16}}
+}
+
+func (o *Options) fill() {
+	if o.Txns <= 0 {
+		o.Txns = 160
+	}
+	if o.Seed == 0 {
+		o.Seed = 42
+	}
+	if len(o.Cores) == 0 {
+		o.Cores = []int{2, 4, 8, 16}
+	}
+}
+
+// Suite owns lazily generated workload sets so that multiple figures
+// reuse them (exactly one trace sample per workload, as in the paper).
+type Suite struct {
+	opts Options
+
+	tpcc1W  *tpcc.Workload
+	tpcc10W *tpcc.Workload
+	tpceW   *tpce.Workload
+	mrW     *mapreduce.Workload
+
+	sets map[string]*workload.Set
+}
+
+// NewSuite creates a suite.
+func NewSuite(opts Options) *Suite {
+	opts.fill()
+	return &Suite{opts: opts, sets: make(map[string]*workload.Set)}
+}
+
+// Options returns the suite's effective options.
+func (s *Suite) Options() Options { return s.opts }
+
+// WorkloadNames lists the paper's Table 1 workloads in order.
+func WorkloadNames() []string {
+	return []string{"TPC-C-1", "TPC-C-10", "TPC-E", "MapReduce"}
+}
+
+func (s *Suite) tpcc1() *tpcc.Workload {
+	if s.tpcc1W == nil {
+		s.tpcc1W = tpcc.New(tpcc.Config{Warehouses: 1, Seed: s.opts.Seed})
+	}
+	return s.tpcc1W
+}
+
+func (s *Suite) tpcc10() *tpcc.Workload {
+	if s.tpcc10W == nil {
+		s.tpcc10W = tpcc.New(tpcc.Config{Warehouses: 10, Seed: s.opts.Seed})
+	}
+	return s.tpcc10W
+}
+
+func (s *Suite) tpce() *tpce.Workload {
+	if s.tpceW == nil {
+		s.tpceW = tpce.New(tpce.Config{Seed: s.opts.Seed})
+	}
+	return s.tpceW
+}
+
+func (s *Suite) mapreduce() *mapreduce.Workload {
+	if s.mrW == nil {
+		s.mrW = mapreduce.New(mapreduce.Config{Seed: s.opts.Seed, BlocksPerTask: 400})
+	}
+	return s.mrW
+}
+
+// Set returns (generating on first use) the mixed workload set by name
+// at the default size.
+func (s *Suite) Set(name string) *workload.Set {
+	return s.SetSized(name, s.opts.Txns)
+}
+
+// SetSized returns a mixed workload set with at least txns transactions.
+// Sets are cached per size. Throughput cells need the transaction count
+// to scale with cores×teamSize — the paper's system sees a continuous
+// arrival stream, so no scheduler ever idles for lack of transactions;
+// with a finite batch, a cell sized below ~2 teams per core would starve
+// STREX's cores and bias the comparison.
+func (s *Suite) SetSized(name string, txns int) *workload.Set {
+	key := fmt.Sprintf("%s/%d", name, txns)
+	if set, ok := s.sets[key]; ok {
+		return set
+	}
+	var set *workload.Set
+	switch name {
+	case "TPC-C-1":
+		set = s.tpcc1().Generate(txns)
+	case "TPC-C-10":
+		set = s.tpcc10().Generate(txns)
+	case "TPC-E":
+		set = s.tpce().Generate(txns)
+	case "MapReduce":
+		set = s.mapreduce().Generate(txns)
+	default:
+		panic("experiments: unknown workload " + name)
+	}
+	s.sets[key] = set
+	return set
+}
+
+// cellTxns sizes a throughput/MPKI cell: at least two full teams per
+// core so every core stays busy for most of the run.
+func (s *Suite) cellTxns(cores, teamSize int) int {
+	need := 2 * cores * teamSize
+	if need < s.opts.Txns {
+		return s.opts.Txns
+	}
+	return need
+}
+
+// bigCores returns the largest configured core count (Figures 7/8 run
+// "on 16 cores" at paper scale; tests shrink it).
+func (s *Suite) bigCores() int {
+	max := s.opts.Cores[0]
+	for _, c := range s.opts.Cores {
+		if c > max {
+			max = c
+		}
+	}
+	return max
+}
+
+// runOn executes set under sched on the given core count with an
+// optionally customized config and returns the result.
+func (s *Suite) runOn(set *workload.Set, cores int, sched sim.Scheduler, mutate func(*sim.Config)) sim.Result {
+	cfg := sim.DefaultConfig(cores)
+	cfg.Seed = s.opts.Seed
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	return sim.New(cfg, set, sched).Run()
+}

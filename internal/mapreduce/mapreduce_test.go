@@ -1,0 +1,93 @@
+package mapreduce
+
+import (
+	"testing"
+
+	"strex/internal/codegen"
+)
+
+func TestCodeFitsInL1I(t *testing.T) {
+	w := New(DefaultConfig())
+	if blocks := w.CodeBlocks(); blocks >= codegen.L1IUnitBlocks {
+		t.Fatalf("MapReduce code = %d blocks; must fit in one 32KB L1-I (%d blocks)",
+			blocks, codegen.L1IUnitBlocks)
+	}
+}
+
+func TestGenerateValidSet(t *testing.T) {
+	w := New(DefaultConfig())
+	set := w.Generate(30)
+	if err := set.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTaskMixHasBothTypes(t *testing.T) {
+	w := New(DefaultConfig())
+	set := w.Generate(30)
+	counts := set.TypeCounts()
+	if counts[TMap] == 0 || counts[TReduce] == 0 {
+		t.Fatalf("mix: %v", counts)
+	}
+	if counts[TMap] <= counts[TReduce] {
+		t.Fatal("map tasks should outnumber reduce tasks")
+	}
+}
+
+func TestTasksStreamPrivateInput(t *testing.T) {
+	w := New(DefaultConfig())
+	set := w.Generate(4)
+	// Each map task reads a distinct input region: data blocks touched by
+	// different tasks barely overlap (only the shuffle region is shared).
+	blocks := func(i int) map[uint32]bool {
+		m := map[uint32]bool{}
+		for _, e := range set.Txns[i].Trace.Entries {
+			if e.Kind != 0 { // data entries
+				m[e.Block] = true
+			}
+		}
+		return m
+	}
+	a, b := blocks(0), blocks(1)
+	common := 0
+	for blk := range b {
+		if a[blk] {
+			common++
+		}
+	}
+	if frac := float64(common) / float64(len(b)); frac > 0.2 {
+		t.Fatalf("map tasks share %.2f of data blocks; inputs should be private", frac)
+	}
+}
+
+func TestInstructionFootprintPerTask(t *testing.T) {
+	w := New(DefaultConfig())
+	set := w.Generate(6)
+	for _, tx := range set.Txns {
+		if tx.Trace.UniqueIBlocks() >= codegen.L1IUnitBlocks {
+			t.Fatalf("task %d touches %d instruction blocks; must fit in L1-I", tx.ID, tx.Trace.UniqueIBlocks())
+		}
+		if tx.Trace.Instrs < 10_000 {
+			t.Fatalf("task %d too short: %d instrs", tx.ID, tx.Trace.Instrs)
+		}
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	a := New(Config{Seed: 9, BlocksPerTask: 100}).Generate(10)
+	b := New(Config{Seed: 9, BlocksPerTask: 100}).Generate(10)
+	for i := range a.Txns {
+		if a.Txns[i].Trace.Instrs != b.Txns[i].Trace.Instrs {
+			t.Fatalf("task %d nondeterministic", i)
+		}
+	}
+}
+
+func TestGenerateTypedPanicsOnBadType(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad type did not panic")
+		}
+	}()
+	New(DefaultConfig()).GenerateTyped(99, 1)
+}

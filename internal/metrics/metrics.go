@@ -1,0 +1,221 @@
+// Package metrics provides the reporting primitives the experiment
+// drivers share: formatted tables (rendered like the paper's tables and
+// figure data series), latency histograms (Figure 7), and small helpers
+// for relative-throughput math.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Table is a titled grid of string cells, printable as aligned text or
+// CSV. Every paper table/figure driver returns one.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string // free-form commentary (paper-vs-measured remarks)
+}
+
+// AddRow appends a row; values are formatted with %v.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// AddNote appends a commentary line rendered under the table.
+func (t *Table) AddNote(format string, args ...interface{}) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// WriteText renders the table with aligned columns.
+func (t *Table) WriteText(w io.Writer) error {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteCSV renders the table as comma-separated values (quoted as
+// needed).
+func (t *Table) WriteCSV(w io.Writer) error {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				c = `"` + strings.ReplaceAll(c, `"`, `""`) + `"`
+			}
+			b.WriteString(c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// String renders the text form.
+func (t *Table) String() string {
+	var b strings.Builder
+	if err := t.WriteText(&b); err != nil {
+		return ""
+	}
+	return b.String()
+}
+
+// Histogram buckets values at fixed width, like Figure 7's latency
+// distribution (bucketed in mega-cycles).
+type Histogram struct {
+	BucketWidth float64
+	counts      map[int]int
+	total       int
+	sum         float64
+}
+
+// NewHistogram creates a histogram with the given bucket width.
+func NewHistogram(width float64) *Histogram {
+	if width <= 0 {
+		panic("metrics: histogram width must be positive")
+	}
+	return &Histogram{BucketWidth: width, counts: make(map[int]int)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	b := int(v / h.BucketWidth)
+	h.counts[b]++
+	h.total++
+	h.sum += v
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int { return h.total }
+
+// Mean returns the observed mean (Figure 7 legend reports means).
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.sum / float64(h.total)
+}
+
+// Bucket is one histogram bin.
+type Bucket struct {
+	Lo, Hi   float64
+	Count    int
+	Fraction float64
+}
+
+// Buckets returns the non-empty bins in ascending order.
+func (h *Histogram) Buckets() []Bucket {
+	keys := make([]int, 0, len(h.counts))
+	for k := range h.counts {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	out := make([]Bucket, 0, len(keys))
+	for _, k := range keys {
+		c := h.counts[k]
+		out = append(out, Bucket{
+			Lo:       float64(k) * h.BucketWidth,
+			Hi:       float64(k+1) * h.BucketWidth,
+			Count:    c,
+			Fraction: float64(c) / float64(h.total),
+		})
+	}
+	return out
+}
+
+// CumulativeAt returns the fraction of observations at or below v.
+func (h *Histogram) CumulativeAt(v float64) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	limit := int(v / h.BucketWidth)
+	n := 0
+	for b, c := range h.counts {
+		if b <= limit {
+			n += c
+		}
+	}
+	return float64(n) / float64(h.total)
+}
+
+// Relative returns value/base, or 0 if base is 0 — the normalization
+// used throughout Figure 6 ("normalized over the 2-core baseline").
+func Relative(value, base float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return value / base
+}
+
+// GeoMean returns the geometric mean of positive values (used for
+// averaging relative throughputs across workloads).
+func GeoMean(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	prod := 1.0
+	for _, v := range vals {
+		if v <= 0 {
+			return 0
+		}
+		prod *= v
+	}
+	return math.Pow(prod, 1/float64(len(vals)))
+}

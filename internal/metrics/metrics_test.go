@@ -1,0 +1,110 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTableText(t *testing.T) {
+	tab := &Table{Title: "demo", Header: []string{"a", "bbb"}}
+	tab.AddRow(1, 2.5)
+	tab.AddRow("x", "y")
+	tab.AddNote("hello %d", 7)
+	s := tab.String()
+	for _, want := range []string{"demo", "a", "bbb", "1", "2.50", "x", "note: hello 7"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("text output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tab := &Table{Header: []string{"a", "b"}}
+	tab.AddRow("plain", `has "quote", comma`)
+	var b strings.Builder
+	if err := tab.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	if !strings.Contains(got, `"has ""quote"", comma"`) {
+		t.Fatalf("CSV quoting wrong:\n%s", got)
+	}
+	if !strings.HasPrefix(got, "a,b\n") {
+		t.Fatalf("CSV header wrong:\n%s", got)
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram(2)
+	for _, v := range []float64{0.5, 1.5, 3.0, 5.0} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if got := h.Mean(); math.Abs(got-2.5) > 1e-9 {
+		t.Fatalf("mean = %v", got)
+	}
+	buckets := h.Buckets()
+	if len(buckets) != 3 {
+		t.Fatalf("%d buckets", len(buckets))
+	}
+	if buckets[0].Count != 2 || buckets[0].Lo != 0 || buckets[0].Hi != 2 {
+		t.Fatalf("first bucket: %+v", buckets[0])
+	}
+	var total float64
+	for _, b := range buckets {
+		total += b.Fraction
+	}
+	if math.Abs(total-1) > 1e-9 {
+		t.Fatalf("fractions sum to %v", total)
+	}
+}
+
+func TestHistogramCumulative(t *testing.T) {
+	h := NewHistogram(1)
+	for i := 0; i < 10; i++ {
+		h.Observe(float64(i))
+	}
+	if got := h.CumulativeAt(4.5); math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("cumulative at 4.5 = %v", got)
+	}
+	if got := h.CumulativeAt(100); got != 1 {
+		t.Fatalf("cumulative at 100 = %v", got)
+	}
+}
+
+func TestHistogramBadWidthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewHistogram(0)
+}
+
+func TestRelative(t *testing.T) {
+	if Relative(6, 2) != 3 {
+		t.Fatal("relative wrong")
+	}
+	if Relative(6, 0) != 0 {
+		t.Fatal("relative base-0 should be 0")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{2, 8}); math.Abs(got-4) > 1e-9 {
+		t.Fatalf("geomean = %v", got)
+	}
+	if GeoMean(nil) != 0 || GeoMean([]float64{1, 0}) != 0 {
+		t.Fatal("degenerate cases wrong")
+	}
+}
+
+func TestEmptyHistogram(t *testing.T) {
+	h := NewHistogram(1)
+	if h.Mean() != 0 || h.CumulativeAt(5) != 0 || len(h.Buckets()) != 0 {
+		t.Fatal("empty histogram should be all zeros")
+	}
+}

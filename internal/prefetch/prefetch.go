@@ -1,0 +1,94 @@
+// Package prefetch implements the instruction prefetchers the paper
+// compares against (Section 5.3): a next-line prefetcher [Smith 1978]
+// and PIF [Ferdman et al. 2011] modeled — exactly as the paper models it
+// — as an upper bound: a 100% hit-rate L1-I whose would-be misses are
+// still counted to account for traffic.
+package prefetch
+
+import (
+	"fmt"
+
+	"strex/internal/cache"
+)
+
+// Kind selects a prefetcher configuration.
+type Kind int
+
+const (
+	// None disables instruction prefetching.
+	None Kind = iota
+	// NextLine prefetches block b+1 into the L1-I on every demand fetch
+	// of block b.
+	NextLine
+	// PIF is the upper-bound model: demand misses cost zero latency but
+	// are still counted (the paper: "an optimistic 100% accurate
+	// prefetcher that issues perfectly timely requests").
+	PIF
+)
+
+// String returns the paper's label for the prefetcher.
+func (k Kind) String() string {
+	switch k {
+	case None:
+		return "none"
+	case NextLine:
+		return "Next-line"
+	case PIF:
+		return "PIF-No Overhead"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Prefetcher reacts to demand instruction fetches. Implementations must
+// be cheap: they run on every I-block access.
+type Prefetcher interface {
+	// OnIFetch is invoked after each demand fetch of block on l1i.
+	OnIFetch(l1i *cache.Cache, block uint32, hit bool)
+	// HidesMisses reports whether demand misses cost zero latency
+	// (true only for the PIF upper bound).
+	HidesMisses() bool
+}
+
+// New builds the prefetcher for kind. iSpaceLimit bounds prefetch
+// addresses (instruction blocks live below it).
+func New(kind Kind, iSpaceLimit uint32) Prefetcher {
+	switch kind {
+	case None:
+		return nopPrefetcher{}
+	case NextLine:
+		return &nextLine{limit: iSpaceLimit}
+	case PIF:
+		return pif{}
+	default:
+		panic(fmt.Sprintf("prefetch: bad kind %d", int(kind)))
+	}
+}
+
+type nopPrefetcher struct{}
+
+func (nopPrefetcher) OnIFetch(*cache.Cache, uint32, bool) {}
+func (nopPrefetcher) HidesMisses() bool                   { return false }
+
+// nextLine implements sequential prefetching: accessing block b pulls
+// b+1 into the cache. It helps the long sequential walks through
+// function bodies but cannot fix thrash-induced refetches of whole
+// segments, which is why it lands between the baseline and STREX in the
+// paper's Figure 6.
+type nextLine struct {
+	limit uint32
+}
+
+func (p *nextLine) OnIFetch(l1i *cache.Cache, block uint32, hit bool) {
+	next := block + 1
+	if next >= p.limit {
+		return
+	}
+	l1i.InsertPrefetch(next)
+}
+
+func (p *nextLine) HidesMisses() bool { return false }
+
+type pif struct{}
+
+func (pif) OnIFetch(*cache.Cache, uint32, bool) {}
+func (pif) HidesMisses() bool                   { return true }

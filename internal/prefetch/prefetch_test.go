@@ -1,0 +1,76 @@
+package prefetch
+
+import (
+	"testing"
+
+	"strex/internal/cache"
+)
+
+func newL1I() *cache.Cache {
+	return cache.New(cache.Config{SizeBytes: 32 << 10, BlockBytes: 64, Ways: 8, Policy: cache.LRU, Seed: 1})
+}
+
+func TestNextLinePrefetchesSequential(t *testing.T) {
+	l1 := newL1I()
+	p := New(NextLine, 1<<20)
+	r := l1.Access(10, false)
+	p.OnIFetch(l1, 10, r.Hit)
+	if !l1.Contains(11) {
+		t.Fatal("block 11 not prefetched after fetching 10")
+	}
+	// The demand access to 11 is a prefetch hit, not a miss.
+	r = l1.Access(11, false)
+	if !r.Hit || !r.PrefetchHit {
+		t.Fatalf("access to prefetched block: %+v", r)
+	}
+}
+
+func TestNextLineStreamEliminatesMostMisses(t *testing.T) {
+	l1 := newL1I()
+	p := New(NextLine, 1<<20)
+	for b := uint32(0); b < 2000; b++ {
+		r := l1.Access(b, false)
+		p.OnIFetch(l1, b, r.Hit)
+	}
+	if mr := l1.Stats.MissRate(); mr > 0.01 {
+		t.Fatalf("sequential stream miss rate %v with next-line", mr)
+	}
+}
+
+func TestNextLineRespectsLimit(t *testing.T) {
+	l1 := newL1I()
+	p := New(NextLine, 100)
+	r := l1.Access(99, false)
+	p.OnIFetch(l1, 99, r.Hit)
+	if l1.Contains(100) {
+		t.Fatal("prefetched past the instruction space limit")
+	}
+}
+
+func TestPIFHidesMisses(t *testing.T) {
+	if !New(PIF, 0).HidesMisses() {
+		t.Fatal("PIF must hide miss latency")
+	}
+	if New(None, 0).HidesMisses() || New(NextLine, 1).HidesMisses() {
+		t.Fatal("only PIF hides misses")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if None.String() != "none" || NextLine.String() != "Next-line" || PIF.String() != "PIF-No Overhead" {
+		t.Fatal("labels wrong")
+	}
+}
+
+func TestNoneIsInert(t *testing.T) {
+	l1 := newL1I()
+	p := New(None, 1<<20)
+	r := l1.Access(10, false)
+	p.OnIFetch(l1, 10, r.Hit)
+	if l1.Contains(11) {
+		t.Fatal("None prefetched")
+	}
+	if l1.Stats.PrefetchFills != 0 {
+		t.Fatal("None filled lines")
+	}
+}

@@ -1,0 +1,62 @@
+// Package sched implements the four transaction schedulers the paper
+// evaluates: the conventional baseline (ad-hoc assignment, run to
+// completion), STREX (Section 4), SLICC (the migration-based prior work
+// of Section 3), and the hybrid mechanism that picks between STREX and
+// SLICC using the FPTable (Section 5.5).
+package sched
+
+import "strex/internal/sim"
+
+// Baseline is the conventional OLTP scheduler: assign the oldest pending
+// transaction to any idle core and run it to completion (Section 2:
+// "OLTP systems typically assign transactions to cores in an ad-hoc
+// manner ... A transaction is assigned to a core where it executes to
+// completion").
+type Baseline struct {
+	e *sim.Engine
+}
+
+// NewBaseline returns the conventional scheduler.
+func NewBaseline() *Baseline { return &Baseline{} }
+
+// Name implements sim.Scheduler.
+func (b *Baseline) Name() string { return "Base" }
+
+// Bind implements sim.Scheduler.
+func (b *Baseline) Bind(e *sim.Engine) { b.e = e }
+
+// Dispatch implements sim.Scheduler: oldest pending transaction first.
+func (b *Baseline) Dispatch(core int) *sim.Thread {
+	pending := b.e.Pending()
+	if len(pending) == 0 {
+		return nil
+	}
+	t := pending[0]
+	b.e.TakePending(t)
+	return t
+}
+
+// Phase implements sim.Scheduler: no phase tagging.
+func (b *Baseline) Phase(core int) (uint8, bool) { return 0, false }
+
+// OnWouldEvict implements sim.Scheduler: never preempt (unreachable —
+// the engine only consults it on phase-tagged cores).
+func (b *Baseline) OnWouldEvict(core int, victimPhase uint8) bool { return false }
+
+// OnEvent implements sim.Scheduler: never preempt.
+func (b *Baseline) OnEvent(core int, ev sim.Event) (sim.Action, int) {
+	return sim.Continue, 0
+}
+
+// OnYield implements sim.Scheduler (unreachable for Baseline).
+func (b *Baseline) OnYield(core int, t *sim.Thread) {
+	panic("sched: baseline never yields")
+}
+
+// OnMigrate implements sim.Scheduler (unreachable for Baseline).
+func (b *Baseline) OnMigrate(from, to int, t *sim.Thread) {
+	panic("sched: baseline never migrates")
+}
+
+// OnComplete implements sim.Scheduler.
+func (b *Baseline) OnComplete(core int, t *sim.Thread) {}

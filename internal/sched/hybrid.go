@@ -1,0 +1,75 @@
+package sched
+
+import (
+	"fmt"
+
+	"strex/internal/core"
+	"strex/internal/sim"
+	"strex/internal/workload"
+)
+
+// Hybrid implements the combined mechanism of Section 5.5: profile the
+// workload's per-type instruction footprints into an FPTable, then — at
+// (re)configuration time — pick SLICC when the aggregate L1-I capacity
+// of the available cores fits the workload footprint, and STREX
+// otherwise. The chosen scheduler runs the whole workload; FPTable
+// updates happen only at startup/reconfiguration, which the paper notes
+// are rare events (the profiling phase is ~0.2% of execution).
+type Hybrid struct {
+	fp         *core.FPTable
+	inner      sim.Scheduler
+	choseSlicc bool
+}
+
+// NewHybrid profiles set and selects the inner scheduler for the given
+// core count. samplesPerType controls profiling effort.
+func NewHybrid(set *workload.Set, cores int, samplesPerType int) *Hybrid {
+	fp := core.MeasureFPTable(set, samplesPerType)
+	h := &Hybrid{fp: fp}
+	if fp.ChooseSLICC(cores) {
+		h.inner = NewSlicc()
+		h.choseSlicc = true
+	} else {
+		h.inner = NewStrex()
+	}
+	return h
+}
+
+// FPTable returns the profiled footprint table (Table 3 reporting).
+func (h *Hybrid) FPTable() *core.FPTable { return h.fp }
+
+// ChoseSLICC reports which mechanism the hybrid selected.
+func (h *Hybrid) ChoseSLICC() bool { return h.choseSlicc }
+
+// Name implements sim.Scheduler.
+func (h *Hybrid) Name() string {
+	return fmt.Sprintf("STREX+SLICC(%s)", h.inner.Name())
+}
+
+// Bind implements sim.Scheduler.
+func (h *Hybrid) Bind(e *sim.Engine) { h.inner.Bind(e) }
+
+// Dispatch implements sim.Scheduler.
+func (h *Hybrid) Dispatch(core int) *sim.Thread { return h.inner.Dispatch(core) }
+
+// Phase implements sim.Scheduler.
+func (h *Hybrid) Phase(core int) (uint8, bool) { return h.inner.Phase(core) }
+
+// OnWouldEvict implements sim.Scheduler.
+func (h *Hybrid) OnWouldEvict(core int, victimPhase uint8) bool {
+	return h.inner.OnWouldEvict(core, victimPhase)
+}
+
+// OnEvent implements sim.Scheduler.
+func (h *Hybrid) OnEvent(core int, ev sim.Event) (sim.Action, int) {
+	return h.inner.OnEvent(core, ev)
+}
+
+// OnYield implements sim.Scheduler.
+func (h *Hybrid) OnYield(core int, t *sim.Thread) { h.inner.OnYield(core, t) }
+
+// OnMigrate implements sim.Scheduler.
+func (h *Hybrid) OnMigrate(from, to int, t *sim.Thread) { h.inner.OnMigrate(from, to, t) }
+
+// OnComplete implements sim.Scheduler.
+func (h *Hybrid) OnComplete(core int, t *sim.Thread) { h.inner.OnComplete(core, t) }

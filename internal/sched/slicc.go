@@ -1,0 +1,248 @@
+package sched
+
+import "strex/internal/sim"
+
+// Slicc reimplements the migration-based prior technique the paper
+// compares against (Atta et al., MICRO 2012), following the description
+// in Sections 3 and 5.5 of the STREX paper and the component budget in
+// Table 4: each migrating thread keeps a short missed-tag queue and a
+// miss shift-vector (a sliding window of recent fetch outcomes); every
+// core exposes a cache signature that answers "do you hold these
+// blocks?".
+//
+// Decision rule, evaluated when a thread's recent window shows a miss
+// cluster (it is crossing into a new code segment):
+//
+//   - if some *other* core's L1-I already holds most of the recently
+//     missed blocks, migrate there (a predecessor fetched that segment);
+//   - otherwise, if this thread has already filled a cache's worth of
+//     fresh blocks on the current core, spread: move to the core whose
+//     queue is shortest and keep filling there, leaving the previous
+//     segment behind for teammates.
+//
+// With enough cores the segments of a transaction type end up resident
+// across distinct L1-Is and threads pipeline through them (Figure 3c).
+// With too few cores the same mechanism thrashes: threads keep paying
+// migration costs without ever finding their segments — which is exactly
+// the performance cliff Figure 6 shows and STREX avoids.
+type Slicc struct {
+	e *sim.Engine
+
+	// queues[c] holds threads waiting to run on core c (FIFO).
+	queues [][]*sim.Thread
+	// teamSize bounds in-flight threads to 2N (paper Section 5.1).
+	inFlight int
+	// entryCore pins each transaction type (header) to the core where
+	// its first segment gets built, so same-type threads enter the
+	// pipeline at the same place and chase their predecessors through
+	// the segment chain instead of all rebuilding segment 0 on separate
+	// cores. SLICC forms teams of same-type threads for exactly this
+	// reason (Section 5.1: "SLICC forms teams of up to 2N threads").
+	entryCore map[uint32]int
+	nextEntry int
+
+	missQLen   int // missed-tag queue length
+	window     int // shift-vector window (accesses)
+	clusterAt  int // misses within window that signal a new segment
+	matchAt    int // remote signature matches required to follow
+	fillSpread int // fresh blocks fetched locally before spreading
+	cooldown   int // accesses to wait after a migration
+}
+
+type sliccState struct {
+	missQ      []uint32
+	accesses   int
+	recentMiss int // misses in current window
+	windowLeft int
+	fresh      int // blocks this thread brought into the current core
+	cool       int
+}
+
+// NewSlicc returns the scheduler with defaults matched to the paper's
+// structures (missed-tag queue of 5 tags ≈ 60 bits, 100-access window).
+func NewSlicc() *Slicc {
+	return &Slicc{
+		missQLen:   5,
+		window:     100,
+		clusterAt:  3,
+		matchAt:    2,
+		fillSpread: 448, // ~87% of a 512-block L1-I
+		cooldown:   100,
+	}
+}
+
+// Name implements sim.Scheduler.
+func (s *Slicc) Name() string { return "SLICC" }
+
+// Bind implements sim.Scheduler.
+func (s *Slicc) Bind(e *sim.Engine) {
+	s.e = e
+	s.queues = make([][]*sim.Thread, e.Cores())
+	s.entryCore = make(map[uint32]int)
+}
+
+// Dispatch implements sim.Scheduler: run the local queue; refill the
+// in-flight population (≤ 2N threads) from the pending window.
+func (s *Slicc) Dispatch(coreID int) *sim.Thread {
+	if len(s.queues[coreID]) == 0 {
+		s.refill()
+	}
+	q := s.queues[coreID]
+	if len(q) == 0 {
+		return nil
+	}
+	t := q[0]
+	s.queues[coreID] = q[1:]
+	if t.Scratch == nil {
+		t.Scratch = &sliccState{windowLeft: s.window}
+	}
+	return t
+}
+
+// refill admits pending transactions up to the 2N in-flight limit,
+// seeding each at its type's entry core.
+func (s *Slicc) refill() {
+	limit := 2 * s.e.Cores()
+	for s.inFlight < limit {
+		pending := s.e.Pending()
+		if len(pending) == 0 {
+			return
+		}
+		t := pending[0]
+		s.e.TakePending(t)
+		s.inFlight++
+		c, ok := s.entryCore[t.Txn.Header]
+		if !ok {
+			// First sighting of this type: give it a fresh entry core,
+			// spreading types round-robin.
+			c = s.nextEntry % s.e.Cores()
+			s.nextEntry++
+			s.entryCore[t.Txn.Header] = c
+		}
+		s.queues[c] = append(s.queues[c], t)
+	}
+}
+
+func (s *Slicc) shortestQueue() int {
+	best, bestLen := 0, int(^uint(0)>>1)
+	for c := range s.queues {
+		l := len(s.queues[c])
+		if s.e.Core(c).Cur != nil {
+			l++
+		}
+		if l < bestLen {
+			best, bestLen = c, l
+		}
+	}
+	return best
+}
+
+// Phase implements sim.Scheduler: SLICC does not tag phases.
+func (s *Slicc) Phase(coreID int) (uint8, bool) { return 0, false }
+
+// OnWouldEvict implements sim.Scheduler: SLICC never suppresses fills.
+func (s *Slicc) OnWouldEvict(coreID int, victimPhase uint8) bool { return false }
+
+// OnEvent implements sim.Scheduler: the cache-monitor logic above.
+func (s *Slicc) OnEvent(coreID int, ev sim.Event) (sim.Action, int) {
+	cur := s.e.Core(coreID).Cur
+	if cur == nil {
+		return sim.Continue, 0
+	}
+	st, ok := cur.Scratch.(*sliccState)
+	if !ok {
+		return sim.Continue, 0
+	}
+	if ev.Entry.Kind != 0 { // only instruction fetches drive SLICC
+		return sim.Continue, 0
+	}
+	st.accesses++
+	st.windowLeft--
+	if st.cool > 0 {
+		st.cool--
+	}
+	if ev.IMiss {
+		st.recentMiss++
+		st.fresh++
+		st.missQ = append(st.missQ, ev.Entry.Block)
+		if len(st.missQ) > s.missQLen {
+			st.missQ = st.missQ[1:]
+		}
+	}
+	if st.windowLeft <= 0 {
+		st.recentMiss = 0
+		st.windowLeft = s.window
+	}
+	if st.cool > 0 || st.recentMiss < s.clusterAt {
+		return sim.Continue, 0
+	}
+	// Miss cluster: query remote signatures for the missed tags.
+	best, bestScore := -1, 0
+	for c := 0; c < s.e.Cores(); c++ {
+		if c == coreID {
+			continue
+		}
+		score := 0
+		l1i := s.e.Core(c).L1I
+		for _, b := range st.missQ {
+			if l1i.Contains(b) {
+				score++
+			}
+		}
+		if score > bestScore {
+			best, bestScore = c, score
+		}
+	}
+	if best >= 0 && bestScore >= s.matchAt {
+		st.reset(s)
+		return sim.Migrate, best
+	}
+	// No core holds the new segment. If we have already filled this
+	// core, spread to the least-loaded other core and build it there.
+	if st.fresh >= s.fillSpread && s.e.Cores() > 1 {
+		target := s.spreadTarget(coreID)
+		st.reset(s)
+		st.fresh = 0
+		return sim.Migrate, target
+	}
+	return sim.Continue, 0
+}
+
+func (st *sliccState) reset(s *Slicc) {
+	st.recentMiss = 0
+	st.windowLeft = s.window
+	st.cool = s.cooldown
+	st.missQ = st.missQ[:0]
+}
+
+func (s *Slicc) spreadTarget(from int) int {
+	best, bestLen := -1, int(^uint(0)>>1)
+	for c := range s.queues {
+		if c == from {
+			continue
+		}
+		l := len(s.queues[c])
+		if s.e.Core(c).Cur != nil {
+			l++
+		}
+		if l < bestLen {
+			best, bestLen = c, l
+		}
+	}
+	return best
+}
+
+// OnYield implements sim.Scheduler (SLICC yields only via migration).
+func (s *Slicc) OnYield(coreID int, t *sim.Thread) {
+	panic("sched: SLICC does not yield in place")
+}
+
+// OnMigrate implements sim.Scheduler: enqueue at the destination.
+func (s *Slicc) OnMigrate(from, to int, t *sim.Thread) {
+	s.queues[to] = append(s.queues[to], t)
+}
+
+// OnComplete implements sim.Scheduler.
+func (s *Slicc) OnComplete(coreID int, t *sim.Thread) {
+	s.inFlight--
+}

@@ -1,0 +1,184 @@
+package sched
+
+import (
+	"strex/internal/core"
+	"strex/internal/sim"
+)
+
+// Strex implements the paper's stratified execution scheduler
+// (Section 4.2/4.3). Per core it keeps a team (circular thread queue),
+// an 8-bit phaseID counter, and reacts to victim-block events from the
+// L1-I: evicting a block tagged with the *current* phase context-switches
+// the running transaction to the tail of the queue. The lead increments
+// the phase counter whenever it resumes.
+type Strex struct {
+	e   *sim.Engine
+	cfg core.FormationConfig
+
+	perCore []*strexCore
+	// thread bookkeeping: engine Thread -> stable ThreadID
+	ids  map[*sim.Thread]core.ThreadID
+	byID map[core.ThreadID]*sim.Thread
+	next core.ThreadID
+}
+
+type strexCore struct {
+	team  *core.Team
+	phase core.PhaseCounter
+	// leadRunning marks that the currently installed thread is the lead
+	// (so we know to bump the phase next time it resumes).
+	running core.ThreadID
+	hasRun  bool
+}
+
+// NewStrex builds the scheduler with the paper's defaults (window 30,
+// team size 10).
+func NewStrex() *Strex { return NewStrexSized(core.DefaultFormation()) }
+
+// NewStrexSized builds the scheduler with an explicit formation
+// configuration (Figures 7/8 sweep the team size).
+func NewStrexSized(cfg core.FormationConfig) *Strex {
+	if cfg.TeamSize <= 0 {
+		cfg.TeamSize = 10
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = 30
+	}
+	return &Strex{cfg: cfg, ids: map[*sim.Thread]core.ThreadID{}, byID: map[core.ThreadID]*sim.Thread{}}
+}
+
+// Name implements sim.Scheduler.
+func (s *Strex) Name() string { return "STREX" }
+
+// TeamSize returns the configured maximum team size.
+func (s *Strex) TeamSize() int { return s.cfg.TeamSize }
+
+// Bind implements sim.Scheduler.
+func (s *Strex) Bind(e *sim.Engine) {
+	s.e = e
+	s.perCore = make([]*strexCore, e.Cores())
+	for i := range s.perCore {
+		s.perCore[i] = &strexCore{}
+	}
+}
+
+func (s *Strex) idOf(t *sim.Thread) core.ThreadID {
+	if id, ok := s.ids[t]; ok {
+		return id
+	}
+	id := s.next
+	s.next++
+	s.ids[t] = id
+	s.byID[id] = t
+	return id
+}
+
+// Dispatch implements sim.Scheduler: pop the core's team queue; when the
+// team drains, form the next team from the pending window (rule 6: the
+// core becomes available for another team).
+func (s *Strex) Dispatch(coreID int) *sim.Thread {
+	sc := s.perCore[coreID]
+	for {
+		if sc.team != nil {
+			if id, ok := sc.team.Pop(); ok {
+				t := s.byID[id]
+				if sc.team.IsLead(id) {
+					// Rule 2: whenever the lead resumes execution, it
+					// increments the phaseID counter.
+					sc.phase.Increment()
+				}
+				sc.running = id
+				sc.hasRun = true
+				return t
+			}
+			sc.team = nil // drained
+		}
+		if !s.formTeam(coreID) {
+			return nil
+		}
+	}
+}
+
+// formTeam claims the next team from the pending window. Returns false
+// when no pending work remains.
+func (s *Strex) formTeam(coreID int) bool {
+	pending := s.e.Pending()
+	if len(pending) == 0 {
+		return false
+	}
+	window := make([]core.Candidate, len(pending))
+	for i, t := range pending {
+		window[i] = core.Candidate{ID: s.idOf(t), Header: t.Txn.Header, Arrival: i}
+	}
+	members := core.FormTeam(window, s.cfg)
+	team := core.NewTeam(members[0].Header)
+	for _, m := range members {
+		team.Add(m.ID)
+		s.e.TakePending(s.byID[m.ID])
+	}
+	sc := s.perCore[coreID]
+	sc.team = team
+	sc.phase.Reset()
+	return true
+}
+
+// Phase implements sim.Scheduler: STREX tags every touched block with
+// the core's current phaseID.
+func (s *Strex) Phase(coreID int) (uint8, bool) {
+	return s.perCore[coreID].phase.Value(), true
+}
+
+// minProgressInstrs is the minimum number of instructions a thread must
+// retire per scheduling quantum before the victim monitor may switch it
+// out. Without it, a transaction that diverges from the lead would be
+// switched with zero progress every round (Section 4.4.1 discusses the
+// scenario; Section 4.4.2 suggests exactly this guard). It also bounds
+// switch frequency, amortizing the save/restore cost.
+const minProgressInstrs = 256
+
+// OnWouldEvict implements the victim block monitoring unit (rule 3):
+// when a fill is about to displace a block tagged with the *current*
+// phaseID — a block some teammate still needs — the running transaction
+// is context-switched instead, and the fill is suppressed. Threads
+// running solo (singleton teams) never switch: nobody shares the cache.
+func (s *Strex) OnWouldEvict(coreID int, victimPhase uint8) bool {
+	sc := s.perCore[coreID]
+	if sc.team == nil || sc.team.Size() == 0 {
+		return false
+	}
+	if victimPhase != sc.phase.Value() {
+		return false
+	}
+	return s.e.Core(coreID).QInstrs >= minProgressInstrs
+}
+
+// OnEvent implements sim.Scheduler. All of STREX's preemption happens in
+// OnWouldEvict, before blocks are lost; completed evictions of old-phase
+// blocks are exactly the evictions STREX permits.
+func (s *Strex) OnEvent(coreID int, ev sim.Event) (sim.Action, int) {
+	return sim.Continue, 0
+}
+
+// OnYield implements sim.Scheduler: the switched thread goes to the tail
+// of its team's queue.
+func (s *Strex) OnYield(coreID int, t *sim.Thread) {
+	sc := s.perCore[coreID]
+	sc.team.Requeue(s.ids[t])
+}
+
+// OnMigrate implements sim.Scheduler (STREX never migrates).
+func (s *Strex) OnMigrate(from, to int, t *sim.Thread) {
+	panic("sched: STREX never migrates")
+}
+
+// OnComplete implements sim.Scheduler: if the lead finished, the next
+// thread in the queue becomes lead (rule 4).
+func (s *Strex) OnComplete(coreID int, t *sim.Thread) {
+	sc := s.perCore[coreID]
+	if sc.team == nil {
+		return
+	}
+	if sc.team.IsLead(s.ids[t]) {
+		sc.team.RetireLead()
+	}
+}

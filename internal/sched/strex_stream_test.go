@@ -1,0 +1,42 @@
+package sched
+
+import (
+	"testing"
+
+	"strex/internal/codegen"
+	"strex/internal/sim"
+	"strex/internal/trace"
+	"strex/internal/workload"
+)
+
+// streamSet builds n identical transactions, each a pure sequential walk
+// of `blocks` distinct instruction blocks. This is the textbook case of
+// Section 4.1: for identical transactions the synchronization algorithm
+// is optimal — the lead pays all misses, followers pay (almost) none.
+func streamSet(n, blocks int) *workload.Set {
+	set := &workload.Set{Name: "stream", Types: []string{"T"}}
+	for i := 0; i < n; i++ {
+		buf := &trace.Buffer{}
+		for b := 0; b < blocks; b++ {
+			buf.AppendInstr(uint32(b), 12)
+		}
+		buf.AppendData(codegen.DataBase, false)
+		set.Txns = append(set.Txns, &workload.Txn{ID: i, Type: 0, Header: 0, Trace: buf})
+	}
+	return set
+}
+
+func TestStrexOptimalOnIdenticalStreams(t *testing.T) {
+	// 10 identical 2000-block streams: footprint ~4x the 512-block L1-I.
+	set := streamSet(10, 2000)
+	base := sim.New(sim.DefaultConfig(1), set, NewBaseline()).Run().Stats
+	strex := sim.New(sim.DefaultConfig(1), set, NewStrex()).Run().Stats
+	t.Logf("baseline misses=%d strex misses=%d switches=%d", base.IMisses, strex.IMisses, strex.Switches)
+	if base.IMisses != 10*2000 {
+		t.Fatalf("baseline should miss every block: %d", base.IMisses)
+	}
+	// The lead pays ~2000; followers should pay a small percentage.
+	if strex.IMisses > 2*2000 {
+		t.Fatalf("STREX misses %d: followers are not reusing the lead's segments", strex.IMisses)
+	}
+}

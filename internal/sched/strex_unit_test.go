@@ -1,0 +1,199 @@
+package sched
+
+import (
+	"testing"
+
+	"strex/internal/codegen"
+	"strex/internal/core"
+	"strex/internal/sim"
+	"strex/internal/trace"
+	"strex/internal/workload"
+)
+
+// mixedTypeSet builds transactions of several "types" distinguished by
+// header, each walking its own block range (disjoint footprints).
+func mixedTypeSet(perType map[uint32]int, blocks int) *workload.Set {
+	set := &workload.Set{Name: "mixed", Types: []string{"A", "B", "C", "D"}}
+	id := 0
+	typ := 0
+	for header, n := range perType {
+		for i := 0; i < n; i++ {
+			buf := &trace.Buffer{}
+			for b := 0; b < blocks; b++ {
+				buf.AppendInstr(header+uint32(b), 10)
+			}
+			buf.AppendData(codegen.DataBase+uint32(id), false)
+			set.Txns = append(set.Txns, &workload.Txn{ID: id, Type: typ % 4, Header: header, Trace: buf})
+			id++
+		}
+		typ++
+	}
+	// Normalize IDs to arrival order (maps iterate unordered; fix it).
+	for i, tx := range set.Txns {
+		tx.ID = i
+	}
+	return set
+}
+
+func TestStrexFormsSameHeaderTeams(t *testing.T) {
+	// 6 txns of type A (header 0) then 6 of type B (header 100000):
+	// the first team must contain only header-0 transactions.
+	set := &workload.Set{Name: "two-types", Types: []string{"A", "B"}}
+	for i := 0; i < 12; i++ {
+		h := uint32(0)
+		if i%2 == 1 {
+			h = 100000 // interleaved arrivals
+		}
+		buf := &trace.Buffer{}
+		for b := 0; b < 600; b++ {
+			buf.AppendInstr(h+uint32(b), 10)
+		}
+		set.Txns = append(set.Txns, &workload.Txn{ID: i, Type: int(h / 100000), Header: h, Trace: buf})
+	}
+	s := NewStrex()
+	res := sim.New(sim.DefaultConfig(1), set, s).Run()
+	// With grouping, same-type txns run back-to-back and the second of a
+	// pair reuses the first's blocks; without grouping (arrival order)
+	// every txn alternates footprints and misses everything.
+	baseline := sim.New(sim.DefaultConfig(1), set, NewBaseline()).Run()
+	if res.Stats.IMisses >= baseline.Stats.IMisses {
+		t.Fatalf("team grouping did not reduce misses: %d vs %d",
+			res.Stats.IMisses, baseline.Stats.IMisses)
+	}
+}
+
+func TestStrexPhaseAdvancesOnlyWithLead(t *testing.T) {
+	s := NewStrex()
+	set := mixedTypeSet(map[uint32]int{0: 4}, 2000)
+	e := sim.New(sim.DefaultConfig(1), set, s)
+	// Dispatch the lead: phase must move 0 -> 1.
+	th := s.Dispatch(0)
+	if th == nil {
+		t.Fatal("no dispatch")
+	}
+	if ph, tagged := s.Phase(0); !tagged || ph != 1 {
+		t.Fatalf("phase after lead dispatch = %d,%v want 1,true", ph, tagged)
+	}
+	// Yield the lead, dispatch a follower: phase must stay 1.
+	s.OnYield(0, th)
+	f := s.Dispatch(0)
+	if f == nil || f == th {
+		t.Fatal("expected a follower")
+	}
+	if ph, _ := s.Phase(0); ph != 1 {
+		t.Fatalf("phase after follower dispatch = %d, want 1", ph)
+	}
+	_ = e
+}
+
+func TestStrexSoloThreadNeverYields(t *testing.T) {
+	// A stray transaction (singleton team) must run to completion with
+	// zero context switches regardless of evictions.
+	set := mixedTypeSet(map[uint32]int{0: 1}, 3000) // 3000 blocks >> 512-line L1-I
+	s := NewStrex()
+	res := sim.New(sim.DefaultConfig(1), set, s).Run()
+	if res.Stats.Switches != 0 {
+		t.Fatalf("stray transaction switched %d times", res.Stats.Switches)
+	}
+}
+
+func TestStrexMinProgressGuard(t *testing.T) {
+	// Two "same-type" txns whose traces actually diverge completely
+	// (adversarial header aliasing): the follower shares nothing with
+	// the lead, so the victim monitor would switch it with zero progress
+	// every round. The minimum-progress guard must still drive both to
+	// completion with bounded switching.
+	set := &workload.Set{Name: "diverged", Types: []string{"A"}}
+	for i := 0; i < 2; i++ {
+		buf := &trace.Buffer{}
+		base := uint32(i * 500000) // disjoint code
+		for b := 0; b < 3000; b++ {
+			buf.AppendInstr(base+uint32(b), 10)
+		}
+		set.Txns = append(set.Txns, &workload.Txn{ID: i, Type: 0, Header: 7, Trace: buf})
+	}
+	s := NewStrex()
+	res := sim.New(sim.DefaultConfig(1), set, s).Run()
+	for _, th := range res.Threads {
+		if !th.Cursor.Done() {
+			t.Fatal("diverged thread starved")
+		}
+	}
+	// Each quantum must retire at least minProgressInstrs instructions;
+	// 2 txns x 30000 instrs bounds switches to ~total/minProgress.
+	maxSwitches := res.Stats.Instrs/minProgressInstrs + 2
+	if res.Stats.Switches > maxSwitches {
+		t.Fatalf("switches %d exceed min-progress bound %d", res.Stats.Switches, maxSwitches)
+	}
+}
+
+func TestStrexLeadHandoff(t *testing.T) {
+	// Lead finishes first (shorter trace): the next thread must become
+	// lead and keep advancing the phase so the team completes.
+	set := &workload.Set{Name: "handoff", Types: []string{"A"}}
+	for i := 0; i < 3; i++ {
+		buf := &trace.Buffer{}
+		blocks := 3000
+		if i == 0 {
+			blocks = 600 // short-lived lead
+		}
+		for b := 0; b < blocks; b++ {
+			buf.AppendInstr(uint32(b), 10)
+		}
+		set.Txns = append(set.Txns, &workload.Txn{ID: i, Type: 0, Header: 0, Trace: buf})
+	}
+	s := NewStrex()
+	res := sim.New(sim.DefaultConfig(1), set, s).Run()
+	for _, th := range res.Threads {
+		if !th.Cursor.Done() {
+			t.Fatal("team stalled after lead completion")
+		}
+	}
+	if res.Stats.Switches == 0 {
+		t.Fatal("no stratification happened")
+	}
+}
+
+func TestStrexTeamSizeCap(t *testing.T) {
+	s := NewStrexSized(core.FormationConfig{Window: 30, TeamSize: 3})
+	set := mixedTypeSet(map[uint32]int{0: 9}, 1000)
+	e := sim.New(sim.DefaultConfig(1), set, s)
+	_ = e
+	// Form the first team by dispatching; the team must contain exactly
+	// 3 members: the dispatched one plus two queued.
+	th := s.Dispatch(0)
+	if th == nil {
+		t.Fatal("no dispatch")
+	}
+	sc := s.perCore[0]
+	if got := sc.team.Size(); got != 2 {
+		t.Fatalf("queued teammates = %d, want 2 (team of 3)", got)
+	}
+	if len(e.Pending()) != 6 {
+		t.Fatalf("pending = %d, want 6", len(e.Pending()))
+	}
+}
+
+func TestStrexOnWouldEvictConditions(t *testing.T) {
+	s := NewStrex()
+	set := mixedTypeSet(map[uint32]int{0: 4}, 2000)
+	e := sim.New(sim.DefaultConfig(1), set, s)
+	th := s.Dispatch(0)
+	if th == nil {
+		t.Fatal("no dispatch")
+	}
+	coreState := e.Core(0)
+	coreState.Cur = th
+	coreState.QInstrs = minProgressInstrs + 1
+	ph, _ := s.Phase(0)
+	if !s.OnWouldEvict(0, ph) {
+		t.Fatal("should yield on current-phase victim with progress")
+	}
+	if s.OnWouldEvict(0, ph+1) {
+		t.Fatal("must not yield on old-phase victim")
+	}
+	coreState.QInstrs = 0
+	if s.OnWouldEvict(0, ph) {
+		t.Fatal("must not yield before minimum progress")
+	}
+}

@@ -1,0 +1,452 @@
+// Package sim is the chip-multiprocessor simulator that replays workload
+// traces (the Zesto substitute; see DESIGN.md for the substitution
+// argument). Each core executes its current thread's trace entries at
+// one instruction per cycle, charging additional latency for L1 misses
+// serviced by the shared NUCA L2 / memory, coherence invalidations,
+// context switches and migrations. A pluggable Scheduler decides which
+// transaction runs where and reacts to cache events — Baseline, STREX,
+// SLICC and the hybrid all plug in here.
+//
+// The simulator is single-goroutine and fully deterministic.
+package sim
+
+import (
+	"fmt"
+
+	"strex/internal/cache"
+	"strex/internal/codegen"
+	"strex/internal/memsys"
+	"strex/internal/prefetch"
+	"strex/internal/trace"
+	"strex/internal/workload"
+)
+
+// Config describes a simulated system (paper Table 2 defaults).
+type Config struct {
+	Cores      int
+	L1IKB      int
+	L1DKB      int
+	L1Ways     int
+	IPolicy    cache.PolicyKind // L1-I replacement policy (Figure 9)
+	Prefetcher prefetch.Kind
+	Mem        memsys.Config
+	PoolWindow int // transactions visible to schedulers at once (paper: 30)
+	Seed       uint64
+}
+
+// DefaultConfig returns the paper's system for n cores.
+func DefaultConfig(n int) Config {
+	return Config{
+		Cores:      n,
+		L1IKB:      32,
+		L1DKB:      32,
+		L1Ways:     8,
+		IPolicy:    cache.LRU,
+		Prefetcher: prefetch.None,
+		Mem:        memsys.DefaultConfig(n),
+		PoolWindow: 30,
+		Seed:       1,
+	}
+}
+
+// Thread is a transaction in flight: its trace cursor is the entire
+// architectural state a context switch or migration must preserve.
+type Thread struct {
+	Txn     *workload.Txn
+	Cursor  trace.Cursor
+	ReadyAt uint64 // earliest cycle the thread may run (set by switches)
+
+	EnqueueCycle uint64
+	StartCycle   uint64
+	FinishCycle  uint64
+	started      bool
+
+	Instrs uint64 // instructions retired so far
+
+	// Scratch is scheduler-private per-thread state (SLICC keeps its
+	// missed-tag queue here).
+	Scratch interface{}
+}
+
+// Latency returns queue-entry-to-completion cycles (Figure 7's metric).
+func (t *Thread) Latency() uint64 { return t.FinishCycle - t.EnqueueCycle }
+
+// Core is one processor: private L1s plus its clock.
+type Core struct {
+	ID    int
+	L1I   *cache.Cache
+	L1D   *cache.Cache
+	Clock uint64
+	Cur   *Thread
+
+	// QInstrs counts instructions retired by the current thread since it
+	// was last installed (a scheduling quantum). STREX's minimum-progress
+	// rule (Section 4.4.1/4.4.2) consults it.
+	QInstrs uint64
+
+	Switches   uint64 // context switches performed on this core
+	Migrations uint64 // threads migrated away from this core
+}
+
+// Event describes the outcome of one executed trace entry; schedulers
+// receive it after every entry.
+type Event struct {
+	Entry       trace.Entry
+	IMiss       bool
+	DMiss       bool
+	IEvicted    bool
+	VictimBlock uint32
+	VictimPhase uint8
+}
+
+// Action is the scheduler's reaction to an Event.
+type Action int
+
+const (
+	// Continue keeps the current thread running.
+	Continue Action = iota
+	// Yield context-switches the current thread out (cost: SwitchCost);
+	// the scheduler receives it back via OnYield.
+	Yield
+	// Migrate moves the current thread to another core (cost:
+	// MigrateCost); the scheduler receives it via OnMigrate.
+	Migrate
+)
+
+// Scheduler decides placement and reacts to execution events. Exactly
+// one scheduler drives an Engine.
+type Scheduler interface {
+	Name() string
+	// Bind attaches the scheduler to the engine before the run.
+	Bind(e *Engine)
+	// Dispatch returns the next thread for an idle core, or nil.
+	Dispatch(core int) *Thread
+	// Phase returns the phaseID to tag instruction blocks with, and
+	// whether tagging is enabled on this core (STREX only).
+	Phase(core int) (uint8, bool)
+	// OnWouldEvict is consulted before an instruction fill that would
+	// displace a resident block, but only on cores where Phase reports
+	// tagging. Returning true context-switches the running thread
+	// *without performing the fill* — the paper's rule that a
+	// transaction executes "as long as it does not evict cache blocks
+	// tagged with the current phaseID". The suppressed fetch re-executes
+	// when the thread resumes.
+	OnWouldEvict(core int, victimPhase uint8) bool
+	// OnEvent is invoked after every executed entry; the returned
+	// Action directs the engine. target is only meaningful for Migrate.
+	OnEvent(core int, ev Event) (act Action, target int)
+	// OnYield receives a context-switched thread.
+	OnYield(core int, t *Thread)
+	// OnMigrate receives a migrating thread at its destination.
+	OnMigrate(from, to int, t *Thread)
+	// OnComplete is told when a thread finishes.
+	OnComplete(core int, t *Thread)
+}
+
+// Stats aggregates a run's results.
+type Stats struct {
+	Cycles uint64 // makespan: max core clock at completion
+	// BusyCycles sums, across cores, the cycles spent executing
+	// (instruction retirement, miss stalls, switch and migration costs).
+	// Idle waiting is excluded, so BusyCycles/Cores is the steady-state
+	// makespan a continuous transaction supply would achieve — the
+	// paper's throughput conditions, free of finite-batch drain tails.
+	BusyCycles    uint64
+	Instrs        uint64
+	IMisses       uint64
+	IAccesses     uint64
+	DMisses       uint64
+	DAccesses     uint64
+	Switches      uint64
+	Migrations    uint64
+	L2Misses      uint64
+	Invalidations uint64
+}
+
+// IMPKI returns L1-I misses per kilo-instruction.
+func (s Stats) IMPKI() float64 {
+	if s.Instrs == 0 {
+		return 0
+	}
+	return float64(s.IMisses) / float64(s.Instrs) * 1000
+}
+
+// DMPKI returns L1-D misses per kilo-instruction.
+func (s Stats) DMPKI() float64 {
+	if s.Instrs == 0 {
+		return 0
+	}
+	return float64(s.DMisses) / float64(s.Instrs) * 1000
+}
+
+// Throughput returns transactions per mega-cycle of makespan.
+func (s Stats) Throughput(txns int) float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(txns) / (float64(s.Cycles) / 1e6)
+}
+
+// SteadyThroughput returns transactions per mega-cycle of *busy* time
+// per core — the throughput a continuous arrival stream would sustain.
+// The experiment drivers use this for the paper's Figures 6 and 8.
+func (s Stats) SteadyThroughput(txns, cores int) float64 {
+	if s.BusyCycles == 0 || cores == 0 {
+		return 0
+	}
+	perCore := float64(s.BusyCycles) / float64(cores)
+	return float64(txns) / (perCore / 1e6)
+}
+
+// Result is the outcome of Engine.Run.
+type Result struct {
+	Stats   Stats
+	Threads []*Thread // in workload order, all finished
+}
+
+// Engine wires cores, memory, prefetcher and scheduler together and
+// replays a workload set to completion.
+type Engine struct {
+	cfg   Config
+	cores []*Core
+	mem   *memsys.Hierarchy
+	pf    prefetch.Prefetcher
+	sched Scheduler
+
+	threads    []*Thread
+	pending    []*Thread // not yet dispatched, arrival order
+	live       int       // threads not yet finished
+	busyCycles uint64
+}
+
+// New builds an engine for the given workload set and scheduler.
+func New(cfg Config, set *workload.Set, sched Scheduler) *Engine {
+	if cfg.Cores <= 0 {
+		panic("sim: need at least one core")
+	}
+	if cfg.PoolWindow <= 0 {
+		cfg.PoolWindow = 30
+	}
+	cfg.Mem.Cores = cfg.Cores
+	e := &Engine{
+		cfg:   cfg,
+		mem:   memsys.New(cfg.Mem),
+		pf:    prefetch.New(cfg.Prefetcher, codegen.DataBase),
+		sched: sched,
+	}
+	for c := 0; c < cfg.Cores; c++ {
+		core := &Core{
+			ID: c,
+			L1I: cache.New(cache.Config{
+				SizeBytes: cfg.L1IKB << 10, BlockBytes: 64, Ways: cfg.L1Ways,
+				Policy: cfg.IPolicy, Seed: cfg.Seed ^ uint64(c)<<8,
+			}),
+			L1D: cache.New(cache.Config{
+				SizeBytes: cfg.L1DKB << 10, BlockBytes: 64, Ways: cfg.L1Ways,
+				Policy: cache.LRU, Seed: cfg.Seed ^ uint64(c)<<16 ^ 0xD,
+			}),
+		}
+		e.mem.AttachL1D(c, core.L1D)
+		e.cores = append(e.cores, core)
+	}
+	for _, tx := range set.Txns {
+		t := &Thread{Txn: tx, Cursor: trace.NewCursor(tx.Trace)}
+		e.threads = append(e.threads, t)
+		e.pending = append(e.pending, t)
+	}
+	e.live = len(e.threads)
+	sched.Bind(e)
+	return e
+}
+
+// Cores returns the core count.
+func (e *Engine) Cores() int { return e.cfg.Cores }
+
+// Core returns core c (schedulers inspect caches through this).
+func (e *Engine) Core(c int) *Core { return e.cores[c] }
+
+// Config returns the engine configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// Lat returns the timing parameters.
+func (e *Engine) Lat() memsys.Latencies { return e.mem.Lat() }
+
+// Pending returns the scheduler-visible window of undispatched threads
+// (up to PoolWindow, arrival order).
+func (e *Engine) Pending() []*Thread {
+	n := len(e.pending)
+	if n > e.cfg.PoolWindow {
+		n = e.cfg.PoolWindow
+	}
+	return e.pending[:n]
+}
+
+// TakePending removes t from the pending queue (schedulers call this
+// when they claim a thread for a team or a core).
+func (e *Engine) TakePending(t *Thread) {
+	for i, p := range e.pending {
+		if p == t {
+			e.pending = append(e.pending[:i], e.pending[i+1:]...)
+			return
+		}
+	}
+	panic("sim: TakePending on a thread not pending")
+}
+
+// Run executes the workload to completion and returns the result.
+func (e *Engine) Run() Result {
+	for e.live > 0 {
+		// Offer work to idle cores.
+		for _, c := range e.cores {
+			if c.Cur == nil {
+				if t := e.sched.Dispatch(c.ID); t != nil {
+					e.install(c, t)
+				}
+			}
+		}
+		// Execute one entry on the lagging busy core (min clock), which
+		// approximates concurrent execution across cores.
+		var busy *Core
+		for _, c := range e.cores {
+			if c.Cur != nil && (busy == nil || c.Clock < busy.Clock) {
+				busy = c
+			}
+		}
+		if busy == nil {
+			panic("sim: live threads but no runnable core (scheduler dropped a thread)")
+		}
+		before := busy.Clock
+		e.step(busy)
+		e.busyCycles += busy.Clock - before
+	}
+	return e.collect()
+}
+
+func (e *Engine) install(c *Core, t *Thread) {
+	if t.ReadyAt > c.Clock {
+		c.Clock = t.ReadyAt
+	}
+	if !t.started {
+		t.started = true
+		t.StartCycle = c.Clock
+	}
+	c.Cur = t
+	c.QInstrs = 0
+}
+
+// step executes one trace entry on core c.
+func (e *Engine) step(c *Core) {
+	t := c.Cur
+	entry := t.Cursor.Peek()
+	var ev Event
+	ev.Entry = entry
+
+	ph, tagged := e.sched.Phase(c.ID)
+
+	// STREX's switch-before-evict: if filling this instruction block
+	// would displace a block the scheduler still wants resident, context
+	// switch without consuming the entry — the fetch replays on resume.
+	if tagged && entry.Kind == trace.KInstr {
+		if victimPhase, would := c.L1I.WouldEvict(entry.Block); would {
+			if e.sched.OnWouldEvict(c.ID, victimPhase) {
+				c.Clock += uint64(e.mem.Lat().SwitchCost)
+				c.Switches++
+				t.ReadyAt = c.Clock
+				c.Cur = nil
+				e.sched.OnYield(c.ID, t)
+				return
+			}
+		}
+	}
+
+	t.Cursor.Next()
+	switch entry.Kind {
+	case trace.KInstr:
+		c.Clock += uint64(entry.N) // 1 IPC
+		t.Instrs += uint64(entry.N)
+		c.QInstrs += uint64(entry.N)
+		var r cache.AccessResult
+		if tagged {
+			r = c.L1I.Touch(entry.Block, ph)
+		} else {
+			r = c.L1I.Access(entry.Block, false)
+		}
+		if !r.Hit {
+			ev.IMiss = true
+			lat := e.mem.FetchI(c.ID, entry.Block)
+			if !e.pf.HidesMisses() {
+				c.Clock += uint64(lat)
+			}
+		} else if r.PrefetchHit {
+			// A late next-line prefetch hides most but not all latency.
+			c.Clock += uint64(e.mem.Lat().L2Hit / 2)
+		}
+		ev.IEvicted = r.Evicted
+		ev.VictimBlock = r.VictimBlock
+		ev.VictimPhase = r.VictimPhase
+		e.pf.OnIFetch(c.L1I, entry.Block, r.Hit)
+
+	case trace.KLoad, trace.KStore:
+		write := entry.Kind == trace.KStore
+		c.Clock++ // address generation / pipeline slot
+		r := c.L1D.Access(entry.Block, write)
+		if !r.Hit {
+			ev.DMiss = true
+			c.Clock += uint64(e.mem.FetchD(c.ID, entry.Block, write))
+		} else if write {
+			c.Clock += uint64(e.mem.WriteHit(c.ID, entry.Block))
+		} else {
+			e.mem.ReadHit(c.ID, entry.Block)
+		}
+	}
+
+	if t.Cursor.Done() {
+		t.FinishCycle = c.Clock
+		c.Cur = nil
+		e.live--
+		e.sched.OnComplete(c.ID, t)
+		return
+	}
+
+	act, target := e.sched.OnEvent(c.ID, ev)
+	switch act {
+	case Continue:
+	case Yield:
+		c.Clock += uint64(e.mem.Lat().SwitchCost)
+		c.Switches++
+		t.ReadyAt = c.Clock
+		c.Cur = nil
+		e.sched.OnYield(c.ID, t)
+	case Migrate:
+		if target == c.ID || target < 0 || target >= len(e.cores) {
+			panic(fmt.Sprintf("sim: bad migration target %d", target))
+		}
+		c.Clock += uint64(e.mem.Lat().MigrateCost) / 2 // send half
+		c.Migrations++
+		t.ReadyAt = c.Clock + uint64(e.mem.Lat().MigrateCost)/2 // receive half
+		c.Cur = nil
+		e.sched.OnMigrate(c.ID, target, t)
+	}
+}
+
+func (e *Engine) collect() Result {
+	var s Stats
+	for _, c := range e.cores {
+		if c.Clock > s.Cycles {
+			s.Cycles = c.Clock
+		}
+		s.IMisses += c.L1I.Stats.Misses
+		s.IAccesses += c.L1I.Stats.Accesses
+		s.DMisses += c.L1D.Stats.Misses
+		s.DAccesses += c.L1D.Stats.Accesses
+		s.Switches += c.Switches
+		s.Migrations += c.Migrations
+	}
+	for _, t := range e.threads {
+		s.Instrs += t.Instrs
+	}
+	s.L2Misses = e.mem.Stats.L2Misses
+	s.Invalidations = e.mem.Stats.Invalidations
+	s.BusyCycles = e.busyCycles
+	return Result{Stats: s, Threads: e.threads}
+}

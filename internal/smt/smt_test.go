@@ -1,0 +1,86 @@
+package smt
+
+import (
+	"testing"
+
+	"strex/internal/tpcc"
+)
+
+func TestArrivalSMTGivesNoInstructionBenefit(t *testing.T) {
+	// On real hardware 2-way SMT inflates I-misses ~15% (paper §4.4.4).
+	// Our block-granular traces replay a baseline that already misses on
+	// nearly every block visit, so inflation cannot manifest — see the
+	// package comment. What must hold is that conventional arrival
+	// co-scheduling provides no material improvement either: the
+	// interleaved footprints do not cooperate.
+	w := tpcc.New(tpcc.Config{Warehouses: 1, Seed: 42})
+	set := w.Generate(24)
+	single, arrival, _ := Compare(DefaultConfig(2), set)
+	if arrival.IMPKI < single.IMPKI*0.9 {
+		t.Fatalf("arrival SMT I-MPKI %.2f way below single-thread %.2f: unexpected cooperation",
+			arrival.IMPKI, single.IMPKI)
+	}
+}
+
+func TestStratifiedRecoversLocality(t *testing.T) {
+	w := tpcc.New(tpcc.Config{Warehouses: 1, Seed: 42})
+	set := w.Generate(24)
+	_, arrival, strat := Compare(DefaultConfig(2), set)
+	// Section 4.4.4's conjecture: synchronizing same-type transactions
+	// under SMT improves locality relative to arrival co-scheduling.
+	if strat.IMPKI >= arrival.IMPKI {
+		t.Fatalf("stratified SMT I-MPKI %.2f not below arrival %.2f", strat.IMPKI, arrival.IMPKI)
+	}
+}
+
+func TestSingleThreadMatchesWays1(t *testing.T) {
+	w := tpcc.New(tpcc.Config{Warehouses: 1, Seed: 42})
+	set := w.Generate(8)
+	a := Run(DefaultConfig(1), set, Arrival)
+	b := Run(DefaultConfig(1), set, Stratified)
+	// With one context the policies only reorder the (identical) single
+	// stream selection; the first pick differs only under Stratified if
+	// headers repeat, so miss totals stay equal for a same-order prefix.
+	if a.Instrs != b.Instrs {
+		t.Fatalf("instruction counts differ: %d vs %d", a.Instrs, b.Instrs)
+	}
+}
+
+func TestAllWorkConsumed(t *testing.T) {
+	w := tpcc.New(tpcc.Config{Warehouses: 1, Seed: 42})
+	set := w.Generate(10)
+	var want uint64
+	for _, tx := range set.Txns {
+		want += tx.Trace.Instrs
+	}
+	got := Run(DefaultConfig(2), set, Stratified).Instrs
+	if got != want {
+		t.Fatalf("instrs = %d, want %d (transactions lost or duplicated)", got, want)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	w := tpcc.New(tpcc.Config{Warehouses: 1, Seed: 42})
+	set := w.Generate(12)
+	a := Run(DefaultConfig(2), set, Stratified)
+	b := Run(DefaultConfig(2), set, Stratified)
+	if a != b {
+		t.Fatalf("nondeterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if Arrival.String() != "SMT-arrival" || Stratified.String() != "SMT-stratified" {
+		t.Fatal("labels wrong")
+	}
+}
+
+func TestBadWaysPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	w := tpcc.New(tpcc.Config{Warehouses: 1, Seed: 42})
+	Run(Config{Ways: 0, L1IKB: 32, L1DKB: 32, L1Ways: 8}, w.Generate(1), Arrival)
+}

@@ -1,0 +1,153 @@
+package tpce
+
+import (
+	"testing"
+
+	"strex/internal/codegen"
+)
+
+func TestGenerateValidSet(t *testing.T) {
+	w := New(Config{Seed: 3})
+	set := w.Generate(50)
+	if err := set.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllTypesGenerable(t *testing.T) {
+	w := New(Config{Seed: 3})
+	for typ := 0; typ < NumTypes(); typ++ {
+		set := w.GenerateTyped(typ, 3)
+		if err := set.Validate(); err != nil {
+			t.Fatalf("type %s: %v", typeNames[typ], err)
+		}
+		for _, tx := range set.Txns {
+			if tx.Trace.Instrs == 0 {
+				t.Fatalf("type %s emitted empty trace", typeNames[typ])
+			}
+		}
+	}
+}
+
+func TestMixCoversAllTypes(t *testing.T) {
+	w := New(Config{Seed: 3})
+	set := w.Generate(2000)
+	counts := set.TypeCounts()
+	for typ, c := range counts {
+		if c == 0 {
+			t.Fatalf("type %s never generated", typeNames[typ])
+		}
+	}
+	// Trade Status and Market dominate, Trade Update is rare.
+	if counts[TTradeStatus] < counts[TTradeUpdate] {
+		t.Fatal("Tr_Stat should outnumber Tr_Upd")
+	}
+}
+
+func TestDeterministicGeneration(t *testing.T) {
+	a := New(Config{Seed: 11}).Generate(20)
+	b := New(Config{Seed: 11}).Generate(20)
+	for i := range a.Txns {
+		if a.Txns[i].Type != b.Txns[i].Type || a.Txns[i].Trace.Instrs != b.Txns[i].Trace.Instrs {
+			t.Fatalf("txn %d differs across identical seeds", i)
+		}
+	}
+}
+
+func footprintUnits(w *Workload, typ, n int) float64 {
+	set := w.GenerateTyped(typ, n)
+	total := 0
+	for _, tx := range set.Txns {
+		total += tx.Trace.UniqueIBlocks()
+	}
+	return float64(total) / float64(n) / float64(codegen.L1IUnitBlocks)
+}
+
+func TestFootprintsMatchTable3(t *testing.T) {
+	// Paper Table 3: Broker 7, Customer 9, Market 9, Security 5,
+	// Tr_Stat 9, Tr_Upd 8, Tr_Look 8 (±2.5 units tolerance).
+	w := New(Config{Seed: 5})
+	want := map[int]float64{
+		TBroker:      7,
+		TCustomer:    9,
+		TMarket:      9,
+		TSecurity:    5,
+		TTradeStatus: 9,
+		TTradeUpdate: 8,
+		TTradeLookup: 8,
+	}
+	for typ, target := range want {
+		got := footprintUnits(w, typ, 6)
+		if got < target-2.5 || got > target+2.5 {
+			t.Errorf("%s footprint = %.1f units, want %v±2.5", typeNames[typ], got, target)
+		}
+	}
+}
+
+func TestFootprintsSmallerThanTPCC(t *testing.T) {
+	// The TPC-E types are lighter than TPC-C's (7.9 vs 12.4 average in
+	// Table 3) — that ordering drives the hybrid's switch points.
+	w := New(Config{Seed: 5})
+	var sum float64
+	for typ := 0; typ < NumTypes(); typ++ {
+		sum += footprintUnits(w, typ, 4)
+	}
+	avg := sum / float64(NumTypes())
+	if avg > 10.5 {
+		t.Fatalf("TPC-E average footprint %.1f units: should be well below TPC-C's ~12.4", avg)
+	}
+	if avg < 4 {
+		t.Fatalf("TPC-E average footprint %.1f units: too small to thrash an L1-I", avg)
+	}
+}
+
+func TestSecurityIsLightest(t *testing.T) {
+	w := New(Config{Seed: 5})
+	sec := footprintUnits(w, TSecurity, 4)
+	for _, typ := range []int{TCustomer, TMarket, TTradeStatus} {
+		if footprintUnits(w, typ, 4) <= sec {
+			t.Fatalf("%s should be heavier than Security", typeNames[typ])
+		}
+	}
+}
+
+func TestHeadersDistinct(t *testing.T) {
+	w := New(Config{Seed: 5})
+	seen := map[uint32]bool{}
+	for typ := 0; typ < NumTypes(); typ++ {
+		set := w.GenerateTyped(typ, 1)
+		h := set.Txns[0].Header
+		if seen[h] {
+			t.Fatalf("type %s header collides", typeNames[typ])
+		}
+		seen[h] = true
+	}
+}
+
+func TestMarketFeedWrites(t *testing.T) {
+	w := New(Config{Seed: 5})
+	set := w.GenerateTyped(TMarket, 2)
+	for _, tx := range set.Txns {
+		if tx.Trace.Stores == 0 {
+			t.Fatal("market feed must write last-trade prices")
+		}
+	}
+}
+
+func TestTradeLookupReadOnlyish(t *testing.T) {
+	// Trade lookup writes only locks/log; it must store far less than
+	// trade update does.
+	w := New(Config{Seed: 5})
+	look := w.GenerateTyped(TTradeLookup, 3)
+	upd := w.GenerateTyped(TTradeUpdate, 3)
+	var lookStores, updStores uint64
+	for _, tx := range look.Txns {
+		lookStores += tx.Trace.Stores
+	}
+	for _, tx := range upd.Txns {
+		updStores += tx.Trace.Stores
+	}
+	if lookStores >= updStores {
+		t.Fatalf("lookup stores %d >= update stores %d", lookStores, updStores)
+	}
+}

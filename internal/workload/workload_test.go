@@ -1,0 +1,85 @@
+package workload
+
+import (
+	"testing"
+
+	"strex/internal/codegen"
+	"strex/internal/trace"
+)
+
+func validTxn(id int) *Txn {
+	buf := &trace.Buffer{}
+	buf.AppendInstr(10, 5)
+	buf.AppendData(codegen.DataBase+1, true)
+	return &Txn{ID: id, Type: 0, Header: 10, Trace: buf}
+}
+
+func TestValidateAcceptsGoodSet(t *testing.T) {
+	set := &Set{Name: "ok", Types: []string{"A"}, Txns: []*Txn{validTxn(0), validTxn(1)}}
+	if err := set.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsEmptySet(t *testing.T) {
+	set := &Set{Name: "empty", Types: []string{"A"}}
+	if set.Validate() == nil {
+		t.Fatal("empty set accepted")
+	}
+}
+
+func TestValidateRejectsBadIDs(t *testing.T) {
+	set := &Set{Name: "ids", Types: []string{"A"}, Txns: []*Txn{validTxn(5)}}
+	if set.Validate() == nil {
+		t.Fatal("wrong ID accepted")
+	}
+}
+
+func TestValidateRejectsUnknownType(t *testing.T) {
+	tx := validTxn(0)
+	tx.Type = 3
+	set := &Set{Name: "types", Types: []string{"A"}, Txns: []*Txn{tx}}
+	if set.Validate() == nil {
+		t.Fatal("unknown type accepted")
+	}
+}
+
+func TestValidateRejectsEmptyTrace(t *testing.T) {
+	tx := &Txn{ID: 0, Type: 0, Header: 1, Trace: &trace.Buffer{}}
+	set := &Set{Name: "trace", Types: []string{"A"}, Txns: []*Txn{tx}}
+	if set.Validate() == nil {
+		t.Fatal("empty trace accepted")
+	}
+}
+
+func TestValidateRejectsHeaderInDataSpace(t *testing.T) {
+	tx := validTxn(0)
+	tx.Header = codegen.DataBase + 5
+	set := &Set{Name: "hdr", Types: []string{"A"}, Txns: []*Txn{tx}}
+	if set.Validate() == nil {
+		t.Fatal("data-space header accepted")
+	}
+}
+
+func TestValidateRejectsWrongAddressSpace(t *testing.T) {
+	buf := &trace.Buffer{}
+	buf.AppendInstr(codegen.DataBase+7, 5) // instruction entry in data space
+	tx := &Txn{ID: 0, Type: 0, Header: 1, Trace: buf}
+	set := &Set{Name: "space", Types: []string{"A"}, Txns: []*Txn{tx}}
+	if set.Validate() == nil {
+		t.Fatal("instruction entry in data space accepted")
+	}
+}
+
+func TestInstrsAndTypeCounts(t *testing.T) {
+	a, b := validTxn(0), validTxn(1)
+	b.Type = 0
+	set := &Set{Name: "sum", Types: []string{"A"}, Txns: []*Txn{a, b}}
+	if set.Instrs() != 10 {
+		t.Fatalf("instrs = %d", set.Instrs())
+	}
+	counts := set.TypeCounts()
+	if len(counts) != 1 || counts[0] != 2 {
+		t.Fatalf("counts = %v", counts)
+	}
+}

@@ -1,0 +1,109 @@
+// Package xrand provides a small, fast, deterministic pseudo-random
+// number generator used throughout the simulator. Determinism matters:
+// every experiment in the repository must be exactly reproducible from a
+// seed, so we avoid math/rand's global state and any wall-clock input.
+//
+// The generator is xorshift64* (Vigna 2014): tiny state, good enough
+// statistical quality for workload generation and bimodal policy dice.
+package xrand
+
+// RNG is a deterministic xorshift64* pseudo-random generator.
+// The zero value is not valid; use New.
+type RNG struct {
+	state uint64
+}
+
+// New returns a generator seeded with seed. A zero seed is remapped to a
+// fixed non-zero constant because xorshift has an all-zero fixed point.
+func New(seed uint64) *RNG {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	r := &RNG{state: seed}
+	// Warm up so that close seeds diverge quickly.
+	for i := 0; i < 4; i++ {
+		r.Uint64()
+	}
+	return r
+}
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (r *RNG) Uint64() uint64 {
+	x := r.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.state = x
+	return x * 0x2545F4914F6CDD1D
+}
+
+// Uint32 returns the next 32 pseudo-random bits.
+func (r *RNG) Uint32() uint32 { return uint32(r.Uint64() >> 32) }
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("xrand: Intn called with n <= 0")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// IntRange returns a uniform integer in [lo, hi] inclusive.
+// It panics if hi < lo.
+func (r *RNG) IntRange(lo, hi int) int {
+	if hi < lo {
+		panic("xrand: IntRange called with hi < lo")
+	}
+	return lo + r.Intn(hi-lo+1)
+}
+
+// Float64 returns a uniform float in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / float64(1<<53)
+}
+
+// Bool returns true with probability p.
+func (r *RNG) Bool(p float64) bool { return r.Float64() < p }
+
+// OneIn returns true with probability 1/n. Used for the bimodal dice in
+// the BIP and BRRIP replacement policies (epsilon = 1/32 in the paper's
+// references).
+func (r *RNG) OneIn(n int) bool { return r.Intn(n) == 0 }
+
+// Perm returns a pseudo-random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// NURand implements the TPC-C non-uniform random function
+// NURand(A, x, y) = (((random(0,A) | random(x,y)) + C) % (y-x+1)) + x.
+// C is fixed per generator for determinism.
+func (r *RNG) NURand(a, x, y int) int {
+	c := 123 % (a + 1)
+	return ((r.Intn(a+1)|r.IntRange(x, y))+c)%(y-x+1) + x
+}
+
+// Split returns a new generator whose stream is decorrelated from r.
+// Useful for giving each transaction its own stream while keeping the
+// parent deterministic.
+func (r *RNG) Split() *RNG {
+	return New(r.Uint64() ^ 0xA5A5A5A55A5A5A5A)
+}
+
+// Hash64 mixes x into a well-distributed 64-bit value (splitmix64
+// finalizer). It is a pure function: used for data-dependent code-path
+// selection so that the same key always diverges the same way.
+func Hash64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}

@@ -1,0 +1,268 @@
+package strex
+
+import (
+	"fmt"
+
+	"strex/internal/cache"
+	"strex/internal/core"
+	"strex/internal/mapreduce"
+	"strex/internal/prefetch"
+	"strex/internal/sched"
+	"strex/internal/sim"
+	"strex/internal/tpcc"
+	"strex/internal/tpce"
+	"strex/internal/workload"
+)
+
+// SchedulerKind selects a transaction scheduler.
+type SchedulerKind int
+
+const (
+	// SchedBaseline is conventional execution: a transaction runs to
+	// completion on whichever core picked it up.
+	SchedBaseline SchedulerKind = iota
+	// SchedSTREX is the paper's stratified execution.
+	SchedSTREX
+	// SchedSLICC is the migration-based prior technique.
+	SchedSLICC
+	// SchedHybrid profiles footprints and picks STREX or SLICC.
+	SchedHybrid
+)
+
+// String returns the scheduler's paper label.
+func (k SchedulerKind) String() string {
+	switch k {
+	case SchedBaseline:
+		return "Base"
+	case SchedSTREX:
+		return "STREX"
+	case SchedSLICC:
+		return "SLICC"
+	case SchedHybrid:
+		return "STREX+SLICC"
+	}
+	return fmt.Sprintf("SchedulerKind(%d)", int(k))
+}
+
+// Config describes the simulated system. Zero values fall back to the
+// paper's Table 2 configuration via DefaultConfig.
+type Config struct {
+	Cores      int
+	L1IKB      int    // L1 instruction cache capacity (default 32)
+	L1DKB      int    // L1 data cache capacity (default 32)
+	L1Ways     int    // associativity (default 8)
+	Policy     string // L1-I replacement policy: LRU, LIP, BIP, SRRIP, BRRIP
+	Prefetcher string // "", "next-line" or "pif" (PIF upper bound)
+	TeamSize   int    // STREX team size (default 10)
+	PoolWindow int    // scheduler-visible pending transactions (default 30)
+	Seed       uint64
+}
+
+// DefaultConfig returns the paper's system for n cores.
+func DefaultConfig(n int) Config {
+	return Config{Cores: n, L1IKB: 32, L1DKB: 32, L1Ways: 8, Policy: "LRU", TeamSize: 10, PoolWindow: 30, Seed: 1}
+}
+
+func (c Config) build() (sim.Config, error) {
+	if c.Cores <= 0 {
+		return sim.Config{}, fmt.Errorf("strex: Cores must be positive, got %d", c.Cores)
+	}
+	cfg := sim.DefaultConfig(c.Cores)
+	if c.L1IKB > 0 {
+		cfg.L1IKB = c.L1IKB
+	}
+	if c.L1DKB > 0 {
+		cfg.L1DKB = c.L1DKB
+	}
+	if c.L1Ways > 0 {
+		cfg.L1Ways = c.L1Ways
+	}
+	if c.PoolWindow > 0 {
+		cfg.PoolWindow = c.PoolWindow
+	}
+	if c.Seed != 0 {
+		cfg.Seed = c.Seed
+	}
+	if c.Policy != "" {
+		pol, err := cache.ParsePolicy(c.Policy)
+		if err != nil {
+			return sim.Config{}, err
+		}
+		cfg.IPolicy = pol
+	}
+	switch c.Prefetcher {
+	case "":
+		cfg.Prefetcher = prefetch.None
+	case "next-line":
+		cfg.Prefetcher = prefetch.NextLine
+	case "pif":
+		cfg.Prefetcher = prefetch.PIF
+	default:
+		return sim.Config{}, fmt.Errorf("strex: unknown prefetcher %q", c.Prefetcher)
+	}
+	return cfg, nil
+}
+
+// Workload is a generated, replayable transaction set.
+type Workload struct {
+	set *workload.Set
+}
+
+// Name returns the workload label (e.g. "TPC-C-10").
+func (w *Workload) Name() string { return w.set.Name }
+
+// Txns returns the number of transactions.
+func (w *Workload) Txns() int { return len(w.set.Txns) }
+
+// Instrs returns the total instruction count.
+func (w *Workload) Instrs() uint64 { return w.set.Instrs() }
+
+// Types returns the transaction type names.
+func (w *Workload) Types() []string { return append([]string(nil), w.set.Types...) }
+
+// FootprintUnits returns the average per-type instruction footprint in
+// 32KB L1-I units (the paper's Table 3 metric), as the hybrid's FPTable
+// profiling would measure it.
+func (w *Workload) FootprintUnits() float64 {
+	return core.MeasureFPTable(w.set, 4).AverageUnits()
+}
+
+// TPCCConfig parameterizes a TPC-C workload.
+type TPCCConfig struct {
+	Warehouses int // 1 and 10 reproduce the paper's TPC-C-1 / TPC-C-10
+	Txns       int
+	Seed       uint64
+}
+
+// TPCC builds a TPC-C workload.
+func TPCC(cfg TPCCConfig) (*Workload, error) {
+	if cfg.Warehouses <= 0 || cfg.Txns <= 0 {
+		return nil, fmt.Errorf("strex: TPCC needs positive Warehouses and Txns, got %+v", cfg)
+	}
+	w := tpcc.New(tpcc.Config{Warehouses: cfg.Warehouses, Seed: cfg.Seed})
+	set := w.Generate(cfg.Txns)
+	if err := set.Validate(); err != nil {
+		return nil, err
+	}
+	return &Workload{set: set}, nil
+}
+
+// TPCEConfig parameterizes a TPC-E workload.
+type TPCEConfig struct {
+	Txns int
+	Seed uint64
+}
+
+// TPCE builds a TPC-E workload.
+func TPCE(cfg TPCEConfig) (*Workload, error) {
+	if cfg.Txns <= 0 {
+		return nil, fmt.Errorf("strex: TPCE needs positive Txns")
+	}
+	w := tpce.New(tpce.Config{Seed: cfg.Seed})
+	set := w.Generate(cfg.Txns)
+	if err := set.Validate(); err != nil {
+		return nil, err
+	}
+	return &Workload{set: set}, nil
+}
+
+// MapReduceConfig parameterizes the MapReduce control workload.
+type MapReduceConfig struct {
+	Tasks int
+	Seed  uint64
+}
+
+// MapReduce builds the small-instruction-footprint control workload.
+func MapReduce(cfg MapReduceConfig) (*Workload, error) {
+	if cfg.Tasks <= 0 {
+		return nil, fmt.Errorf("strex: MapReduce needs positive Tasks")
+	}
+	w := mapreduce.New(mapreduce.Config{Seed: cfg.Seed})
+	set := w.Generate(cfg.Tasks)
+	if err := set.Validate(); err != nil {
+		return nil, err
+	}
+	return &Workload{set: set}, nil
+}
+
+// Result summarizes one simulation run.
+type Result struct {
+	Scheduler  string
+	Cycles     uint64 // makespan
+	BusyCycles uint64 // execution cycles summed over cores
+	Instrs     uint64
+	IMPKI      float64
+	DMPKI      float64
+	Switches   uint64
+	Migrations uint64
+
+	// ThroughputTPM is transactions per mega-cycle of per-core busy time
+	// (the steady-state measure used in the paper's Figure 6).
+	ThroughputTPM float64
+	// MeanLatency is the average queue-to-completion latency in cycles.
+	MeanLatency float64
+	// Latencies holds per-transaction latencies in cycles, in workload
+	// order, for distribution analysis (Figure 7).
+	Latencies []uint64
+}
+
+// Run executes the workload under the chosen scheduler and returns the
+// aggregated result. The workload is replayed from the start each call,
+// so comparing schedulers on the same *Workload is exact.
+func Run(cfg Config, w *Workload, kind SchedulerKind) (Result, error) {
+	simCfg, err := cfg.build()
+	if err != nil {
+		return Result{}, err
+	}
+	var s sim.Scheduler
+	switch kind {
+	case SchedBaseline:
+		s = sched.NewBaseline()
+	case SchedSTREX:
+		ts := cfg.TeamSize
+		if ts <= 0 {
+			ts = 10
+		}
+		win := cfg.PoolWindow
+		if win <= 0 {
+			win = 30
+		}
+		s = sched.NewStrexSized(core.FormationConfig{Window: win, TeamSize: ts})
+	case SchedSLICC:
+		s = sched.NewSlicc()
+	case SchedHybrid:
+		s = sched.NewHybrid(w.set, simCfg.Cores, 3)
+	default:
+		return Result{}, fmt.Errorf("strex: unknown scheduler %v", kind)
+	}
+	res := sim.New(simCfg, w.set, s).Run()
+	out := Result{
+		Scheduler:     s.Name(),
+		Cycles:        res.Stats.Cycles,
+		BusyCycles:    res.Stats.BusyCycles,
+		Instrs:        res.Stats.Instrs,
+		IMPKI:         res.Stats.IMPKI(),
+		DMPKI:         res.Stats.DMPKI(),
+		Switches:      res.Stats.Switches,
+		Migrations:    res.Stats.Migrations,
+		ThroughputTPM: res.Stats.SteadyThroughput(len(w.set.Txns), simCfg.Cores),
+	}
+	var sum float64
+	for _, th := range res.Threads {
+		out.Latencies = append(out.Latencies, th.Latency())
+		sum += float64(th.Latency())
+	}
+	if len(out.Latencies) > 0 {
+		out.MeanLatency = sum / float64(len(out.Latencies))
+	}
+	return out, nil
+}
+
+// HardwareCostBytes returns STREX's per-core storage cost in bytes
+// (Table 4): 890.5 for STREX alone, 1166.5 with the hybrid's SLICC
+// cache-monitor unit.
+func HardwareCostBytes(includeHybrid bool) float64 {
+	h := core.DefaultHardwareCost()
+	h.IncludeHybrid = includeHybrid
+	return h.TotalBytes()
+}
