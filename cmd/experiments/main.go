@@ -4,10 +4,14 @@
 //
 // Usage:
 //
-//	experiments [-txns N] [-seed S] [-only fig6] [-csv]
+//	experiments [-txns N] [-seed S] [-parallel P] [-only fig6] [-csv]
 //
 // -txns scales the sample size per configuration (default 160
 // transactions; the paper replays 1.2B instructions, see DESIGN.md §6).
+// -parallel bounds how many simulator runs execute concurrently
+// (default: GOMAXPROCS). Results are identical at every setting — the
+// run executor preserves determinism and submission order — so -parallel
+// is purely a wall-clock knob.
 // -only runs a single experiment: table1, table2, table3, table4, fig2,
 // fig4, fig5, fig6, fig7, fig8 or fig9.
 package main
@@ -16,6 +20,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -23,14 +28,37 @@ import (
 	"strex/internal/metrics"
 )
 
+// stderrIsTerminal reports whether stderr is a character device (a
+// terminal that can render \r-overwrite progress lines).
+func stderrIsTerminal() bool {
+	fi, err := os.Stderr.Stat()
+	return err == nil && fi.Mode()&os.ModeCharDevice != 0
+}
+
 func main() {
 	txns := flag.Int("txns", 160, "transactions per configuration (scale knob)")
 	seed := flag.Uint64("seed", 42, "master seed")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "concurrent simulator runs (1 = serial)")
 	only := flag.String("only", "", "run a single experiment (e.g. fig6)")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
+	quiet := flag.Bool("quiet", false, "suppress the progress line on stderr")
 	flag.Parse()
 
-	suite := experiments.NewSuite(experiments.Options{Txns: *txns, Seed: *seed})
+	// Progress uses \r-overwrite escapes, so it is suppressed when stderr
+	// is not a terminal (redirected logs would fill with control bytes).
+	showProgress := !*quiet && stderrIsTerminal()
+	suite := experiments.NewSuite(experiments.Options{Txns: *txns, Seed: *seed, Parallel: *parallel})
+	if showProgress {
+		suite.Runner().OnProgress(func(done, submitted int, label string) {
+			fmt.Fprintf(os.Stderr, "\r\x1b[K  %d/%d runs  %s", done, submitted, label)
+		})
+	}
+	clearProgress := func() {
+		if showProgress {
+			fmt.Fprintf(os.Stderr, "\r\x1b[K")
+		}
+	}
+
 	drivers := map[string]func() *metrics.Table{
 		"table1": suite.Table1,
 		"table2": suite.Table2,
@@ -53,6 +81,7 @@ func main() {
 		}
 		start := time.Now()
 		tab := drv()
+		clearProgress()
 		if *csv {
 			fmt.Printf("# %s\n", tab.Title)
 			if err := tab.WriteCSV(os.Stdout); err != nil {
@@ -74,7 +103,8 @@ func main() {
 		}
 		return
 	}
-	fmt.Printf("STREX evaluation reproduction — %d txns/config, seed %d\n\n", *txns, *seed)
+	fmt.Printf("STREX evaluation reproduction — %d txns/config, seed %d, %d workers\n\n",
+		*txns, *seed, suite.Runner().Workers())
 	for _, name := range order {
 		if err := run(name); err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)

@@ -1,10 +1,16 @@
-// Command strexsim runs a single simulation configuration and prints the
-// resulting miss rates, throughput and latency summary.
+// Command strexsim runs one or more simulation configurations and prints
+// miss rates, throughput and latency summaries.
+//
+// -sched and -cores accept comma-separated lists; the cross product of
+// the two runs as a grid, fanned out over -parallel worker goroutines
+// (results are deterministic and ordered, so -parallel only changes
+// wall-clock). A single-cell grid prints the detailed summary; a larger
+// grid prints one comparison row per run.
 //
 // Usage:
 //
 //	strexsim -workload tpcc10 -cores 8 -sched strex -team 10
-//	strexsim -workload tpce -cores 16 -sched hybrid
+//	strexsim -workload tpce -cores 2,4,8,16 -sched base,strex,slicc -parallel 8
 //	strexsim -workload tpcc1 -sched base -prefetch next-line
 package main
 
@@ -12,47 +18,103 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
+	"strconv"
+	"strings"
 
 	"strex"
+	"strex/internal/runner"
 )
+
+// stderrIsTerminal reports whether stderr is a character device (a
+// terminal that can render \r-overwrite progress lines).
+func stderrIsTerminal() bool {
+	fi, err := os.Stderr.Stat()
+	return err == nil && fi.Mode()&os.ModeCharDevice != 0
+}
 
 func main() {
 	wl := flag.String("workload", "tpcc1", "workload: tpcc1, tpcc10, tpce, mapreduce")
-	cores := flag.Int("cores", 4, "number of cores")
-	schedName := flag.String("sched", "strex", "scheduler: base, strex, slicc, hybrid")
+	coresList := flag.String("cores", "4", "core counts, comma-separated (e.g. 4 or 2,4,8)")
+	schedList := flag.String("sched", "strex", "schedulers, comma-separated: base, strex, slicc, hybrid")
 	txns := flag.Int("txns", 120, "transactions to run")
 	team := flag.Int("team", 10, "STREX team size")
 	policy := flag.String("policy", "LRU", "L1-I replacement policy")
 	pf := flag.String("prefetch", "", "instruction prefetcher: empty, next-line, pif")
 	seed := flag.Uint64("seed", 1, "workload seed")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "concurrent runs for grids (1 = serial)")
+	quiet := flag.Bool("quiet", false, "suppress the progress line on stderr")
 	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "strexsim:", err)
+		os.Exit(1)
+	}
 
 	w, err := buildWorkload(*wl, *txns, *seed)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "strexsim:", err)
-		os.Exit(1)
+		fail(err)
 	}
-	kind, err := parseSched(*schedName)
+	cores, err := parseInts(*coresList)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "strexsim:", err)
-		os.Exit(1)
+		fail(err)
+	}
+	var kinds []strex.SchedulerKind
+	for _, name := range strings.Split(*schedList, ",") {
+		kind, err := parseSched(strings.TrimSpace(name))
+		if err != nil {
+			fail(err)
+		}
+		kinds = append(kinds, kind)
 	}
 
-	cfg := strex.DefaultConfig(*cores)
-	cfg.TeamSize = *team
-	cfg.Policy = *policy
-	cfg.Prefetcher = *pf
-	cfg.Seed = *seed
+	workers := runner.ResolveWorkers(*parallel)
 
-	res, err := strex.Run(cfg, w, kind)
+	var specs []strex.RunSpec
+	for _, c := range cores {
+		for _, kind := range kinds {
+			cfg := strex.DefaultConfig(c)
+			cfg.TeamSize = *team
+			cfg.Policy = *policy
+			cfg.Prefetcher = *pf
+			cfg.Seed = *seed
+			specs = append(specs, strex.RunSpec{Config: cfg, Sched: kind})
+		}
+	}
+
+	progress := func(done, total int) {
+		fmt.Fprintf(os.Stderr, "\r\x1b[K  %d/%d runs", done, total)
+	}
+	if len(specs) == 1 || *quiet || !stderrIsTerminal() {
+		progress = nil
+	}
+	results, err := strex.RunMany(w, specs, workers, progress)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "strexsim:", err)
-		os.Exit(1)
+		fail(err)
+	}
+	if progress != nil {
+		fmt.Fprintf(os.Stderr, "\r\x1b[K")
 	}
 
+	if len(specs) == 1 {
+		printDetail(w, specs[0], results[0], *policy, *pf)
+		return
+	}
+	fmt.Printf("workload %s (%d txns, %d Minstr), %s L1-I policy, prefetch=%q, %d workers\n\n",
+		w.Name(), w.Txns(), w.Instrs()/1e6, *policy, *pf, workers)
+	fmt.Printf("%-6s  %-22s  %10s  %8s  %8s  %12s  %10s\n",
+		"cores", "scheduler", "Mcycles", "I-MPKI", "D-MPKI", "txn/Mcycle", "mean Mcyc")
+	for i, res := range results {
+		fmt.Printf("%-6d  %-22s  %10.1f  %8.2f  %8.2f  %12.2f  %10.2f\n",
+			specs[i].Config.Cores, res.Scheduler, float64(res.Cycles)/1e6,
+			res.IMPKI, res.DMPKI, res.ThroughputTPM, res.MeanLatency/1e6)
+	}
+}
+
+func printDetail(w *strex.Workload, spec strex.RunSpec, res strex.Result, policy, pf string) {
 	fmt.Printf("workload   %s (%d txns, %d Minstr)\n", w.Name(), w.Txns(), w.Instrs()/1e6)
-	fmt.Printf("system     %d cores, %s L1-I policy, prefetch=%q\n", *cores, *policy, *pf)
+	fmt.Printf("system     %d cores, %s L1-I policy, prefetch=%q\n", spec.Config.Cores, policy, pf)
 	fmt.Printf("scheduler  %s\n", res.Scheduler)
 	fmt.Printf("cycles     %d (busy %d)\n", res.Cycles, res.BusyCycles)
 	fmt.Printf("I-MPKI     %.2f\n", res.IMPKI)
@@ -67,6 +129,18 @@ func main() {
 			float64(lat[len(lat)/2])/1e6,
 			float64(lat[len(lat)*99/100])/1e6)
 	}
+}
+
+func parseInts(list string) ([]int, error) {
+	var out []int
+	for _, s := range strings.Split(list, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad core count %q", s)
+		}
+		out = append(out, n)
+	}
+	return out, nil
 }
 
 func buildWorkload(name string, txns int, seed uint64) (*strex.Workload, error) {

@@ -27,11 +27,30 @@
 // the schedulers, and drivers reproducing every table and figure of the
 // paper's evaluation (see DESIGN.md and EXPERIMENTS.md).
 //
-// Quick start:
+// Quick start (the repo is a self-contained module, `module strex`, with
+// no external dependencies — `go build ./... && go test ./...` from a
+// fresh clone is the whole bootstrap; see docs/RUNNING.md):
 //
 //	wl, err := strex.TPCC(strex.TPCCConfig{Warehouses: 1, Txns: 100, Seed: 1})
 //	if err != nil { ... }
 //	base, _ := strex.Run(strex.DefaultConfig(4), wl, strex.SchedBaseline)
 //	fast, _ := strex.Run(strex.DefaultConfig(4), wl, strex.SchedSTREX)
 //	fmt.Printf("I-MPKI %.1f -> %.1f\n", base.IMPKI, fast.IMPKI)
+//
+// Independent runs fan out over a bounded worker pool without changing
+// any result (every run is deterministic and isolated; see
+// internal/runner):
+//
+//	specs := []strex.RunSpec{
+//	    {Config: strex.DefaultConfig(4), Sched: strex.SchedBaseline},
+//	    {Config: strex.DefaultConfig(4), Sched: strex.SchedSTREX},
+//	    {Config: strex.DefaultConfig(8), Sched: strex.SchedSLICC},
+//	}
+//	results, _ := strex.RunMany(wl, specs, 0 /* GOMAXPROCS */, nil)
+//
+// The cmd/experiments and cmd/strexsim binaries expose the same knob as
+// -parallel. Scale note: the paper replays 1.2B-instruction samples per
+// configuration; the default experiment scale (Txns=160) replays tens of
+// millions of instructions per configuration so the full grid finishes
+// in minutes — raise -txns for higher-fidelity numbers.
 package strex

@@ -1,0 +1,3 @@
+module strex
+
+go 1.21

@@ -7,10 +7,30 @@ import (
 	"strex/internal/core"
 	"strex/internal/metrics"
 	"strex/internal/prefetch"
+	"strex/internal/runner"
 	"strex/internal/sched"
 	"strex/internal/sim"
 	"strex/internal/workload"
 )
+
+// Scheduler factories for runner specs: each run constructs a fresh
+// scheduler in its worker goroutine, so no run-private state can leak
+// between runs.
+func newBaseline() sim.Scheduler { return sched.NewBaseline() }
+func newSlicc() sim.Scheduler    { return sched.NewSlicc() }
+func newStrex() sim.Scheduler    { return sched.NewStrex() }
+
+func newStrexTeam(teamSize int) func() sim.Scheduler {
+	return func() sim.Scheduler {
+		return sched.NewStrexSized(core.FormationConfig{Window: 30, TeamSize: teamSize})
+	}
+}
+
+// newHybrid profiles set at construction time (in the worker); profiling
+// only reads the set, which is safe under the workload ownership rule.
+func newHybrid(set *workload.Set, cores int) func() sim.Scheduler {
+	return func() sim.Scheduler { return sched.NewHybrid(set, cores, 3) }
+}
 
 // replicate builds the Figure 4 "hypothetical workload": each of the
 // instances is replicated `times` times (sharing the identical trace),
@@ -49,18 +69,30 @@ func (s *Suite) Figure4() *metrics.Table {
 		{"TPC-C", s.tpcc1().TypeNames(), s.tpcc1().GenerateTyped},
 		{"TPC-E", s.tpce().TypeNames(), s.tpce().GenerateTyped},
 	}
+	type cell struct {
+		wl, name  string
+		base, ctx *runner.Future
+	}
+	var cells []cell
 	for _, sc := range srcs {
 		for typ, name := range sc.names {
 			instances := sc.gen(typ, 10)
 			identical := replicate(instances, 10)
-			base := s.runOn(identical, 1, sched.NewBaseline(), nil).Stats
-			ctx := s.runOn(identical, 1, sched.NewStrex(), nil).Stats
-			red := 0.0
-			if base.IMPKI() > 0 {
-				red = (1 - ctx.IMPKI()/base.IMPKI()) * 100
-			}
-			tab.AddRow(sc.wl, name, base.IMPKI(), ctx.IMPKI(), fmt.Sprintf("%.0f%%", red))
+			cells = append(cells, cell{
+				wl: sc.wl, name: name,
+				base: s.runAsync("fig4/"+name+"/base", identical, 1, newBaseline, nil),
+				ctx:  s.runAsync("fig4/"+name+"/ctx", identical, 1, newStrex, nil),
+			})
 		}
+	}
+	for _, c := range cells {
+		base := c.base.Result().Stats
+		ctx := c.ctx.Result().Stats
+		red := 0.0
+		if base.IMPKI() > 0 {
+			red = (1 - ctx.IMPKI()/base.IMPKI()) * 100
+		}
+		tab.AddRow(c.wl, c.name, base.IMPKI(), ctx.IMPKI(), fmt.Sprintf("%.0f%%", red))
 	}
 	tab.AddNote("paper: the synchronization algorithm reduces I-MPKI significantly for every type")
 	return tab
@@ -73,31 +105,41 @@ func (s *Suite) Figure5() *metrics.Table {
 		Title:  "Figure 5: L1 instruction and data MPKI",
 		Header: []string{"workload", "cores", "sched", "I-MPKI", "D-MPKI", "switches", "migrations"},
 	}
-	type row struct{ imp, dmp float64 }
 	baseI := map[string][]float64{}
 	strexI := map[string][]float64{}
 	baseD := map[string][]float64{}
 	strexD := map[string][]float64{}
+	type cell struct {
+		wl    string
+		cores int
+		name  string
+		fut   *runner.Future
+	}
+	var cells []cell
 	for _, wl := range WorkloadNames() {
 		for _, cores := range s.opts.Cores {
 			set := s.SetSized(wl, s.cellTxns(cores, 10))
-			for _, mk := range []func() sim.Scheduler{
-				func() sim.Scheduler { return sched.NewBaseline() },
-				func() sim.Scheduler { return sched.NewSlicc() },
-				func() sim.Scheduler { return sched.NewStrex() },
+			for _, mk := range []struct {
+				name string
+				fn   func() sim.Scheduler
+			}{
+				{"Base", newBaseline}, {"SLICC", newSlicc}, {"STREX", newStrex},
 			} {
-				sc := mk()
-				st := s.runOn(set, cores, sc, nil).Stats
-				tab.AddRow(wl, cores, sc.Name(), st.IMPKI(), st.DMPKI(), st.Switches, st.Migrations)
-				switch sc.Name() {
-				case "Base":
-					baseI[wl] = append(baseI[wl], st.IMPKI())
-					baseD[wl] = append(baseD[wl], st.DMPKI())
-				case "STREX":
-					strexI[wl] = append(strexI[wl], st.IMPKI())
-					strexD[wl] = append(strexD[wl], st.DMPKI())
-				}
+				label := fmt.Sprintf("fig5/%s/%dc/%s", wl, cores, mk.name)
+				cells = append(cells, cell{wl, cores, mk.name, s.runAsync(label, set, cores, mk.fn, nil)})
 			}
+		}
+	}
+	for _, c := range cells {
+		st := c.fut.Result().Stats
+		tab.AddRow(c.wl, c.cores, c.name, st.IMPKI(), st.DMPKI(), st.Switches, st.Migrations)
+		switch c.name {
+		case "Base":
+			baseI[c.wl] = append(baseI[c.wl], st.IMPKI())
+			baseD[c.wl] = append(baseD[c.wl], st.DMPKI())
+		case "STREX":
+			strexI[c.wl] = append(strexI[c.wl], st.IMPKI())
+			strexD[c.wl] = append(strexD[c.wl], st.DMPKI())
 		}
 	}
 	for _, wl := range []string{"TPC-C-1", "TPC-C-10", "TPC-E"} {
@@ -128,28 +170,47 @@ func (s *Suite) Figure6() *metrics.Table {
 		Title:  "Figure 6: Relative throughput (normalized to 2-core Base)",
 		Header: []string{"workload", "cores", "Base", "Next-line", "PIF-No Overhead", "SLICC", "STREX", "STREX+SLICC"},
 	}
+	type cell struct {
+		wl    string
+		cores int
+		txns  int
+		futs  []*runner.Future // Base, Next-line, PIF, SLICC, STREX, hybrid
+	}
+	var cells []cell
 	for _, wl := range WorkloadNames() {
-		var base2 float64
 		for _, cores := range s.opts.Cores {
 			set := s.SetSized(wl, s.cellTxns(cores, 10))
-			throughput := func(sc sim.Scheduler, mutate func(*sim.Config)) float64 {
-				st := s.runOn(set, cores, sc, mutate).Stats
-				return st.SteadyThroughput(len(set.Txns), cores)
+			submit := func(tag string, mk func() sim.Scheduler, mutate func(*sim.Config)) *runner.Future {
+				label := fmt.Sprintf("fig6/%s/%dc/%s", wl, cores, tag)
+				return s.runAsync(label, set, cores, mk, mutate)
 			}
-			base := throughput(sched.NewBaseline(), nil)
-			if base2 == 0 {
-				base2 = base // first core count is the normalization point
-			}
-			next := throughput(sched.NewBaseline(), func(c *sim.Config) { c.Prefetcher = prefetch.NextLine })
-			pif := throughput(sched.NewBaseline(), func(c *sim.Config) { c.Prefetcher = prefetch.PIF })
-			slicc := throughput(sched.NewSlicc(), nil)
-			strex := throughput(sched.NewStrex(), nil)
-			hybrid := throughput(sched.NewHybrid(set, cores, 3), nil)
-			tab.AddRow(wl, cores,
-				metrics.Relative(base, base2), metrics.Relative(next, base2),
-				metrics.Relative(pif, base2), metrics.Relative(slicc, base2),
-				metrics.Relative(strex, base2), metrics.Relative(hybrid, base2))
+			cells = append(cells, cell{wl: wl, cores: cores, txns: len(set.Txns), futs: []*runner.Future{
+				submit("base", newBaseline, nil),
+				submit("next", newBaseline, func(c *sim.Config) { c.Prefetcher = prefetch.NextLine }),
+				submit("pif", newBaseline, func(c *sim.Config) { c.Prefetcher = prefetch.PIF }),
+				submit("slicc", newSlicc, nil),
+				submit("strex", newStrex, nil),
+				submit("hybrid", newHybrid(set, cores), nil),
+			}})
 		}
+	}
+	var base2 float64
+	for i, c := range cells {
+		if i == 0 || c.wl != cells[i-1].wl {
+			base2 = 0
+		}
+		tp := make([]float64, len(c.futs))
+		for j, f := range c.futs {
+			tp[j] = f.Result().Stats.SteadyThroughput(c.txns, c.cores)
+		}
+		if base2 == 0 {
+			base2 = tp[0] // first core count is the normalization point
+		}
+		row := []interface{}{c.wl, c.cores}
+		for _, v := range tp {
+			row = append(row, metrics.Relative(v, base2))
+		}
+		tab.AddRow(row...)
 	}
 	tab.AddNote("paper: STREX +35-55%% over Base; next-line between Base and STREX; SLICC wins only at high core counts; hybrid tracks the better of STREX/SLICC")
 	return tab
@@ -173,22 +234,30 @@ func (s *Suite) Figure7() *metrics.Table {
 	// comparing means across configurations requires identical offered
 	// load (the largest cell any configuration needs).
 	set := s.SetSized("TPC-C-10", s.cellTxns(big, 20))
-	record := func(label string, res sim.Result) {
+	type cell struct {
+		label string
+		fut   *runner.Future
+	}
+	var cells []cell
+	submit := func(label string, cores int, mk func() sim.Scheduler) {
+		cells = append(cells, cell{label, s.runAsync("fig7/"+label, set, cores, mk, nil)})
+	}
+	submit("Baseline", big, newBaseline)
+	for _, ts := range []int{2, 4, 6, 8, 10, 12, 16, 20} {
+		submit(fmt.Sprintf("STREX-%dT", ts), big, newStrexTeam(ts))
+	}
+	for _, cores := range s.opts.Cores {
+		submit(fmt.Sprintf("SLICC-%d", cores), cores, newSlicc)
+	}
+	for _, c := range cells {
+		res := c.fut.Result()
 		h := metrics.NewHistogram(2.0)
 		svc := metrics.NewHistogram(2.0)
 		for _, th := range res.Threads {
 			h.Observe(float64(th.Latency()) / 1e6)
 			svc.Observe(float64(th.FinishCycle-th.StartCycle) / 1e6)
 		}
-		tab.AddRow(label, h.Mean(), svc.Mean(), bucketAt(h, 0.5), bucketAt(h, 0.9), lastBucket(h))
-	}
-	record("Baseline", s.runOn(set, big, sched.NewBaseline(), nil))
-	for _, ts := range []int{2, 4, 6, 8, 10, 12, 16, 20} {
-		strex := sched.NewStrexSized(core.FormationConfig{Window: 30, TeamSize: ts})
-		record(fmt.Sprintf("STREX-%dT", ts), s.runOn(set, big, strex, nil))
-	}
-	for _, cores := range s.opts.Cores {
-		record(fmt.Sprintf("SLICC-%d", cores), s.runOn(set, cores, sched.NewSlicc(), nil))
+		tab.AddRow(c.label, h.Mean(), svc.Mean(), bucketAt(h, 0.5), bucketAt(h, 0.9), lastBucket(h))
 	}
 	tab.AddNote("paper means (Mcycles): Base 6.37, STREX-2T 5.96 ... STREX-20T 29.68, SLICC-2 23.00, SLICC-16 7.49; the trend to check is latency growing with team size and shrinking with SLICC core count")
 	return tab
@@ -220,16 +289,33 @@ func (s *Suite) Figure8() *metrics.Table {
 		Header: []string{"workload", "team size", "relative throughput"},
 	}
 	big := s.bigCores()
+	type cell struct {
+		wl   string
+		ts   int // 0 marks the baseline row
+		txns int
+		fut  *runner.Future
+	}
+	var cells []cell
 	for _, wl := range []string{"TPC-C-10", "TPC-E"} {
 		baseSet := s.SetSized(wl, s.cellTxns(big, 10))
-		base := s.runOn(baseSet, big, sched.NewBaseline(), nil).Stats.SteadyThroughput(len(baseSet.Txns), big)
-		tab.AddRow(wl, "Base", 1.0)
+		cells = append(cells, cell{wl, 0, len(baseSet.Txns),
+			s.runAsync("fig8/"+wl+"/base", baseSet, big, newBaseline, nil)})
 		for _, ts := range []int{2, 4, 6, 8, 10, 12, 16, 20} {
-			strex := sched.NewStrexSized(core.FormationConfig{Window: 30, TeamSize: ts})
 			set := s.SetSized(wl, s.cellTxns(big, ts))
-			tp := s.runOn(set, big, strex, nil).Stats.SteadyThroughput(len(set.Txns), big)
-			tab.AddRow(wl, ts, metrics.Relative(tp, base))
+			label := fmt.Sprintf("fig8/%s/%dT", wl, ts)
+			cells = append(cells, cell{wl, ts, len(set.Txns),
+				s.runAsync(label, set, big, newStrexTeam(ts), nil)})
 		}
+	}
+	var base float64
+	for _, c := range cells {
+		tp := c.fut.Result().Stats.SteadyThroughput(c.txns, big)
+		if c.ts == 0 {
+			base = tp
+			tab.AddRow(c.wl, "Base", 1.0)
+			continue
+		}
+		tab.AddRow(c.wl, c.ts, metrics.Relative(tp, base))
 	}
 	tab.AddNote("paper: throughput rises with team size, peaking at +59%% (TPC-C-10) and +80%% (TPC-E) with teams of 20")
 	return tab
@@ -246,22 +332,36 @@ func (s *Suite) Figure9() *metrics.Table {
 	if b := s.bigCores(); b < cores {
 		cores = b // reduced-scale test suites
 	}
+	type cell struct {
+		wl, config string
+		isLRUBase  bool
+		fut        *runner.Future
+	}
+	var cells []cell
 	for _, wl := range []string{"TPC-C-10", "TPC-E"} {
 		set := s.SetSized(wl, s.cellTxns(cores, 10))
-		var baseBusy uint64
+		withPolicy := func(pol cache.PolicyKind) func(*sim.Config) {
+			return func(c *sim.Config) { c.IPolicy = pol }
+		}
 		for _, pol := range []cache.PolicyKind{cache.LRU, cache.LIP, cache.BIP, cache.SRRIP, cache.BRRIP} {
-			st := s.runOn(set, cores, sched.NewBaseline(), func(c *sim.Config) { c.IPolicy = pol }).Stats
-			if pol == cache.LRU {
-				baseBusy = st.BusyCycles
-			}
-			tab.AddRow(wl, pol.String(), st.IMPKI(), st.Switches,
-				float64(st.BusyCycles)/float64(baseBusy))
+			label := fmt.Sprintf("fig9/%s/%s", wl, pol)
+			cells = append(cells, cell{wl, pol.String(), pol == cache.LRU,
+				s.runAsync(label, set, cores, newBaseline, withPolicy(pol))})
 		}
 		for _, pol := range []cache.PolicyKind{cache.LRU, cache.BIP, cache.BRRIP} {
-			st := s.runOn(set, cores, sched.NewStrex(), func(c *sim.Config) { c.IPolicy = pol }).Stats
-			tab.AddRow(wl, "STREX+"+pol.String(), st.IMPKI(), st.Switches,
-				float64(st.BusyCycles)/float64(baseBusy))
+			label := fmt.Sprintf("fig9/%s/strex+%s", wl, pol)
+			cells = append(cells, cell{wl, "STREX+" + pol.String(), false,
+				s.runAsync(label, set, cores, newStrex, withPolicy(pol))})
 		}
+	}
+	var baseBusy uint64
+	for _, c := range cells {
+		st := c.fut.Result().Stats
+		if c.isLRUBase {
+			baseBusy = st.BusyCycles
+		}
+		tab.AddRow(c.wl, c.config, st.IMPKI(), st.Switches,
+			float64(st.BusyCycles)/float64(baseBusy))
 	}
 	tab.AddNote("paper: STREX+LRU beats the best standalone policy by >35%% (TPC-C-10) / >45%% (TPC-E); pairing STREX with anti-thrash policies triggers much more frequent context switching — watch the switches column, not only MPKI")
 	return tab

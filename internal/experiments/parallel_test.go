@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"strex/internal/metrics"
+)
+
+// tinyOptions keeps the serial/parallel comparison grids fast: the point
+// is executor equivalence, not paper fidelity.
+func tinyOptions(parallel int) Options {
+	return Options{Txns: 24, Seed: 42, Cores: []int{2}, Parallel: parallel}
+}
+
+func tablesEqual(t *testing.T, name string, serial, parallel *metrics.Table) {
+	t.Helper()
+	if !reflect.DeepEqual(serial.Header, parallel.Header) {
+		t.Fatalf("%s: headers differ\nserial:   %v\nparallel: %v", name, serial.Header, parallel.Header)
+	}
+	if !reflect.DeepEqual(serial.Rows, parallel.Rows) {
+		t.Fatalf("%s: rows differ\nserial:\n%s\nparallel:\n%s", name, serial, parallel)
+	}
+	if !reflect.DeepEqual(serial.Notes, parallel.Notes) {
+		t.Fatalf("%s: notes differ\nserial:   %v\nparallel: %v", name, serial.Notes, parallel.Notes)
+	}
+}
+
+// TestSerialParallelEquivalence is the tentpole's contract: the same
+// grid executed serially (Parallel=1) and on eight workers renders
+// bit-for-bit identical tables. Figure 5 covers the plain sweep shape;
+// Figure 6 additionally covers prefetcher config mutation, the
+// profiling hybrid scheduler, and the first-run normalization point.
+func TestSerialParallelEquivalence(t *testing.T) {
+	figures := []struct {
+		name string
+		run  func(*Suite) *metrics.Table
+	}{
+		{"Figure5", (*Suite).Figure5},
+		{"Figure6", (*Suite).Figure6},
+	}
+	for _, fig := range figures {
+		fig := fig
+		t.Run(fig.name, func(t *testing.T) {
+			serial := fig.run(NewSuite(tinyOptions(1)))
+			parallel := fig.run(NewSuite(tinyOptions(8)))
+			tablesEqual(t, fig.name, serial, parallel)
+		})
+	}
+}
+
+// TestRepeatedParallelRunsAreStable re-renders the same figure twice on
+// the same worker count: scheduling nondeterminism must never reach the
+// output.
+func TestRepeatedParallelRunsAreStable(t *testing.T) {
+	a := NewSuite(tinyOptions(8)).Figure9()
+	b := NewSuite(tinyOptions(8)).Figure9()
+	tablesEqual(t, "Figure9", a, b)
+}
+
+// TestSuiteRunnerAccounting checks the executor surface the CLI uses for
+// progress reporting.
+func TestSuiteRunnerAccounting(t *testing.T) {
+	s := NewSuite(tinyOptions(4))
+	if s.Runner().Workers() != 4 {
+		t.Fatalf("workers = %d, want 4", s.Runner().Workers())
+	}
+	ticks := 0
+	s.Runner().OnProgress(func(done, submitted int, label string) {
+		ticks++
+		if label == "" {
+			t.Errorf("progress tick %d has no label", done)
+		}
+	})
+	s.Figure8()
+	if got := s.Runner().Completed(); got == 0 || got != s.Runner().Submitted() {
+		t.Fatalf("completed=%d submitted=%d", got, s.Runner().Submitted())
+	}
+	if ticks != s.Runner().Completed() {
+		t.Fatalf("%d ticks for %d runs", ticks, s.Runner().Completed())
+	}
+}

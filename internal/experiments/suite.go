@@ -10,12 +10,21 @@
 // for higher-fidelity numbers. Footprints, cache geometry and the
 // schedulers are identical at every scale — only the sample length
 // changes.
+//
+// Execution model: every driver is a coordinator that first generates
+// (or looks up) its workload sets on the calling goroutine, then submits
+// all independent simulator runs to a runner.Executor and collects the
+// futures in submission order. Because each run is deterministic and
+// isolated (fresh Engine + fresh Scheduler per run; sets are read-only —
+// see workload.Set's ownership rule), the rendered tables are identical
+// at every Options.Parallel setting, including 1.
 package experiments
 
 import (
 	"fmt"
 
 	"strex/internal/mapreduce"
+	"strex/internal/runner"
 	"strex/internal/sim"
 	"strex/internal/tpcc"
 	"strex/internal/tpce"
@@ -24,9 +33,10 @@ import (
 
 // Options parameterizes a Suite.
 type Options struct {
-	Txns  int    // transactions per throughput/MPKI run (default 160)
-	Seed  uint64 // master seed
-	Cores []int  // core-count sweep (default 2,4,8,16)
+	Txns     int    // transactions per throughput/MPKI run (default 160)
+	Seed     uint64 // master seed
+	Cores    []int  // core-count sweep (default 2,4,8,16)
+	Parallel int    // concurrent simulator runs (default GOMAXPROCS; 1 = serial)
 }
 
 // DefaultOptions returns the scale used by cmd/experiments.
@@ -44,12 +54,20 @@ func (o *Options) fill() {
 	if len(o.Cores) == 0 {
 		o.Cores = []int{2, 4, 8, 16}
 	}
+	// Parallel <= 0 is resolved by runner.New to GOMAXPROCS.
 }
 
 // Suite owns lazily generated workload sets so that multiple figures
 // reuse them (exactly one trace sample per workload, as in the paper).
+//
+// A Suite is a single-goroutine coordinator: drivers generate workloads
+// and submit runs from the calling goroutine only. The lazily filled
+// caches (sets, workload generators) are therefore unsynchronized by
+// design; the only concurrency is inside the executor, whose workers
+// touch nothing but their own run's spec.
 type Suite struct {
 	opts Options
+	exec *runner.Executor
 
 	tpcc1W  *tpcc.Workload
 	tpcc10W *tpcc.Workload
@@ -62,8 +80,16 @@ type Suite struct {
 // NewSuite creates a suite.
 func NewSuite(opts Options) *Suite {
 	opts.fill()
-	return &Suite{opts: opts, sets: make(map[string]*workload.Set)}
+	return &Suite{
+		opts: opts,
+		exec: runner.New(opts.Parallel),
+		sets: make(map[string]*workload.Set),
+	}
 }
+
+// Runner exposes the suite's executor (cmd/experiments hooks progress
+// reporting here).
+func (s *Suite) Runner() *runner.Executor { return s.exec }
 
 // Options returns the suite's effective options.
 func (s *Suite) Options() Options { return s.opts }
@@ -158,12 +184,25 @@ func (s *Suite) bigCores() int {
 }
 
 // runOn executes set under sched on the given core count with an
-// optionally customized config and returns the result.
+// optionally customized config and returns the result. It routes the run
+// through the executor (blocking until done) so even one-off runs share
+// the worker pool and its accounting.
 func (s *Suite) runOn(set *workload.Set, cores int, sched sim.Scheduler, mutate func(*sim.Config)) sim.Result {
+	return s.exec.Run(s.spec("", set, cores, func() sim.Scheduler { return sched }, mutate))
+}
+
+// runAsync submits one run and returns its future. The scheduler factory
+// runs in the worker goroutine and must construct a fresh scheduler; the
+// config is finalized here, on the coordinator.
+func (s *Suite) runAsync(label string, set *workload.Set, cores int, mk func() sim.Scheduler, mutate func(*sim.Config)) *runner.Future {
+	return s.exec.Submit(s.spec(label, set, cores, mk, mutate))
+}
+
+func (s *Suite) spec(label string, set *workload.Set, cores int, mk func() sim.Scheduler, mutate func(*sim.Config)) runner.Spec {
 	cfg := sim.DefaultConfig(cores)
 	cfg.Seed = s.opts.Seed
 	if mutate != nil {
 		mutate(&cfg)
 	}
-	return sim.New(cfg, set, sched).Run()
+	return runner.Spec{Label: label, Config: cfg, Set: set, Sched: mk}
 }

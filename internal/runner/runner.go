@@ -1,0 +1,203 @@
+// Package runner is the parallel run-executor for the simulator: it fans
+// independent sim.Engine runs out over a bounded pool of worker
+// goroutines while preserving the exact results a serial execution would
+// produce.
+//
+// Determinism contract. A simulation run is a pure function of
+// (sim.Config, workload.Set, scheduler): the engine is single-goroutine,
+// all randomness is seeded through Config.Seed, and the engine never
+// mutates the workload set (see the ownership rule on workload.Set). The
+// executor therefore only has to guarantee isolation — every run gets its
+// own Engine and its own freshly constructed Scheduler — and ordering —
+// futures are resolved by the submitter in submission order. Under those
+// two rules the result of a grid is bit-for-bit identical at any worker
+// count, including 1.
+//
+// Usage:
+//
+//	x := runner.New(8)
+//	futs := make([]*runner.Future, 0, len(grid))
+//	for _, g := range grid {
+//	    g := g
+//	    futs = append(futs, x.Submit(runner.Spec{
+//	        Config: g.cfg, Set: g.set,
+//	        Sched: func() sim.Scheduler { return sched.NewStrex() },
+//	    }))
+//	}
+//	for _, f := range futs {
+//	    res := f.Result() // submission order, identical to serial
+//	}
+//
+// Scheduler construction runs inside the worker goroutine (profiling
+// schedulers like the hybrid read the workload set), so the Sched factory
+// must only read shared data, never mutate it.
+package runner
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"strex/internal/sim"
+	"strex/internal/workload"
+	"strex/internal/xrand"
+)
+
+// Spec describes one simulation run. Config.Seed must be set explicitly
+// by the caller (use DeriveSeed for per-run seeds): the executor refuses
+// to invent seeds because determinism requires them to be a function of
+// the grid position, not of scheduling order.
+type Spec struct {
+	// Label is an optional tag carried through to progress reporting.
+	Label string
+	// Config is the full system configuration, including Seed.
+	Config sim.Config
+	// Set is the workload to replay. It is shared, not copied: the engine
+	// treats it as read-only (workload.Set ownership rule), so many
+	// concurrent runs may replay the same set. Callers that want to
+	// mutate a set while runs are in flight must Submit a set.Clone().
+	Set *workload.Set
+	// Sched constructs the run's scheduler. A fresh scheduler per run is
+	// mandatory — scheduler state (teams, phase IDs, SLICC queues) is
+	// per-run and must not leak across runs.
+	Sched func() sim.Scheduler
+}
+
+// Future is the pending result of a submitted run.
+type Future struct {
+	done chan struct{}
+	res  sim.Result
+	pan  interface{} // captured panic, re-raised in Result
+}
+
+// Result blocks until the run completes and returns its result. If the
+// run panicked (a simulator invariant violation), Result re-panics with
+// the same value in the caller's goroutine.
+func (f *Future) Result() sim.Result {
+	<-f.done
+	if f.pan != nil {
+		panic(f.pan)
+	}
+	return f.res
+}
+
+// Executor runs simulations on a bounded pool of worker goroutines.
+// Submit may be called from one goroutine at a time (the coordinator);
+// workers never touch the coordinator's state. The zero value is not
+// usable; call New.
+type Executor struct {
+	sem chan struct{} // counting semaphore bounding concurrent runs
+
+	submitted atomic.Int64
+	completed atomic.Int64
+
+	mu         sync.Mutex
+	onProgress func(done, submitted int, label string)
+}
+
+// ResolveWorkers maps a user-facing parallelism knob to the effective
+// worker count: values <= 0 select runtime.GOMAXPROCS(0). It is the
+// single source of that rule — CLIs reporting an effective worker count
+// use it rather than re-deriving the default.
+func ResolveWorkers(workers int) int {
+	if workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return workers
+}
+
+// New returns an executor that runs at most workers simulations
+// concurrently. workers <= 0 selects runtime.GOMAXPROCS(0) (see
+// ResolveWorkers). workers == 1 reproduces serial execution exactly (and
+// is how the serial/parallel equivalence tests run the "serial" side
+// through the same code path).
+func New(workers int) *Executor {
+	return &Executor{sem: make(chan struct{}, ResolveWorkers(workers))}
+}
+
+// Workers returns the concurrency bound.
+func (x *Executor) Workers() int { return cap(x.sem) }
+
+// OnProgress registers a callback invoked after every completed run with
+// (completed, submitted, label). It is called from worker goroutines
+// under a lock, so the callback itself needs no synchronization but must
+// be fast.
+func (x *Executor) OnProgress(fn func(done, submitted int, label string)) {
+	x.mu.Lock()
+	x.onProgress = fn
+	x.mu.Unlock()
+}
+
+// Submitted returns the number of runs submitted so far.
+func (x *Executor) Submitted() int { return int(x.submitted.Load()) }
+
+// Completed returns the number of runs finished so far.
+func (x *Executor) Completed() int { return int(x.completed.Load()) }
+
+// Submit schedules one run and returns its future. The run starts as
+// soon as a worker slot is free; Submit itself never blocks on the
+// simulation (only, briefly, on slot bookkeeping).
+func (x *Executor) Submit(spec Spec) *Future {
+	if spec.Set == nil {
+		panic("runner: Submit with nil workload set")
+	}
+	if spec.Sched == nil {
+		panic("runner: Submit with nil scheduler factory")
+	}
+	x.submitted.Add(1)
+	f := &Future{done: make(chan struct{})}
+	go func() {
+		x.sem <- struct{}{}
+		defer func() {
+			<-x.sem
+			if r := recover(); r != nil {
+				f.pan = r
+			}
+			// The increment happens under the progress lock so callbacks
+			// observe strictly increasing done counts (a \r-style progress
+			// line must never move backwards).
+			x.mu.Lock()
+			done := int(x.completed.Add(1))
+			if x.onProgress != nil {
+				x.onProgress(done, x.Submitted(), spec.Label)
+			}
+			x.mu.Unlock()
+			close(f.done)
+		}()
+		f.res = sim.New(spec.Config, spec.Set, spec.Sched()).Run()
+	}()
+	return f
+}
+
+// Run is the synchronous convenience form: Submit + Result.
+func (x *Executor) Run(spec Spec) sim.Result {
+	return x.Submit(spec).Result()
+}
+
+// Map submits every spec and waits for all of them, returning results in
+// spec order — the drop-in replacement for a serial loop over
+// Engine.Run.
+func (x *Executor) Map(specs []Spec) []sim.Result {
+	futs := make([]*Future, len(specs))
+	for i, s := range specs {
+		futs[i] = x.Submit(s)
+	}
+	out := make([]sim.Result, len(specs))
+	for i, f := range futs {
+		out[i] = f.Result()
+	}
+	return out
+}
+
+// DeriveSeed maps a master seed and a run index to a well-distributed
+// per-run seed. It is a pure function, so a grid seeded with
+// DeriveSeed(master, i) is reproducible regardless of execution order or
+// worker count. Index 0 maps to a non-trivial value, and no index maps
+// to 0 (which sim/cache treat as "use default").
+func DeriveSeed(master uint64, index int) uint64 {
+	s := xrand.Hash64(master ^ xrand.Hash64(uint64(index)+1))
+	if s == 0 {
+		s = 0x9E3779B97F4A7C15
+	}
+	return s
+}

@@ -1,0 +1,195 @@
+package runner
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"strex/internal/sched"
+	"strex/internal/sim"
+	"strex/internal/tpcc"
+	"strex/internal/workload"
+)
+
+var sharedSet = sync.OnceValue(func() *workload.Set {
+	return tpcc.New(tpcc.Config{Warehouses: 1, Seed: 7}).Generate(16)
+})
+
+func testSet(t testing.TB, txns int) *workload.Set {
+	t.Helper()
+	set := sharedSet()
+	if err := set.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if txns > len(set.Txns) {
+		t.Fatalf("test wants %d txns, shared set has %d", txns, len(set.Txns))
+	}
+	if txns == len(set.Txns) {
+		return set
+	}
+	// A prefix view sharing the same read-only Txns keeps runs short.
+	return &workload.Set{
+		Name: set.Name, Types: set.Types, Layout: set.Layout,
+		Txns: set.Txns[:txns], DataBlocks: set.DataBlocks,
+	}
+}
+
+// grid builds a small mixed grid of specs over schedulers and core
+// counts, all sharing one workload set (the executor's documented
+// sharing model).
+func grid(set *workload.Set, seed uint64) []Spec {
+	var specs []Spec
+	mks := []func() sim.Scheduler{
+		func() sim.Scheduler { return sched.NewBaseline() },
+		func() sim.Scheduler { return sched.NewStrex() },
+		func() sim.Scheduler { return sched.NewSlicc() },
+	}
+	i := 0
+	for _, cores := range []int{1, 2} {
+		for _, mk := range mks {
+			cfg := sim.DefaultConfig(cores)
+			cfg.Seed = DeriveSeed(seed, i)
+			specs = append(specs, Spec{Config: cfg, Set: set, Sched: mk})
+			i++
+		}
+	}
+	return specs
+}
+
+// statsOf projects results to comparable values (Threads contain
+// pointers, so compare the aggregate stats plus per-thread cycles).
+func statsOf(results []sim.Result) []sim.Stats {
+	out := make([]sim.Stats, len(results))
+	for i, r := range results {
+		out[i] = r.Stats
+	}
+	return out
+}
+
+func TestParallelMatchesSerial(t *testing.T) {
+	set := testSet(t, 8)
+	serial := statsOf(New(1).Map(grid(set, 42)))
+	for _, workers := range []int{2, 8} {
+		parallel := statsOf(New(workers).Map(grid(set, 42)))
+		if !reflect.DeepEqual(serial, parallel) {
+			t.Fatalf("workers=%d: results differ from serial\nserial:   %+v\nparallel: %+v",
+				workers, serial, parallel)
+		}
+	}
+}
+
+func TestMapPreservesSubmissionOrder(t *testing.T) {
+	set := testSet(t, 8)
+	specs := grid(set, 1)
+	results := New(8).Map(specs)
+	if len(results) != len(specs) {
+		t.Fatalf("got %d results for %d specs", len(results), len(specs))
+	}
+	// Each spec's result must match an isolated run of that same spec.
+	for i, s := range specs {
+		want := sim.New(s.Config, s.Set, s.Sched()).Run()
+		if !reflect.DeepEqual(results[i].Stats, want.Stats) {
+			t.Fatalf("result %d out of order or corrupted:\ngot  %+v\nwant %+v",
+				i, results[i].Stats, want.Stats)
+		}
+	}
+}
+
+func TestThreadResultsPerRunAreIndependent(t *testing.T) {
+	// Two runs replaying the same set concurrently must not share Thread
+	// objects (each engine wraps the shared Txns in fresh Threads).
+	set := testSet(t, 8)
+	cfg := sim.DefaultConfig(2)
+	cfg.Seed = 3
+	mk := func() sim.Scheduler { return sched.NewStrex() }
+	x := New(2)
+	a := x.Submit(Spec{Config: cfg, Set: set, Sched: mk}).Result()
+	b := x.Submit(Spec{Config: cfg, Set: set, Sched: mk}).Result()
+	if len(a.Threads) == 0 || len(a.Threads) != len(b.Threads) {
+		t.Fatalf("thread counts: %d vs %d", len(a.Threads), len(b.Threads))
+	}
+	for i := range a.Threads {
+		if a.Threads[i] == b.Threads[i] {
+			t.Fatalf("thread %d aliased across runs", i)
+		}
+		if a.Threads[i].Txn != b.Threads[i].Txn {
+			t.Fatalf("thread %d: Txn not shared read-only", i)
+		}
+		if a.Threads[i].FinishCycle != b.Threads[i].FinishCycle {
+			t.Fatalf("thread %d: identical runs diverged", i)
+		}
+	}
+}
+
+func TestPanicPropagatesToResult(t *testing.T) {
+	set := testSet(t, 2)
+	x := New(2)
+	f := x.Submit(Spec{
+		Config: sim.Config{Cores: -1}, // sim.New panics on this
+		Set:    set,
+		Sched:  func() sim.Scheduler { return sched.NewBaseline() },
+	})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("worker panic did not propagate to Result")
+		}
+	}()
+	f.Result()
+}
+
+func TestProgressReporting(t *testing.T) {
+	set := testSet(t, 6)
+	x := New(4)
+	type tick struct{ done, submitted int }
+	var ticks []tick // appended under the executor's progress lock
+	x.OnProgress(func(done, submitted int, label string) {
+		ticks = append(ticks, tick{done, submitted})
+	})
+	specs := grid(set, 9)
+	x.Map(specs)
+	if len(ticks) != len(specs) {
+		t.Fatalf("%d progress ticks for %d runs", len(ticks), len(specs))
+	}
+	seen := map[int]bool{}
+	for _, tk := range ticks {
+		if tk.done < 1 || tk.done > len(specs) || seen[tk.done] {
+			t.Fatalf("bad/duplicate done count %d", tk.done)
+		}
+		seen[tk.done] = true
+		if tk.submitted < tk.done {
+			t.Fatalf("submitted %d < done %d", tk.submitted, tk.done)
+		}
+	}
+	if x.Completed() != len(specs) || x.Submitted() != len(specs) {
+		t.Fatalf("counters: completed=%d submitted=%d want %d", x.Completed(), x.Submitted(), len(specs))
+	}
+}
+
+func TestWorkersDefaultsAndBound(t *testing.T) {
+	if New(0).Workers() <= 0 {
+		t.Fatal("default workers not positive")
+	}
+	if got := New(3).Workers(); got != 3 {
+		t.Fatalf("Workers() = %d, want 3", got)
+	}
+}
+
+func TestDeriveSeed(t *testing.T) {
+	seen := map[uint64]int{}
+	for i := 0; i < 1000; i++ {
+		s := DeriveSeed(42, i)
+		if s == 0 {
+			t.Fatalf("index %d derived the reserved zero seed", i)
+		}
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("indices %d and %d collide on seed %#x", prev, i, s)
+		}
+		seen[s] = i
+	}
+	if DeriveSeed(42, 5) != DeriveSeed(42, 5) {
+		t.Fatal("DeriveSeed not stable")
+	}
+	if DeriveSeed(42, 5) == DeriveSeed(43, 5) {
+		t.Fatal("master seed ignored")
+	}
+}

@@ -27,6 +27,15 @@ type Txn struct {
 
 // Set is a generated workload: the shared code layout plus the
 // transaction instances in arrival order.
+//
+// Ownership rule: once generated, a Set is read-only. sim.Engine wraps
+// each Txn in a per-run Thread with its own trace cursor and never
+// writes through the Set, so one Set may be replayed by any number of
+// concurrent runs (internal/runner relies on this). Code that wants to
+// rewrite transactions or traces after generation must work on a
+// Clone(), never on a Set that may be shared — the experiment drivers'
+// set cache and trace-sharing helpers (replicate, profiling sets) all
+// alias Txn and Buffer pointers.
 type Set struct {
 	Name   string
 	Types  []string
@@ -34,6 +43,31 @@ type Set struct {
 	Txns   []*Txn
 	// DataBlocks is the database size in 64B blocks (diagnostics).
 	DataBlocks int
+}
+
+// Clone returns a deep copy of the set: fresh Txn structs and fresh
+// trace buffers (entries included), sharing only the immutable Layout
+// and the Types slice. Mutating the clone cannot be observed through the
+// original, so a clone is the required starting point for any post-
+// generation rewriting of a set that concurrent runs might still replay.
+func (s *Set) Clone() *Set {
+	out := &Set{
+		Name:       s.Name,
+		Types:      s.Types,
+		Layout:     s.Layout,
+		DataBlocks: s.DataBlocks,
+		Txns:       make([]*Txn, len(s.Txns)),
+	}
+	for i, t := range s.Txns {
+		buf := &trace.Buffer{
+			Entries: append([]trace.Entry(nil), t.Trace.Entries...),
+			Instrs:  t.Trace.Instrs,
+			Loads:   t.Trace.Loads,
+			Stores:  t.Trace.Stores,
+		}
+		out.Txns[i] = &Txn{ID: t.ID, Type: t.Type, Header: t.Header, Trace: buf}
+	}
+	return out
 }
 
 // Instrs returns the total instruction count across all transactions.

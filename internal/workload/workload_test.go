@@ -71,6 +71,29 @@ func TestValidateRejectsWrongAddressSpace(t *testing.T) {
 	}
 }
 
+func TestCloneIsDeepAndEquivalent(t *testing.T) {
+	set := &Set{Name: "clone", Types: []string{"A"}, Txns: []*Txn{validTxn(0), validTxn(1)}}
+	c := set.Clone()
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Name != set.Name || c.Instrs() != set.Instrs() || len(c.Txns) != len(set.Txns) {
+		t.Fatalf("clone not equivalent: %+v vs %+v", c, set)
+	}
+	for i := range set.Txns {
+		if c.Txns[i] == set.Txns[i] || c.Txns[i].Trace == set.Txns[i].Trace {
+			t.Fatalf("txn %d aliases the original", i)
+		}
+	}
+	// Mutating the clone must not be observable through the original.
+	before := set.Txns[0].Trace.Entries[0]
+	c.Txns[0].Trace.Entries[0].Block = 999
+	c.Txns[0].Header = 999
+	if set.Txns[0].Trace.Entries[0] != before || set.Txns[0].Header == 999 {
+		t.Fatal("mutating the clone leaked into the original")
+	}
+}
+
 func TestInstrsAndTypeCounts(t *testing.T) {
 	a, b := validTxn(0), validTxn(1)
 	b.Type = 0

@@ -7,6 +7,7 @@ import (
 	"strex/internal/core"
 	"strex/internal/mapreduce"
 	"strex/internal/prefetch"
+	"strex/internal/runner"
 	"strex/internal/sched"
 	"strex/internal/sim"
 	"strex/internal/tpcc"
@@ -206,38 +207,33 @@ type Result struct {
 	Latencies []uint64
 }
 
-// Run executes the workload under the chosen scheduler and returns the
-// aggregated result. The workload is replayed from the start each call,
-// so comparing schedulers on the same *Workload is exact.
-func Run(cfg Config, w *Workload, kind SchedulerKind) (Result, error) {
-	simCfg, err := cfg.build()
-	if err != nil {
-		return Result{}, err
-	}
-	var s sim.Scheduler
+// scheduler builds a fresh scheduler instance for one run of w under
+// this configuration.
+func (c Config) scheduler(kind SchedulerKind, w *Workload, cores int) (sim.Scheduler, error) {
 	switch kind {
 	case SchedBaseline:
-		s = sched.NewBaseline()
+		return sched.NewBaseline(), nil
 	case SchedSTREX:
-		ts := cfg.TeamSize
+		ts := c.TeamSize
 		if ts <= 0 {
 			ts = 10
 		}
-		win := cfg.PoolWindow
+		win := c.PoolWindow
 		if win <= 0 {
 			win = 30
 		}
-		s = sched.NewStrexSized(core.FormationConfig{Window: win, TeamSize: ts})
+		return sched.NewStrexSized(core.FormationConfig{Window: win, TeamSize: ts}), nil
 	case SchedSLICC:
-		s = sched.NewSlicc()
+		return sched.NewSlicc(), nil
 	case SchedHybrid:
-		s = sched.NewHybrid(w.set, simCfg.Cores, 3)
-	default:
-		return Result{}, fmt.Errorf("strex: unknown scheduler %v", kind)
+		return sched.NewHybrid(w.set, cores, 3), nil
 	}
-	res := sim.New(simCfg, w.set, s).Run()
+	return nil, fmt.Errorf("strex: unknown scheduler %v", kind)
+}
+
+func toResult(name string, res sim.Result, txns, cores int) Result {
 	out := Result{
-		Scheduler:     s.Name(),
+		Scheduler:     name,
 		Cycles:        res.Stats.Cycles,
 		BusyCycles:    res.Stats.BusyCycles,
 		Instrs:        res.Stats.Instrs,
@@ -245,7 +241,7 @@ func Run(cfg Config, w *Workload, kind SchedulerKind) (Result, error) {
 		DMPKI:         res.Stats.DMPKI(),
 		Switches:      res.Stats.Switches,
 		Migrations:    res.Stats.Migrations,
-		ThroughputTPM: res.Stats.SteadyThroughput(len(w.set.Txns), simCfg.Cores),
+		ThroughputTPM: res.Stats.SteadyThroughput(txns, cores),
 	}
 	var sum float64
 	for _, th := range res.Threads {
@@ -254,6 +250,78 @@ func Run(cfg Config, w *Workload, kind SchedulerKind) (Result, error) {
 	}
 	if len(out.Latencies) > 0 {
 		out.MeanLatency = sum / float64(len(out.Latencies))
+	}
+	return out
+}
+
+// Run executes the workload under the chosen scheduler and returns the
+// aggregated result. The workload is replayed from the start each call,
+// so comparing schedulers on the same *Workload is exact.
+func Run(cfg Config, w *Workload, kind SchedulerKind) (Result, error) {
+	results, err := RunMany(w, []RunSpec{{Config: cfg, Sched: kind}}, 1, nil)
+	if err != nil {
+		return Result{}, err
+	}
+	return results[0], nil
+}
+
+// RunSpec pairs a system configuration with a scheduler selection for
+// batch execution.
+type RunSpec struct {
+	Config Config
+	Sched  SchedulerKind
+}
+
+// RunMany executes the given runs on up to parallel concurrent worker
+// goroutines (parallel <= 0 selects GOMAXPROCS) and returns results in
+// spec order. Every run replays w from the start with its own engine and
+// scheduler, and runs are deterministic, so the results are bit-for-bit
+// identical to calling Run in a loop — only the wall-clock changes.
+// onProgress, if non-nil, is invoked after each completed run.
+func RunMany(w *Workload, specs []RunSpec, parallel int, onProgress func(done, total int)) ([]Result, error) {
+	if w == nil || w.set == nil || len(w.set.Txns) == 0 {
+		return nil, fmt.Errorf("strex: RunMany needs a non-empty workload")
+	}
+	type run struct {
+		spec runner.Spec
+		name string
+	}
+	runs := make([]run, len(specs))
+	for i, rs := range specs {
+		simCfg, err := rs.Config.build()
+		if err != nil {
+			return nil, err
+		}
+		// Schedulers are built eagerly on this goroutine: it surfaces
+		// config errors before any run starts, and the hybrid's profiling
+		// pass stays off the worker pool.
+		s, err := rs.Config.scheduler(rs.Sched, w, simCfg.Cores)
+		if err != nil {
+			return nil, err
+		}
+		runs[i] = run{
+			spec: runner.Spec{
+				Label:  s.Name(),
+				Config: simCfg,
+				Set:    w.set,
+				Sched:  func() sim.Scheduler { return s },
+			},
+			name: s.Name(),
+		}
+	}
+	x := runner.New(parallel)
+	if onProgress != nil {
+		x.OnProgress(func(done, submitted int, label string) {
+			onProgress(done, len(specs))
+		})
+	}
+	rspecs := make([]runner.Spec, len(runs))
+	for i, r := range runs {
+		rspecs[i] = r.spec
+	}
+	out := make([]Result, len(runs))
+	for i, res := range x.Map(rspecs) {
+		out[i] = toResult(runs[i].name, res, len(w.set.Txns), runs[i].spec.Config.Cores)
 	}
 	return out, nil
 }
