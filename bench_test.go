@@ -13,6 +13,7 @@ package strex
 import (
 	"testing"
 
+	"strex/internal/bench"
 	"strex/internal/core"
 	"strex/internal/experiments"
 	"strex/internal/prefetch"
@@ -241,12 +242,55 @@ func BenchmarkEngineThroughput(b *testing.B) {
 	}
 }
 
-// BenchmarkWorkloadGeneration measures trace-generation speed.
+// BenchmarkWorkloadGeneration measures trace-generation speed for
+// every registered workload (population cost excluded; one sub-
+// benchmark per registry entry, so new benchmarks are covered
+// automatically).
 func BenchmarkWorkloadGeneration(b *testing.B) {
-	wl := tpcc.New(tpcc.Config{Warehouses: 1, Seed: 42})
-	b.ResetTimer()
+	for _, info := range bench.Workloads() {
+		b.Run(info.Name, func(b *testing.B) {
+			g, err := bench.Build(info.Name, bench.Options{Seed: 42})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = g.Generate(10)
+			}
+		})
+	}
+}
+
+// BenchmarkWorkloadPopulate measures database construction speed per
+// registered workload (schema + initial rows; the one-time cost a
+// fresh generator pays before its first Generate).
+func BenchmarkWorkloadPopulate(b *testing.B) {
+	for _, info := range bench.Workloads() {
+		b.Run(info.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := bench.Build(info.Name, bench.Options{Seed: 42}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFootprintSweep regenerates the synthetic footprint-
+// sensitivity sweep (the registry-era extension experiment).
+func BenchmarkFootprintSweep(b *testing.B) {
+	s := benchSuite()
 	for i := 0; i < b.N; i++ {
-		_ = wl.Generate(10)
+		_ = s.FootprintSweep()
+	}
+}
+
+// BenchmarkWorkloadSmoke regenerates the per-registered-workload
+// Base-vs-STREX comparison table.
+func BenchmarkWorkloadSmoke(b *testing.B) {
+	s := benchSuite()
+	for i := 0; i < b.N; i++ {
+		_ = s.WorkloadSmoke()
 	}
 }
 

@@ -13,7 +13,9 @@
 // run executor preserves determinism and submission order — so -parallel
 // is purely a wall-clock knob.
 // -only runs a single experiment: table1, table2, table3, table4, fig2,
-// fig4, fig5, fig6, fig7, fig8 or fig9.
+// fig4, fig5, fig6, fig7, fig8, fig9, sweep (the synthetic
+// footprint-sensitivity sweep) or smoke (one Baseline-vs-STREX
+// comparison per registered workload; CI runs this at tiny scale).
 package main
 
 import (
@@ -71,8 +73,12 @@ func main() {
 		"fig7":   suite.Figure7,
 		"fig8":   suite.Figure8,
 		"fig9":   suite.Figure9,
+		"sweep":  suite.FootprintSweep,
+		"smoke":  suite.WorkloadSmoke,
 	}
-	order := []string{"table1", "table2", "fig2", "fig4", "fig5", "fig6", "fig7", "fig8", "table3", "fig9", "table4"}
+	// Paper artifacts in paper order, then the registry-era extensions
+	// (footprint sweep, all-workload smoke).
+	order := []string{"table1", "table2", "fig2", "fig4", "fig5", "fig6", "fig7", "fig8", "table3", "fig9", "table4", "sweep", "smoke"}
 
 	run := func(name string) error {
 		drv, ok := drivers[strings.ToLower(name)]

@@ -1,6 +1,11 @@
 // Command strexsim runs one or more simulation configurations and prints
 // miss rates, throughput and latency summaries.
 //
+// -workload accepts any name from the workload registry
+// (strex.Workloads; -list prints it): tpcc1, tpcc10, tpce, tatp, voter,
+// smallbank, mapreduce, synth. -scale adjusts the benchmark-specific
+// size knob and the -synth-* flags dial the synthetic generator.
+//
 // -sched and -cores accept comma-separated lists; the cross product of
 // the two runs as a grid, fanned out over -parallel worker goroutines
 // (results are deterministic and ordered, so -parallel only changes
@@ -10,8 +15,8 @@
 // Usage:
 //
 //	strexsim -workload tpcc10 -cores 8 -sched strex -team 10
-//	strexsim -workload tpce -cores 2,4,8,16 -sched base,strex,slicc -parallel 8
-//	strexsim -workload tpcc1 -sched base -prefetch next-line
+//	strexsim -workload tatp -cores 2,4,8,16 -sched base,strex,slicc -parallel 8
+//	strexsim -workload synth -synth-units 8 -synth-types 2 -sched base,strex
 package main
 
 import (
@@ -35,7 +40,7 @@ func stderrIsTerminal() bool {
 }
 
 func main() {
-	wl := flag.String("workload", "tpcc1", "workload: tpcc1, tpcc10, tpce, mapreduce")
+	wl := flag.String("workload", "tpcc1", "registry workload name or alias (see -list)")
 	coresList := flag.String("cores", "4", "core counts, comma-separated (e.g. 4 or 2,4,8)")
 	schedList := flag.String("sched", "strex", "schedulers, comma-separated: base, strex, slicc, hybrid")
 	txns := flag.Int("txns", 120, "transactions to run")
@@ -43,8 +48,13 @@ func main() {
 	policy := flag.String("policy", "LRU", "L1-I replacement policy")
 	pf := flag.String("prefetch", "", "instruction prefetcher: empty, next-line, pif")
 	seed := flag.Uint64("seed", 1, "workload seed")
+	scale := flag.Int("scale", 0, "benchmark-specific scale knob (0 = workload default)")
+	synthUnits := flag.Float64("synth-units", 0, "synth: per-type footprint in 32KB L1-I units (0 = default 4)")
+	synthTypes := flag.Int("synth-types", 0, "synth: transaction type count (0 = default 4)")
+	synthReuse := flag.Float64("synth-reuse", 0, "synth: shared-data reuse fraction (0 = default 0.5)")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "concurrent runs for grids (1 = serial)")
 	quiet := flag.Bool("quiet", false, "suppress the progress line on stderr")
+	list := flag.Bool("list", false, "list registered workloads and exit")
 	flag.Parse()
 
 	fail := func(err error) {
@@ -52,7 +62,19 @@ func main() {
 		os.Exit(1)
 	}
 
-	w, err := buildWorkload(*wl, *txns, *seed)
+	if *list {
+		printWorkloads()
+		return
+	}
+
+	w, err := strex.BuildWorkload(*wl, strex.WorkloadOptions{
+		Txns:                *txns,
+		Seed:                *seed,
+		Scale:               *scale,
+		SynthFootprintUnits: *synthUnits,
+		SynthTypes:          *synthTypes,
+		SynthDataReuse:      *synthReuse,
+	})
 	if err != nil {
 		fail(err)
 	}
@@ -62,7 +84,7 @@ func main() {
 	}
 	var kinds []strex.SchedulerKind
 	for _, name := range strings.Split(*schedList, ",") {
-		kind, err := parseSched(strings.TrimSpace(name))
+		kind, err := strex.ParseScheduler(name)
 		if err != nil {
 			fail(err)
 		}
@@ -143,30 +165,12 @@ func parseInts(list string) ([]int, error) {
 	return out, nil
 }
 
-func buildWorkload(name string, txns int, seed uint64) (*strex.Workload, error) {
-	switch name {
-	case "tpcc1":
-		return strex.TPCC(strex.TPCCConfig{Warehouses: 1, Txns: txns, Seed: seed})
-	case "tpcc10":
-		return strex.TPCC(strex.TPCCConfig{Warehouses: 10, Txns: txns, Seed: seed})
-	case "tpce":
-		return strex.TPCE(strex.TPCEConfig{Txns: txns, Seed: seed})
-	case "mapreduce":
-		return strex.MapReduce(strex.MapReduceConfig{Tasks: txns, Seed: seed})
+// printWorkloads renders the registry for -list.
+func printWorkloads() {
+	fmt.Printf("%-10s  %-52s  %-5s  %s\n", "name", "aliases / scale", "types", "description")
+	for _, info := range strex.Workloads() {
+		fmt.Printf("%-10s  %-52s  %-5d  %s\n", info.Name,
+			strings.Join(info.Aliases, ",")+" · "+info.ScaleHint,
+			len(info.TxnTypes), info.Description)
 	}
-	return nil, fmt.Errorf("unknown workload %q (tpcc1, tpcc10, tpce, mapreduce)", name)
-}
-
-func parseSched(name string) (strex.SchedulerKind, error) {
-	switch name {
-	case "base", "baseline":
-		return strex.SchedBaseline, nil
-	case "strex":
-		return strex.SchedSTREX, nil
-	case "slicc":
-		return strex.SchedSLICC, nil
-	case "hybrid":
-		return strex.SchedHybrid, nil
-	}
-	return 0, fmt.Errorf("unknown scheduler %q (base, strex, slicc, hybrid)", name)
 }

@@ -14,7 +14,9 @@
 //
 // The package exposes a small façade over the full simulation stack:
 //
-//   - build a workload (TPCC, TPCE, MapReduce),
+//   - build a workload from the central registry (Workloads lists
+//     TPC-C, TPC-E, TATP, SmallBank, Voter, MapReduce and the Synth
+//     footprint generator; see docs/WORKLOADS.md),
 //   - pick a scheduler (Baseline, STREX, SLICC, Hybrid),
 //   - Run it on a simulated chip multiprocessor,
 //   - inspect misses, throughput and latency in the Result.
@@ -31,11 +33,15 @@
 // no external dependencies — `go build ./... && go test ./...` from a
 // fresh clone is the whole bootstrap; see docs/RUNNING.md):
 //
-//	wl, err := strex.TPCC(strex.TPCCConfig{Warehouses: 1, Txns: 100, Seed: 1})
+//	wl, err := strex.BuildWorkload("TATP", strex.WorkloadOptions{Txns: 100, Seed: 1})
 //	if err != nil { ... }
 //	base, _ := strex.Run(strex.DefaultConfig(4), wl, strex.SchedBaseline)
 //	fast, _ := strex.Run(strex.DefaultConfig(4), wl, strex.SchedSTREX)
 //	fmt.Printf("I-MPKI %.1f -> %.1f\n", base.IMPKI, fast.IMPKI)
+//
+// Any registered workload name or alias works — strex.Workloads()
+// enumerates them with descriptions and expectations, and the typed
+// shorthands (TPCC, TPCE, MapReduce) remain for the paper's originals.
 //
 // Independent runs fan out over a bounded worker pool without changing
 // any result (every run is deterministic and isolated; see

@@ -1,0 +1,109 @@
+package smallbank
+
+import (
+	"testing"
+
+	"strex/internal/codegen"
+)
+
+func newW(t testing.TB) *Workload {
+	t.Helper()
+	return New(Config{Seed: 42})
+}
+
+func TestGenerateValidSet(t *testing.T) {
+	w := newW(t)
+	set := w.Generate(60)
+	if err := set.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(set.Txns) != 60 || len(set.Types) != numTypes {
+		t.Fatalf("txns=%d types=%d", len(set.Txns), len(set.Types))
+	}
+}
+
+func TestMixApproximatesSpec(t *testing.T) {
+	w := newW(t)
+	set := w.Generate(3000)
+	counts := set.TypeCounts()
+	frac := func(i int) float64 { return float64(counts[i]) / 3000 }
+	if f := frac(TSendPayment); f < 0.20 || f > 0.30 {
+		t.Fatalf("SendPayment fraction %v, want ~0.25", f)
+	}
+	for typ := TBalance; typ < TSendPayment; typ++ {
+		if f := frac(typ); f < 0.10 || f > 0.20 {
+			t.Fatalf("%s fraction %v, want ~0.15", typeNames[typ], f)
+		}
+	}
+}
+
+func TestGenerateTyped(t *testing.T) {
+	w := newW(t)
+	for typ := 0; typ < NumTypes(); typ++ {
+		set := w.GenerateTyped(typ, 4)
+		if err := set.Validate(); err != nil {
+			t.Fatalf("type %d: %v", typ, err)
+		}
+		for _, tx := range set.Txns {
+			if tx.Type != typ {
+				t.Fatalf("typed generation leaked type %d", tx.Type)
+			}
+		}
+	}
+}
+
+func footprintUnits(w *Workload, typ, n int) float64 {
+	set := w.GenerateTyped(typ, n)
+	total := 0
+	for _, tx := range set.Txns {
+		total += tx.Trace.UniqueIBlocks()
+	}
+	return float64(total) / float64(n) / float64(codegen.L1IUnitBlocks)
+}
+
+func TestFootprintsFitOneL1I(t *testing.T) {
+	// SmallBank's defining property (and the reason it is built on the
+	// lite kernel): every transaction type's instruction footprint fits
+	// a single 32KB L1-I, so stratification has nothing substantial to
+	// win. This is the inverse of tpcc's TestFootprintExceedsL1I.
+	w := newW(t)
+	for typ := 0; typ < NumTypes(); typ++ {
+		got := footprintUnits(w, typ, 6)
+		if got > 1.05 {
+			t.Errorf("%s footprint %.2f units: must fit one L1-I", typeNames[typ], got)
+		}
+		if got < 0.3 {
+			t.Errorf("%s footprint %.2f units: suspiciously empty", typeNames[typ], got)
+		}
+	}
+}
+
+func TestLiteKernelIsCompact(t *testing.T) {
+	// The whole SmallBank code build — kernel plus every statement
+	// function — must stay within ~2 L1-I units, an order of magnitude
+	// below the full-kernel OLTP workloads.
+	w := newW(t)
+	kb := w.DB().Layout.CodeBlocks() * codegen.BlockBytes / 1024
+	if kb > 72 {
+		t.Fatalf("SmallBank code build is %dKB; want <= 72KB", kb)
+	}
+}
+
+func TestHeadersDistinguishTypes(t *testing.T) {
+	w := newW(t)
+	set := w.Generate(400)
+	headerOf := map[int]uint32{}
+	for _, tx := range set.Txns {
+		if prev, ok := headerOf[tx.Type]; ok && prev != tx.Header {
+			t.Fatalf("type %d has two headers", tx.Type)
+		}
+		headerOf[tx.Type] = tx.Header
+	}
+	seen := map[uint32]bool{}
+	for _, h := range headerOf {
+		if seen[h] {
+			t.Fatal("two types share a header")
+		}
+		seen[h] = true
+	}
+}

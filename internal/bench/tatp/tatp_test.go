@@ -1,0 +1,122 @@
+package tatp
+
+import (
+	"testing"
+
+	"strex/internal/codegen"
+)
+
+func newW(t testing.TB) *Workload {
+	t.Helper()
+	return New(Config{Seed: 42})
+}
+
+func TestGenerateValidSet(t *testing.T) {
+	w := newW(t)
+	set := w.Generate(60)
+	if err := set.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(set.Txns) != 60 || len(set.Types) != numTypes {
+		t.Fatalf("txns=%d types=%d", len(set.Txns), len(set.Types))
+	}
+}
+
+func TestMixApproximatesSpec(t *testing.T) {
+	w := newW(t)
+	set := w.Generate(3000)
+	counts := set.TypeCounts()
+	frac := func(i int) float64 { return float64(counts[i]) / 3000 }
+	if f := frac(TGetSubscriberData); f < 0.30 || f > 0.40 {
+		t.Fatalf("GetSubscriberData fraction %v, want ~0.35", f)
+	}
+	if f := frac(TGetAccessData); f < 0.30 || f > 0.40 {
+		t.Fatalf("GetAccessData fraction %v, want ~0.35", f)
+	}
+	// The defining TATP property: ~80% of the mix is read-only.
+	reads := frac(TGetSubscriberData) + frac(TGetNewDestination) + frac(TGetAccessData)
+	if reads < 0.75 || reads > 0.85 {
+		t.Fatalf("read fraction %v, spec says 0.80", reads)
+	}
+}
+
+func TestGenerateTyped(t *testing.T) {
+	w := newW(t)
+	for typ := 0; typ < NumTypes(); typ++ {
+		set := w.GenerateTyped(typ, 4)
+		if err := set.Validate(); err != nil {
+			t.Fatalf("type %d: %v", typ, err)
+		}
+		for _, tx := range set.Txns {
+			if tx.Type != typ {
+				t.Fatalf("typed generation leaked type %d", tx.Type)
+			}
+		}
+	}
+}
+
+// footprintUnits measures the mean unique-instruction-block footprint
+// of a type, in L1-I units.
+func footprintUnits(w *Workload, typ, n int) float64 {
+	set := w.GenerateTyped(typ, n)
+	total := 0
+	for _, tx := range set.Txns {
+		total += tx.Trace.UniqueIBlocks()
+	}
+	return float64(total) / float64(n) / float64(codegen.L1IUnitBlocks)
+}
+
+func TestFootprintsMatchCalibration(t *testing.T) {
+	// The package-comment targets, measured the way Table 3 is
+	// (profiled unique blocks, ±1.5 units of tolerance).
+	w := newW(t)
+	want := map[int]float64{
+		TGetSubscriberData:    4,
+		TGetNewDestination:    5,
+		TGetAccessData:        4,
+		TUpdateSubscriberData: 5,
+		TUpdateLocation:       4,
+		TInsertCallForwarding: 5,
+		TDeleteCallForwarding: 4,
+	}
+	for typ, target := range want {
+		got := footprintUnits(w, typ, 6)
+		if got < target-1.5 || got > target+1.5 {
+			t.Errorf("%s footprint = %.1f units, want %v±1.5", typeNames[typ], got, target)
+		}
+	}
+}
+
+func TestFootprintExceedsL1I(t *testing.T) {
+	// The property that makes TATP a STREX win: every type's footprint
+	// exceeds one L1-I unit (but stays well below TPC-C's 11-14).
+	w := newW(t)
+	for typ := 0; typ < NumTypes(); typ++ {
+		got := footprintUnits(w, typ, 4)
+		if got < 2 {
+			t.Errorf("%s footprint %.1f units: must exceed 2", typeNames[typ], got)
+		}
+		if got > 8 {
+			t.Errorf("%s footprint %.1f units: TATP types must stay small", typeNames[typ], got)
+		}
+	}
+}
+
+func TestHeadersDistinguishTypes(t *testing.T) {
+	w := newW(t)
+	set := w.Generate(400)
+	headerOf := map[int]uint32{}
+	seen := map[uint32]int{}
+	for _, tx := range set.Txns {
+		if prev, ok := headerOf[tx.Type]; ok && prev != tx.Header {
+			t.Fatalf("type %d has two headers", tx.Type)
+		}
+		headerOf[tx.Type] = tx.Header
+	}
+	for typ, h := range headerOf {
+		if other, dup := seen[h]; dup {
+			t.Fatalf("types %d and %d share header %d", typ, other, h)
+		}
+		seen[h] = typ
+	}
+}

@@ -1,0 +1,80 @@
+package voter
+
+import (
+	"testing"
+
+	"strex/internal/codegen"
+	"strex/internal/trace"
+)
+
+func newW(t testing.TB) *Workload {
+	t.Helper()
+	return New(Config{Seed: 42})
+}
+
+func TestGenerateValidSet(t *testing.T) {
+	w := newW(t)
+	set := w.Generate(60)
+	if err := set.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(set.Types) != 1 {
+		t.Fatalf("Voter must have exactly one type, got %v", set.Types)
+	}
+	for _, tx := range set.Txns {
+		if tx.Type != TVote {
+			t.Fatalf("txn %d has type %d", tx.ID, tx.Type)
+		}
+	}
+}
+
+func TestSingleHeaderForAllTxns(t *testing.T) {
+	// Degenerate team formation: every transaction carries the same
+	// header, so any window of the pool forms a perfect team.
+	w := newW(t)
+	set := w.Generate(100)
+	h := set.Txns[0].Header
+	for _, tx := range set.Txns {
+		if tx.Header != h {
+			t.Fatalf("headers differ: %d vs %d", h, tx.Header)
+		}
+	}
+}
+
+func TestFootprintCalibration(t *testing.T) {
+	// Package-comment target: ~5 L1-I units per Vote (±1.5), safely
+	// above one unit so STREX has something to win.
+	w := newW(t)
+	set := w.GenerateTyped(TVote, 6)
+	total := 0
+	for _, tx := range set.Txns {
+		total += tx.Trace.UniqueIBlocks()
+	}
+	got := float64(total) / 6 / float64(codegen.L1IUnitBlocks)
+	if got < 3.5 || got > 6.5 {
+		t.Fatalf("Vote footprint = %.1f units, want 5±1.5", got)
+	}
+}
+
+func TestVotesAreWriteHeavy(t *testing.T) {
+	// Voter is the insert-throughput benchmark: most transactions must
+	// actually insert (the per-number limit only bites rarely at the
+	// default scale), so stores appear in nearly every trace.
+	w := newW(t)
+	set := w.Generate(200)
+	withStores := 0
+	for _, tx := range set.Txns {
+		var stores uint64
+		for _, e := range tx.Trace.Entries {
+			if e.Kind == trace.KStore {
+				stores++
+			}
+		}
+		if stores > 0 {
+			withStores++
+		}
+	}
+	if withStores < 190 {
+		t.Fatalf("only %d/200 votes performed writes", withStores)
+	}
+}

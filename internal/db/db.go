@@ -38,7 +38,42 @@ type infra struct {
 	heapInsert codegen.FuncID
 }
 
-func registerInfra(l *codegen.Layout) infra {
+// Kernel selects the storage manager's code-path build. The full
+// kernel has Shore-MT-sized basic functions (the paper's Section 2.1
+// profile; calibrated so TPC-C/TPC-E footprints land on Table 3). The
+// lite kernel models a one-shot/stored-procedure specialization (as in
+// H-Store-style engines): the same data-structure work, but compact
+// code — its whole basic-function set is ~1 L1-I unit, so benchmarks
+// built on it (SmallBank) genuinely have tiny instruction footprints
+// instead of inheriting the full kernel's ~2.5-unit floor.
+type Kernel int
+
+const (
+	// KernelFull is the default Shore-MT-like code build.
+	KernelFull Kernel = iota
+	// KernelLite is the compact one-shot code build.
+	KernelLite
+)
+
+func registerInfra(l *codegen.Layout, k Kernel) infra {
+	if k == KernelLite {
+		return infra{
+			txnBegin:   l.AddFunc("xct.begin", 2, 0, 0),
+			txnCommit:  l.AddFunc("xct.commit", 4, 2, 0.25),
+			lockAcq:    l.AddFunc("lock.acquire", 2, 2, 0.3),
+			lockRel:    l.AddFunc("lock.release", 1, 0, 0),
+			logInsert:  l.AddFunc("log.insert", 2, 2, 0.3),
+			bufFix:     l.AddFunc("bf.fix", 2, 2, 0.3),
+			btDescend:  l.AddFunc("bt.descend", 4, 4, 0.35),
+			btLeaf:     l.AddFunc("bt.leaf_search", 3, 4, 0.5),
+			btInsert:   l.AddFunc("bt.insert", 4, 4, 0.4),
+			btSplit:    l.AddFunc("bt.split", 3, 2, 0.25),
+			btScan:     l.AddFunc("bt.scan_next", 2, 2, 0.4),
+			heapRead:   l.AddFunc("heap.read", 2, 2, 0.4),
+			heapUpdate: l.AddFunc("heap.update", 3, 2, 0.4),
+			heapInsert: l.AddFunc("heap.insert", 3, 2, 0.4),
+		}
+	}
 	return infra{
 		txnBegin:   l.AddFunc("xct.begin", 10, 2, 0.25),
 		txnCommit:  l.AddFunc("xct.commit", 22, 4, 0.3),
@@ -71,13 +106,18 @@ type Database struct {
 	stackBase uint32
 }
 
-// NewDatabase creates an empty database with a fresh code layout.
-// Workloads register their statement functions on db.Layout after this.
-func NewDatabase() *Database {
+// NewDatabase creates an empty database with a fresh code layout and
+// the full kernel. Workloads register their statement functions on
+// db.Layout after this.
+func NewDatabase() *Database { return NewDatabaseKernel(KernelFull) }
+
+// NewDatabaseKernel creates an empty database with the chosen kernel
+// code build.
+func NewDatabaseKernel(k Kernel) *Database {
 	l := codegen.NewLayout()
 	db := &Database{
 		Layout:  l,
-		fns:     registerInfra(l),
+		fns:     registerInfra(l, k),
 		nextBlk: codegen.DataBase,
 		tables:  make(map[string]*Table),
 		indexes: make(map[string]*BTree),

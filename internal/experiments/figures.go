@@ -66,8 +66,8 @@ func (s *Suite) Figure4() *metrics.Table {
 		gen   func(typ, n int) *workload.Set
 	}
 	srcs := []src{
-		{"TPC-C", s.tpcc1().TypeNames(), s.tpcc1().GenerateTyped},
-		{"TPC-E", s.tpce().TypeNames(), s.tpce().GenerateTyped},
+		{"TPC-C", s.gen("TPC-C-1").TypeNames(), s.gen("TPC-C-1").GenerateTyped},
+		{"TPC-E", s.gen("TPC-E").TypeNames(), s.gen("TPC-E").GenerateTyped},
 	}
 	type cell struct {
 		wl, name  string

@@ -144,7 +144,7 @@ func (s *Suite) Figure2() *metrics.Table {
 		{"NewOrder", tpccType("NewOrder")},
 		{"Payment", tpccType("Payment")},
 	} {
-		set := s.tpcc1().GenerateTyped(tc.typ, 16)
+		set := s.gen("TPC-C-1").GenerateTyped(tc.typ, 16)
 		series := OverlapSeries(set, 32, 100)
 		step := len(series) / 12
 		if step == 0 {

@@ -23,11 +23,9 @@ package experiments
 import (
 	"fmt"
 
-	"strex/internal/mapreduce"
+	"strex/internal/bench"
 	"strex/internal/runner"
 	"strex/internal/sim"
-	"strex/internal/tpcc"
-	"strex/internal/tpce"
 	"strex/internal/workload"
 )
 
@@ -69,11 +67,7 @@ type Suite struct {
 	opts Options
 	exec *runner.Executor
 
-	tpcc1W  *tpcc.Workload
-	tpcc10W *tpcc.Workload
-	tpceW   *tpce.Workload
-	mrW     *mapreduce.Workload
-
+	gens map[string]workload.Generator
 	sets map[string]*workload.Set
 }
 
@@ -83,6 +77,7 @@ func NewSuite(opts Options) *Suite {
 	return &Suite{
 		opts: opts,
 		exec: runner.New(opts.Parallel),
+		gens: make(map[string]workload.Generator),
 		sets: make(map[string]*workload.Set),
 	}
 }
@@ -94,37 +89,32 @@ func (s *Suite) Runner() *runner.Executor { return s.exec }
 // Options returns the suite's effective options.
 func (s *Suite) Options() Options { return s.opts }
 
-// WorkloadNames lists the paper's Table 1 workloads in order.
+// WorkloadNames lists the paper's Table 1 workloads in order (the
+// figure drivers reproduce the paper on exactly these; the registry's
+// full list drives WorkloadSmoke).
 func WorkloadNames() []string {
 	return []string{"TPC-C-1", "TPC-C-10", "TPC-E", "MapReduce"}
 }
 
-func (s *Suite) tpcc1() *tpcc.Workload {
-	if s.tpcc1W == nil {
-		s.tpcc1W = tpcc.New(tpcc.Config{Warehouses: 1, Seed: s.opts.Seed})
+// gen returns (building on first use) the registry generator for a
+// workload. Generators are cached so every figure samples the same
+// populated database, like the paper's one-QTrace-sample-per-workload
+// methodology; sets of different sizes are generated from the shared
+// instance.
+func (s *Suite) gen(name string) workload.Generator {
+	if g, ok := s.gens[name]; ok {
+		return g
 	}
-	return s.tpcc1W
-}
-
-func (s *Suite) tpcc10() *tpcc.Workload {
-	if s.tpcc10W == nil {
-		s.tpcc10W = tpcc.New(tpcc.Config{Warehouses: 10, Seed: s.opts.Seed})
+	o := bench.Options{Seed: s.opts.Seed}
+	if name == "MapReduce" {
+		o.Scale = 400 // shorter tasks than the CLI default, for run time
 	}
-	return s.tpcc10W
-}
-
-func (s *Suite) tpce() *tpce.Workload {
-	if s.tpceW == nil {
-		s.tpceW = tpce.New(tpce.Config{Seed: s.opts.Seed})
+	g, err := bench.Build(name, o)
+	if err != nil {
+		panic("experiments: " + err.Error())
 	}
-	return s.tpceW
-}
-
-func (s *Suite) mapreduce() *mapreduce.Workload {
-	if s.mrW == nil {
-		s.mrW = mapreduce.New(mapreduce.Config{Seed: s.opts.Seed, BlocksPerTask: 400})
-	}
-	return s.mrW
+	s.gens[name] = g
+	return g
 }
 
 // Set returns (generating on first use) the mixed workload set by name
@@ -133,30 +123,19 @@ func (s *Suite) Set(name string) *workload.Set {
 	return s.SetSized(name, s.opts.Txns)
 }
 
-// SetSized returns a mixed workload set with at least txns transactions.
-// Sets are cached per size. Throughput cells need the transaction count
-// to scale with cores×teamSize — the paper's system sees a continuous
-// arrival stream, so no scheduler ever idles for lack of transactions;
-// with a finite batch, a cell sized below ~2 teams per core would starve
-// STREX's cores and bias the comparison.
+// SetSized returns a mixed workload set with at least txns transactions
+// for any registered workload. Sets are cached per size. Throughput
+// cells need the transaction count to scale with cores×teamSize — the
+// paper's system sees a continuous arrival stream, so no scheduler ever
+// idles for lack of transactions; with a finite batch, a cell sized
+// below ~2 teams per core would starve STREX's cores and bias the
+// comparison.
 func (s *Suite) SetSized(name string, txns int) *workload.Set {
 	key := fmt.Sprintf("%s/%d", name, txns)
 	if set, ok := s.sets[key]; ok {
 		return set
 	}
-	var set *workload.Set
-	switch name {
-	case "TPC-C-1":
-		set = s.tpcc1().Generate(txns)
-	case "TPC-C-10":
-		set = s.tpcc10().Generate(txns)
-	case "TPC-E":
-		set = s.tpce().Generate(txns)
-	case "MapReduce":
-		set = s.mapreduce().Generate(txns)
-	default:
-		panic("experiments: unknown workload " + name)
-	}
+	set := s.gen(name).Generate(txns)
 	s.sets[key] = set
 	return set
 }

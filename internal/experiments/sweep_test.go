@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"strconv"
+	"testing"
+)
+
+func TestFootprintSweepShape(t *testing.T) {
+	tab := smallSuite().FootprintSweep()
+	if len(tab.Rows) != len(sweepUnits) {
+		t.Fatalf("%d rows, want %d", len(tab.Rows), len(sweepUnits))
+	}
+	var baseCol, strexCol []float64
+	for _, row := range tab.Rows {
+		base, err1 := strconv.ParseFloat(row[2], 64)
+		fast, err2 := strconv.ParseFloat(row[3], 64)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("unparseable row %v", row)
+		}
+		baseCol = append(baseCol, base)
+		strexCol = append(strexCol, fast)
+	}
+	// Resident end: with the whole 2-type mix inside one L1-I, the
+	// baseline barely misses and STREX has nothing big to recover.
+	if baseCol[0] > 15 {
+		t.Errorf("resident point: baseline I-MPKI %.1f, want <= 15", baseCol[0])
+	}
+	if gain := baseCol[0] - strexCol[0]; gain > 5 {
+		t.Errorf("resident point: STREX gain %.1f I-MPKI, want <= 5 (no win below one unit)", gain)
+	}
+	// Thrashing region: past one unit the baseline saturates high and
+	// STREX recovers a large share.
+	if baseCol[2] < 40 {
+		t.Errorf("2-unit point: baseline I-MPKI %.1f, want >= 40 (self-thrash)", baseCol[2])
+	}
+	if red := 1 - strexCol[2]/baseCol[2]; red < 0.4 {
+		t.Errorf("2-unit point: reduction %.0f%%, want >= 40%%", red*100)
+	}
+	// STREX's residual misses must grow monotonically with the
+	// footprint — the sensitivity axis the sweep exists to expose.
+	for i := 1; i < len(strexCol); i++ {
+		if strexCol[i] < strexCol[i-1] {
+			t.Errorf("STREX I-MPKI not monotone: %.1f at %gu after %.1f at %gu",
+				strexCol[i], sweepUnits[i], strexCol[i-1], sweepUnits[i-1])
+		}
+	}
+}
+
+func TestWorkloadSmokeCoversRegistry(t *testing.T) {
+	tab := smallSuite().WorkloadSmoke()
+	if len(tab.Rows) < 7 {
+		t.Fatalf("smoke covers %d workloads, want >= 7", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		name := row[0]
+		base, err1 := strconv.ParseFloat(row[2], 64)
+		fast, err2 := strconv.ParseFloat(row[3], 64)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("unparseable row %v", row)
+		}
+		switch row[6] {
+		case "STREX wins":
+			if fast >= base {
+				t.Errorf("%s: expected a STREX win but I-MPKI %.2f >= %.2f", name, fast, base)
+			}
+		case "no big win":
+			if base-fast > 10 {
+				t.Errorf("%s: expected no big win but STREX saved %.2f I-MPKI", name, base-fast)
+			}
+		default:
+			t.Errorf("%s: unknown expectation %q", name, row[6])
+		}
+	}
+}

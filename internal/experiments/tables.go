@@ -75,9 +75,9 @@ func (s *Suite) Table3() *metrics.Table {
 	for _, wl := range []string{"TPC-C", "TPC-E"} {
 		var fp *core.FPTable
 		if wl == "TPC-C" {
-			fp = core.MeasureFPTable(s.profilingSet(s.tpcc1().TypeNames(), s.tpcc1().GenerateTyped), 4)
+			fp = core.MeasureFPTable(s.profilingSet(s.gen("TPC-C-1").TypeNames(), s.gen("TPC-C-1").GenerateTyped), 4)
 		} else {
-			fp = core.MeasureFPTable(s.profilingSet(s.tpce().TypeNames(), s.tpce().GenerateTyped), 4)
+			fp = core.MeasureFPTable(s.profilingSet(s.gen("TPC-E").TypeNames(), s.gen("TPC-E").GenerateTyped), 4)
 		}
 		for _, e := range fp.Entries() {
 			want := "-"

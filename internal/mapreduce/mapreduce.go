@@ -42,6 +42,7 @@ type Workload struct {
 	cfg    Config
 	layout *codegen.Layout
 	rng    *xrand.RNG
+	salt   uint64 // mixed into shuffle keys so the seed shapes the traces
 
 	mapRoot, mapParse, mapEmit  codegen.FuncID
 	redRoot, redMerge, redWrite codegen.FuncID
@@ -61,6 +62,7 @@ func New(cfg Config) *Workload {
 		cfg:      cfg,
 		layout:   l,
 		rng:      xrand.New(cfg.Seed ^ 0x3A9),
+		salt:     xrand.Hash64(cfg.Seed ^ 0x3A9F),
 		mapRoot:  l.AddFunc("mr.map.root", 2, 0, 0),
 		mapParse: l.AddFunc("mr.map.parse", 5, 2, 0.3),
 		mapEmit:  l.AddFunc("mr.map.emit", 4, 2, 0.3),
@@ -76,8 +78,11 @@ func New(cfg Config) *Workload {
 // Name implements workload.Generator.
 func (w *Workload) Name() string { return "MapReduce" }
 
+// TypeNames returns the task type labels (registry metadata).
+func TypeNames() []string { return append([]string(nil), typeNames...) }
+
 // TypeNames implements workload.Generator.
-func (w *Workload) TypeNames() []string { return append([]string(nil), typeNames...) }
+func (w *Workload) TypeNames() []string { return TypeNames() }
 
 // NumTypes returns the number of task types.
 func NumTypes() int { return numTypes }
@@ -139,7 +144,7 @@ func (w *Workload) runTask(typ int, id uint64, buf *trace.Buffer) {
 			em.Data(input+uint32(b), false)
 			if b%8 == 0 {
 				em.Call(w.mapEmit, id^uint64(b))
-				em.Data(w.shuffleBase+uint32(xrand.Hash64(id+uint64(b))%4096), true)
+				em.Data(w.shuffleBase+uint32(xrand.Hash64(w.salt+id+uint64(b))%4096), true)
 			}
 		}
 		return
@@ -147,7 +152,7 @@ func (w *Workload) runTask(typ int, id uint64, buf *trace.Buffer) {
 	em.Call(w.redRoot, id)
 	for b := 0; b < w.cfg.BlocksPerTask; b++ {
 		em.Call(w.redMerge, id^uint64(b))
-		em.Data(w.shuffleBase+uint32(xrand.Hash64(id*131+uint64(b))%4096), false)
+		em.Data(w.shuffleBase+uint32(xrand.Hash64(w.salt+id*131+uint64(b))%4096), false)
 		if b%16 == 0 {
 			em.Call(w.redWrite, id^uint64(b))
 			em.Data(input+uint32(b), true)

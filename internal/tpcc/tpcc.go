@@ -240,8 +240,11 @@ func (w *Workload) DB() *db.Database { return w.db }
 // Name implements workload.Generator.
 func (w *Workload) Name() string { return fmt.Sprintf("TPC-C-%d", w.cfg.Warehouses) }
 
+// TypeNames returns the transaction type labels (registry metadata).
+func TypeNames() []string { return append([]string(nil), typeNames...) }
+
 // TypeNames implements workload.Generator.
-func (w *Workload) TypeNames() []string { return append([]string(nil), typeNames...) }
+func (w *Workload) TypeNames() []string { return TypeNames() }
 
 // NumTypes returns the number of transaction types.
 func NumTypes() int { return numTypes }

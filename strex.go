@@ -2,16 +2,16 @@ package strex
 
 import (
 	"fmt"
+	"strings"
 
+	"strex/internal/bench"
 	"strex/internal/cache"
 	"strex/internal/core"
-	"strex/internal/mapreduce"
 	"strex/internal/prefetch"
 	"strex/internal/runner"
 	"strex/internal/sched"
 	"strex/internal/sim"
-	"strex/internal/tpcc"
-	"strex/internal/tpce"
+	"strex/internal/synth"
 	"strex/internal/workload"
 )
 
@@ -45,6 +45,24 @@ func (k SchedulerKind) String() string {
 	return fmt.Sprintf("SchedulerKind(%d)", int(k))
 }
 
+// ParseScheduler resolves a scheduler name to its SchedulerKind. It
+// accepts the CLI spellings (base, baseline, strex, slicc, hybrid) and
+// the paper labels String returns, case-insensitively. Both binaries
+// parse -sched flags through this one function.
+func ParseScheduler(name string) (SchedulerKind, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "base", "baseline":
+		return SchedBaseline, nil
+	case "strex":
+		return SchedSTREX, nil
+	case "slicc":
+		return SchedSLICC, nil
+	case "hybrid", "strex+slicc":
+		return SchedHybrid, nil
+	}
+	return 0, fmt.Errorf("strex: unknown scheduler %q (base, strex, slicc, hybrid)", name)
+}
+
 // Config describes the simulated system. Zero values fall back to the
 // paper's Table 2 configuration via DefaultConfig.
 type Config struct {
@@ -56,8 +74,22 @@ type Config struct {
 	Prefetcher string // "", "next-line" or "pif" (PIF upper bound)
 	TeamSize   int    // STREX team size (default 10)
 	PoolWindow int    // scheduler-visible pending transactions (default 30)
-	Seed       uint64
+	// Seed drives the simulator's tie-breaking randomness. Like every
+	// other Config field, the zero value means "use the default": Seed 0
+	// silently aliases to the default seed 1 and is NOT a distinct
+	// seed. Callers that need a full-range seed space (e.g. per-run
+	// seeds in a grid) should produce seeds with DeriveSeed, which
+	// never returns 0. Workload generation seeds are separate
+	// (WorkloadOptions.Seed) and are used verbatim.
+	Seed uint64
 }
+
+// DeriveSeed maps a master seed and a run index to a well-distributed
+// per-run seed (re-exported from the run executor). It is pure, so a
+// grid seeded with DeriveSeed(master, i) is reproducible regardless of
+// execution order, and it never returns 0 — the value Config.Seed and
+// WorkloadOptions-free builders treat as "use the default".
+func DeriveSeed(master uint64, index int) uint64 { return runner.DeriveSeed(master, index) }
 
 // DefaultConfig returns the paper's system for n cores.
 func DefaultConfig(n int) Config {
@@ -128,6 +160,82 @@ func (w *Workload) FootprintUnits() float64 {
 	return core.MeasureFPTable(w.set, 4).AverageUnits()
 }
 
+// WorkloadInfo describes one registered workload (see Workloads).
+type WorkloadInfo struct {
+	// Name is the canonical registry name, accepted by BuildWorkload.
+	Name string
+	// Aliases are alternative accepted spellings (CLI-friendly).
+	Aliases []string
+	// Description is a one-line summary.
+	Description string
+	// TxnTypes lists the transaction type labels.
+	TxnTypes []string
+	// ScaleHint documents what WorkloadOptions.Scale means here.
+	ScaleHint string
+	// STREXWins is the paper-model expectation: whether the per-type
+	// instruction footprint exceeds one L1-I, the precondition for
+	// stratified execution to pay off.
+	STREXWins bool
+}
+
+// Workloads lists every registered workload: the paper's originals
+// (TPC-C-1, TPC-C-10, TPC-E, MapReduce), the extended OLTP family
+// (TATP, Voter, SmallBank) and the Synth footprint generator.
+func Workloads() []WorkloadInfo {
+	infos := bench.Workloads()
+	out := make([]WorkloadInfo, len(infos))
+	for i, in := range infos {
+		out[i] = WorkloadInfo{
+			Name:        in.Name,
+			Aliases:     in.Aliases,
+			Description: in.Description,
+			TxnTypes:    in.TxnTypes,
+			ScaleHint:   in.ScaleHint,
+			STREXWins:   in.STREXWins,
+		}
+	}
+	return out
+}
+
+// WorkloadOptions parameterizes BuildWorkload. Only Txns is required.
+type WorkloadOptions struct {
+	// Txns is the number of transactions to generate (required).
+	Txns int
+	// Seed drives workload generation and is used verbatim — 0 is a
+	// valid seed distinct from 1 (unlike Config.Seed, which treats 0 as
+	// "use the default").
+	Seed uint64
+	// Scale is the benchmark-specific size knob; 0 selects the
+	// workload's default (see WorkloadInfo.ScaleHint).
+	Scale int
+	// SynthFootprintUnits, SynthTypes and SynthDataReuse dial the
+	// "Synth" workload (ignored by the fixed benchmarks); zero values
+	// select synth's defaults (4 units, 4 types, 0.5 reuse).
+	SynthFootprintUnits float64
+	SynthTypes          int
+	SynthDataReuse      float64
+}
+
+// BuildWorkload generates a workload by registry name (or alias) — the
+// single entry point the CLIs, the experiment drivers and library users
+// share. The returned workload is replayable: running it under two
+// schedulers compares them on identical transactions.
+func BuildWorkload(name string, opts WorkloadOptions) (*Workload, error) {
+	set, err := bench.BuildSet(name, opts.Txns, bench.Options{
+		Seed:  opts.Seed,
+		Scale: opts.Scale,
+		Synth: synth.Params{
+			FootprintUnits: opts.SynthFootprintUnits,
+			Types:          opts.SynthTypes,
+			DataReuse:      opts.SynthDataReuse,
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Workload{set: set}, nil
+}
+
 // TPCCConfig parameterizes a TPC-C workload.
 type TPCCConfig struct {
 	Warehouses int // 1 and 10 reproduce the paper's TPC-C-1 / TPC-C-10
@@ -135,17 +243,13 @@ type TPCCConfig struct {
 	Seed       uint64
 }
 
-// TPCC builds a TPC-C workload.
+// TPCC builds a TPC-C workload (shorthand for BuildWorkload with
+// Scale=Warehouses).
 func TPCC(cfg TPCCConfig) (*Workload, error) {
 	if cfg.Warehouses <= 0 || cfg.Txns <= 0 {
 		return nil, fmt.Errorf("strex: TPCC needs positive Warehouses and Txns, got %+v", cfg)
 	}
-	w := tpcc.New(tpcc.Config{Warehouses: cfg.Warehouses, Seed: cfg.Seed})
-	set := w.Generate(cfg.Txns)
-	if err := set.Validate(); err != nil {
-		return nil, err
-	}
-	return &Workload{set: set}, nil
+	return BuildWorkload("TPC-C-1", WorkloadOptions{Txns: cfg.Txns, Seed: cfg.Seed, Scale: cfg.Warehouses})
 }
 
 // TPCEConfig parameterizes a TPC-E workload.
@@ -154,17 +258,12 @@ type TPCEConfig struct {
 	Seed uint64
 }
 
-// TPCE builds a TPC-E workload.
+// TPCE builds a TPC-E workload (shorthand for BuildWorkload).
 func TPCE(cfg TPCEConfig) (*Workload, error) {
 	if cfg.Txns <= 0 {
 		return nil, fmt.Errorf("strex: TPCE needs positive Txns")
 	}
-	w := tpce.New(tpce.Config{Seed: cfg.Seed})
-	set := w.Generate(cfg.Txns)
-	if err := set.Validate(); err != nil {
-		return nil, err
-	}
-	return &Workload{set: set}, nil
+	return BuildWorkload("TPC-E", WorkloadOptions{Txns: cfg.Txns, Seed: cfg.Seed})
 }
 
 // MapReduceConfig parameterizes the MapReduce control workload.
@@ -173,17 +272,13 @@ type MapReduceConfig struct {
 	Seed  uint64
 }
 
-// MapReduce builds the small-instruction-footprint control workload.
+// MapReduce builds the small-instruction-footprint control workload
+// (shorthand for BuildWorkload).
 func MapReduce(cfg MapReduceConfig) (*Workload, error) {
 	if cfg.Tasks <= 0 {
 		return nil, fmt.Errorf("strex: MapReduce needs positive Tasks")
 	}
-	w := mapreduce.New(mapreduce.Config{Seed: cfg.Seed})
-	set := w.Generate(cfg.Tasks)
-	if err := set.Validate(); err != nil {
-		return nil, err
-	}
-	return &Workload{set: set}, nil
+	return BuildWorkload("MapReduce", WorkloadOptions{Txns: cfg.Tasks, Seed: cfg.Seed})
 }
 
 // Result summarizes one simulation run.

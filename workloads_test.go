@@ -1,0 +1,190 @@
+package strex
+
+import "testing"
+
+// build is a test helper around BuildWorkload.
+func build(t testing.TB, name string, opts WorkloadOptions) *Workload {
+	t.Helper()
+	w, err := BuildWorkload(name, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// comparePair runs a workload under Baseline and STREX on 2 cores.
+func comparePair(t testing.TB, w *Workload) (base, fast Result) {
+	t.Helper()
+	results, err := RunMany(w, []RunSpec{
+		{Config: DefaultConfig(2), Sched: SchedBaseline},
+		{Config: DefaultConfig(2), Sched: SchedSTREX},
+	}, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return results[0], results[1]
+}
+
+func TestWorkloadsRegistry(t *testing.T) {
+	infos := Workloads()
+	if len(infos) < 7 {
+		t.Fatalf("Workloads() lists %d entries, want >= 7", len(infos))
+	}
+	names := map[string]bool{}
+	for _, in := range infos {
+		names[in.Name] = true
+	}
+	for _, want := range []string{"TPC-C-1", "TPC-C-10", "TPC-E", "MapReduce", "TATP", "SmallBank", "Voter", "Synth"} {
+		if !names[want] {
+			t.Errorf("registry is missing %s", want)
+		}
+	}
+	if _, err := BuildWorkload("no-such-workload", WorkloadOptions{Txns: 10}); err == nil {
+		t.Fatal("BuildWorkload accepted an unknown name")
+	}
+	if _, err := BuildWorkload("TATP", WorkloadOptions{}); err == nil {
+		t.Fatal("BuildWorkload accepted zero Txns")
+	}
+}
+
+// TestOLTPBenchmarksSTREXReducesIMPKI is the headline acceptance check:
+// on every OLTP benchmark in the registry, STREX's I-MPKI is below the
+// baseline's on the identical transaction set.
+func TestOLTPBenchmarksSTREXReducesIMPKI(t *testing.T) {
+	for _, name := range []string{"TPC-C-1", "TPC-E", "TATP", "SmallBank", "Voter"} {
+		w := build(t, name, WorkloadOptions{Txns: 60, Seed: 7})
+		base, fast := comparePair(t, w)
+		if fast.IMPKI >= base.IMPKI {
+			t.Errorf("%s: STREX I-MPKI %.2f not below baseline %.2f", name, fast.IMPKI, base.IMPKI)
+		}
+	}
+}
+
+// TestTATPStrexWins pins the expected *large* win on TATP: per-type
+// footprints of 3.5-5.5 L1-I units self-thrash the baseline, and
+// stratification recovers a big share of the misses.
+func TestTATPStrexWins(t *testing.T) {
+	w := build(t, "TATP", WorkloadOptions{Txns: 80, Seed: 7})
+	base, fast := comparePair(t, w)
+	if red := 1 - fast.IMPKI/base.IMPKI; red < 0.25 {
+		t.Fatalf("TATP reduction %.0f%%, want >= 25%%", red*100)
+	}
+	if saved := base.IMPKI - fast.IMPKI; saved < 12 {
+		t.Fatalf("TATP absolute I-MPKI gain %.1f, want >= 12", saved)
+	}
+	if fast.ThroughputTPM <= base.ThroughputTPM {
+		t.Fatalf("TATP throughput %.2f not above baseline %.2f", fast.ThroughputTPM, base.ThroughputTPM)
+	}
+}
+
+// TestVoterStrexWins pins the single-type case: team formation is
+// degenerate (every transaction shares one header) and the 5-unit Vote
+// footprint still gives STREX a clear win.
+func TestVoterStrexWins(t *testing.T) {
+	w := build(t, "Voter", WorkloadOptions{Txns: 80, Seed: 7})
+	base, fast := comparePair(t, w)
+	if red := 1 - fast.IMPKI/base.IMPKI; red < 0.15 {
+		t.Fatalf("Voter reduction %.0f%%, want >= 15%%", red*100)
+	}
+	if saved := base.IMPKI - fast.IMPKI; saved < 10 {
+		t.Fatalf("Voter absolute I-MPKI gain %.1f, want >= 10", saved)
+	}
+}
+
+// TestSmallBankNoBigWin pins the paper's expected non-win: SmallBank's
+// sub-unit footprints fit the L1-I, so the baseline barely misses and
+// STREX has almost nothing to recover — in absolute terms an order of
+// magnitude less than on TATP.
+func TestSmallBankNoBigWin(t *testing.T) {
+	w := build(t, "SmallBank", WorkloadOptions{Txns: 80, Seed: 7})
+	base, fast := comparePair(t, w)
+	if base.IMPKI > 20 {
+		t.Fatalf("SmallBank baseline I-MPKI %.2f: the stress case must barely miss (want <= 20)", base.IMPKI)
+	}
+	if saved := base.IMPKI - fast.IMPKI; saved > 10 {
+		t.Fatalf("SmallBank absolute I-MPKI gain %.1f: expected a non-win (<= 10)", saved)
+	}
+	// Stratifying must not backfire either (MapReduce-style robustness).
+	if fast.ThroughputTPM < base.ThroughputTPM*0.9 {
+		t.Fatalf("SmallBank STREX throughput %.2f fell >10%% below baseline %.2f",
+			fast.ThroughputTPM, base.ThroughputTPM)
+	}
+}
+
+// TestSynthSmallFootprintNoWin pins the synthetic resident case: two
+// types of half a unit each — the whole mix fits one L1-I, so both
+// schedulers run nearly miss-free and STREX's gain is noise.
+func TestSynthSmallFootprintNoWin(t *testing.T) {
+	w := build(t, "Synth", WorkloadOptions{
+		Txns: 80, Seed: 7,
+		SynthFootprintUnits: 0.5, SynthTypes: 2,
+	})
+	base, fast := comparePair(t, w)
+	if base.IMPKI > 15 {
+		t.Fatalf("resident synth baseline I-MPKI %.2f, want <= 15", base.IMPKI)
+	}
+	if saved := base.IMPKI - fast.IMPKI; saved > 5 {
+		t.Fatalf("resident synth absolute I-MPKI gain %.1f, want <= 5", saved)
+	}
+}
+
+// TestSynthLargeFootprintWins is the other end of the dial: 8-unit
+// footprints thrash the baseline and STREX recovers a large share.
+func TestSynthLargeFootprintWins(t *testing.T) {
+	w := build(t, "Synth", WorkloadOptions{
+		Txns: 80, Seed: 7,
+		SynthFootprintUnits: 8, SynthTypes: 2,
+	})
+	base, fast := comparePair(t, w)
+	if red := 1 - fast.IMPKI/base.IMPKI; red < 0.15 {
+		t.Fatalf("8-unit synth reduction %.0f%%, want >= 15%%", red*100)
+	}
+	if saved := base.IMPKI - fast.IMPKI; saved < 10 {
+		t.Fatalf("8-unit synth absolute I-MPKI gain %.1f, want >= 10", saved)
+	}
+}
+
+func TestParseScheduler(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want SchedulerKind
+	}{
+		{"base", SchedBaseline}, {"baseline", SchedBaseline}, {"Base", SchedBaseline},
+		{"strex", SchedSTREX}, {"STREX", SchedSTREX},
+		{"slicc", SchedSLICC}, {"SLICC", SchedSLICC},
+		{"hybrid", SchedHybrid}, {"STREX+SLICC", SchedHybrid},
+		{" strex ", SchedSTREX},
+	} {
+		got, err := ParseScheduler(tc.in)
+		if err != nil || got != tc.want {
+			t.Errorf("ParseScheduler(%q) = (%v, %v), want %v", tc.in, got, err, tc.want)
+		}
+	}
+	if _, err := ParseScheduler("fifo"); err == nil {
+		t.Fatal("ParseScheduler accepted an unknown name")
+	}
+}
+
+func TestDeriveSeedNeverZero(t *testing.T) {
+	seen := map[uint64]int{}
+	for i := 0; i < 1000; i++ {
+		s := DeriveSeed(42, i)
+		if s == 0 {
+			t.Fatalf("DeriveSeed(42, %d) = 0, which Config.Seed treats as unset", i)
+		}
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("DeriveSeed collision between indices %d and %d", prev, i)
+		}
+		seen[s] = i
+	}
+}
+
+// TestBuildWorkloadSeedVerbatim pins the facade seed contract: workload
+// seeds are used verbatim (0 is distinct from 1), unlike Config.Seed.
+func TestBuildWorkloadSeedVerbatim(t *testing.T) {
+	z := build(t, "TATP", WorkloadOptions{Txns: 20, Seed: 0})
+	o := build(t, "TATP", WorkloadOptions{Txns: 20, Seed: 1})
+	if z.Instrs() == o.Instrs() {
+		t.Fatal("seeds 0 and 1 generated identical instruction counts; 0 likely aliased")
+	}
+}
