@@ -5,6 +5,7 @@
 // Usage:
 //
 //	experiments [-txns N] [-seed S] [-parallel P] [-only fig6] [-csv]
+//	            [-cache-dir DIR] [-no-cache] [-json PATH]
 //
 // -txns scales the sample size per configuration (default 160
 // transactions; the paper replays 1.2B instructions, see DESIGN.md §6).
@@ -16,6 +17,17 @@
 // fig4, fig5, fig6, fig7, fig8, fig9, sweep (the synthetic
 // footprint-sensitivity sweep) or smoke (one Baseline-vs-STREX
 // comparison per registered workload; CI runs this at tiny scale).
+//
+// -cache-dir persists generated workload traces and completed run
+// results in a content-addressed store: a warm rerun performs zero
+// workload generations and replays memoized results, emitting
+// byte-identical tables (tables go to stdout; progress, timings and the
+// cache/generation summary go to stderr, so redirected stdout diffs
+// clean across reruns). See docs/TRACES.md for the invalidation rules.
+// -json writes machine-readable run summaries (workload, scheduler,
+// cores, cycles, L1-I MPKI, throughput) for the experiments that record
+// them (fig5, fig6, sweep, smoke) — CI publishes BENCH_suite.json this
+// way.
 package main
 
 import (
@@ -26,8 +38,10 @@ import (
 	"strings"
 	"time"
 
+	"strex/internal/bench"
 	"strex/internal/experiments"
 	"strex/internal/metrics"
+	"strex/internal/runcache"
 )
 
 // stderrIsTerminal reports whether stderr is a character device (a
@@ -44,12 +58,30 @@ func main() {
 	only := flag.String("only", "", "run a single experiment (e.g. fig6)")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
 	quiet := flag.Bool("quiet", false, "suppress the progress line on stderr")
+	cacheDir := flag.String("cache-dir", "", "content-addressed cache for traces and run results (empty = off)")
+	noCache := flag.Bool("no-cache", false, "disable the cache even when -cache-dir is set")
+	jsonPath := flag.String("json", "", "write machine-readable run summaries (BENCH_*.json) to this path")
 	flag.Parse()
+
+	fatal := func(err error) {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+
+	var cache *runcache.Cache
+	if *cacheDir != "" && !*noCache {
+		var err error
+		if cache, err = runcache.Open(*cacheDir); err != nil {
+			fatal(err)
+		}
+	}
 
 	// Progress uses \r-overwrite escapes, so it is suppressed when stderr
 	// is not a terminal (redirected logs would fill with control bytes).
 	showProgress := !*quiet && stderrIsTerminal()
-	suite := experiments.NewSuite(experiments.Options{Txns: *txns, Seed: *seed, Parallel: *parallel})
+	suite := experiments.NewSuite(experiments.Options{
+		Txns: *txns, Seed: *seed, Parallel: *parallel, Cache: cache,
+	})
 	if showProgress {
 		suite.Runner().OnProgress(func(done, submitted int, label string) {
 			fmt.Fprintf(os.Stderr, "\r\x1b[K  %d/%d runs  %s", done, submitted, label)
@@ -80,6 +112,9 @@ func main() {
 	// (footprint sweep, all-workload smoke).
 	order := []string{"table1", "table2", "fig2", "fig4", "fig5", "fig6", "fig7", "fig8", "table3", "fig9", "table4", "sweep", "smoke"}
 
+	// Tables go to stdout; timings go to stderr so that stdout is
+	// byte-identical across reruns (the cached-rerun equivalence check
+	// in CI diffs it).
 	run := func(name string) error {
 		drv, ok := drivers[strings.ToLower(name)]
 		if !ok {
@@ -98,23 +133,42 @@ func main() {
 				return err
 			}
 		}
-		fmt.Printf("(%s in %v)\n\n", name, time.Since(start).Round(time.Millisecond))
+		fmt.Println()
+		fmt.Fprintf(os.Stderr, "(%s in %v)\n", name, time.Since(start).Round(time.Millisecond))
 		return nil
+	}
+
+	finish := func() {
+		// The generation count is the cache's observable contract (a warm
+		// rerun must report 0); CI greps this line.
+		fmt.Fprintf(os.Stderr, "experiments: workload generations: %d\n", bench.Generations())
+		if cache.Enabled() {
+			st := cache.Stats()
+			fmt.Fprintf(os.Stderr, "experiments: cache %s: traces %d hit / %d miss, results %d hit / %d miss\n",
+				cache.Dir(), st.TraceHits, st.TraceMisses, st.ResultHits, st.ResultMisses)
+		}
+		if *jsonPath != "" {
+			report := metrics.BenchReport{TxnsPerCell: *txns, Seed: *seed, Records: suite.Records()}
+			if err := report.Save(*jsonPath); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "experiments: wrote %d run records to %s\n", len(report.Records), *jsonPath)
+		}
 	}
 
 	if *only != "" {
 		if err := run(*only); err != nil {
-			fmt.Fprintln(os.Stderr, "experiments:", err)
-			os.Exit(1)
+			fatal(err)
 		}
+		finish()
 		return
 	}
 	fmt.Printf("STREX evaluation reproduction — %d txns/config, seed %d, %d workers\n\n",
 		*txns, *seed, suite.Runner().Workers())
 	for _, name := range order {
 		if err := run(name); err != nil {
-			fmt.Fprintln(os.Stderr, "experiments:", err)
-			os.Exit(1)
+			fatal(err)
 		}
 	}
+	finish()
 }

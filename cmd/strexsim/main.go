@@ -12,11 +12,18 @@
 // wall-clock). A single-cell grid prints the detailed summary; a larger
 // grid prints one comparison row per run.
 //
+// Workload generation can be cached (-cache-dir reuses generated
+// traces across invocations) or bypassed entirely: -save-trace writes
+// the generated workload to a .strextrace artifact and -load-trace
+// replays one (see docs/TRACES.md).
+//
 // Usage:
 //
 //	strexsim -workload tpcc10 -cores 8 -sched strex -team 10
 //	strexsim -workload tatp -cores 2,4,8,16 -sched base,strex,slicc -parallel 8
 //	strexsim -workload synth -synth-units 8 -synth-types 2 -sched base,strex
+//	strexsim -workload tpcc10 -save-trace tpcc10.strextrace -sched base
+//	strexsim -load-trace tpcc10.strextrace -sched strex,slicc -cores 4,8
 package main
 
 import (
@@ -55,6 +62,10 @@ func main() {
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "concurrent runs for grids (1 = serial)")
 	quiet := flag.Bool("quiet", false, "suppress the progress line on stderr")
 	list := flag.Bool("list", false, "list registered workloads and exit")
+	cacheDir := flag.String("cache-dir", "", "trace cache directory: reuse generated workloads across invocations (see docs/TRACES.md)")
+	noCache := flag.Bool("no-cache", false, "disable the trace cache even when -cache-dir is set")
+	saveTrace := flag.String("save-trace", "", "write the workload to this .strextrace file before running")
+	loadTrace := flag.String("load-trace", "", "replay this .strextrace file instead of generating (-workload/-txns/-scale ignored)")
 	flag.Parse()
 
 	fail := func(err error) {
@@ -67,16 +78,30 @@ func main() {
 		return
 	}
 
-	w, err := strex.BuildWorkload(*wl, strex.WorkloadOptions{
-		Txns:                *txns,
-		Seed:                *seed,
-		Scale:               *scale,
-		SynthFootprintUnits: *synthUnits,
-		SynthTypes:          *synthTypes,
-		SynthDataReuse:      *synthReuse,
-	})
+	var w *strex.Workload
+	var err error
+	if *loadTrace != "" {
+		w, err = strex.LoadWorkload(*loadTrace)
+	} else {
+		w, err = strex.BuildWorkload(*wl, strex.WorkloadOptions{
+			Txns:                *txns,
+			Seed:                *seed,
+			Scale:               *scale,
+			SynthFootprintUnits: *synthUnits,
+			SynthTypes:          *synthTypes,
+			SynthDataReuse:      *synthReuse,
+			CacheDir:            *cacheDir,
+			NoCache:             *noCache,
+		})
+	}
 	if err != nil {
 		fail(err)
+	}
+	if *saveTrace != "" {
+		if err := w.SaveTrace(*saveTrace); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "strexsim: saved %s (%d txns) to %s\n", w.Name(), w.Txns(), *saveTrace)
 	}
 	cores, err := parseInts(*coresList)
 	if err != nil {

@@ -59,4 +59,14 @@
 // configuration; the default experiment scale (Txns=160) replays tens of
 // millions of instructions per configuration so the full grid finishes
 // in minutes — raise -txns for higher-fidelity numbers.
+//
+// Workloads persist: SaveTrace/LoadWorkload round-trip a workload
+// through a versioned, checksummed .strextrace artifact, and
+// WorkloadOptions.CacheDir memoizes generation in a content-addressed
+// on-disk store (internal/tracefile, internal/runcache). The CLIs
+// expose the same machinery as -save-trace/-load-trace/-cache-dir, and
+// cmd/experiments additionally memoizes run results, so a warm rerun
+// performs zero workload generations while emitting byte-identical
+// tables — see docs/TRACES.md for the file format, cache layout and
+// invalidation rules, and docs/RUNNING.md for the caching workflow.
 package strex

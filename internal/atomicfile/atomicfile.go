@@ -1,0 +1,38 @@
+// Package atomicfile is the single implementation of the
+// write-temp-then-rename discipline every persistence writer shares
+// (trace artifacts, run-result records, bench reports): content is
+// staged in a hidden temp file in the target directory and renamed into
+// place only after a successful write and close, so concurrent readers
+// only ever observe complete files. Cache maintenance recognizes
+// orphaned staging files by their "." prefix.
+package atomicfile
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// WriteFile writes path atomically, creating parent directories as
+// needed. write receives the staging file; any error it returns (or a
+// failed close/rename) leaves the target untouched and the staging file
+// removed.
+func WriteFile(path string, write func(io.Writer) error) error {
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if err := write(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"strex/internal/bench/smallbank"
 	"strex/internal/bench/tatp"
@@ -188,6 +189,33 @@ func scaleOr(scale, def int) int {
 	return def
 }
 
+// generations counts workload generations (Generate/GenerateTyped calls
+// on registry-built generators) process-wide. The run cache's warm-path
+// guarantee — a cached rerun performs *zero* generations — is asserted
+// against this counter, and the CLIs report it so cache effectiveness
+// is observable.
+var generations atomic.Int64
+
+// Generations returns the number of workload generations performed by
+// registry-built generators since process start.
+func Generations() int64 { return generations.Load() }
+
+// counted wraps a generator to maintain the generation counter.
+type counted struct{ g workload.Generator }
+
+func (c counted) Name() string        { return c.g.Name() }
+func (c counted) TypeNames() []string { return c.g.TypeNames() }
+
+func (c counted) Generate(n int) *workload.Set {
+	generations.Add(1)
+	return c.g.Generate(n)
+}
+
+func (c counted) GenerateTyped(typeID, n int) *workload.Set {
+	generations.Add(1)
+	return c.g.GenerateTyped(typeID, n)
+}
+
 // Workloads lists every registered workload in registry order.
 func Workloads() []Info {
 	out := make([]Info, len(registry))
@@ -230,6 +258,23 @@ func lookup(name string) (entry, bool) {
 	return entry{}, false
 }
 
+// TypeID resolves a transaction type name for a registered workload —
+// the single implementation of that lookup for the CLIs and the
+// experiment drivers.
+func TypeID(workload, typeName string) (int, error) {
+	e, ok := lookup(workload)
+	if !ok {
+		return 0, fmt.Errorf("bench: unknown workload %q (have %s)", workload, strings.Join(allNames(), ", "))
+	}
+	for i, n := range e.info.TxnTypes {
+		if n == typeName {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("bench: workload %s has no type %q (have %s)",
+		e.info.Name, typeName, strings.Join(e.info.TxnTypes, ", "))
+}
+
 // Build constructs a fresh generator for the named workload. Generators
 // are stateful (their mix RNG advances across Generate calls), so every
 // Build returns an independent instance; building twice with the same
@@ -239,7 +284,7 @@ func Build(name string, opts Options) (workload.Generator, error) {
 	if !ok {
 		return nil, fmt.Errorf("bench: unknown workload %q (have %s)", name, strings.Join(allNames(), ", "))
 	}
-	return e.build(opts), nil
+	return counted{e.build(opts)}, nil
 }
 
 // BuildSet builds a generator and generates a validated set of txns

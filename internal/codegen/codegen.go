@@ -124,6 +124,50 @@ func (l *Layout) AddFunc(name string, kb int, variantGroups int, variantFrac flo
 // Func returns the function with the given id.
 func (l *Layout) Func(id FuncID) *Func { return &l.funcs[id] }
 
+// Funcs returns a copy of the registered functions in ID order — the
+// serializable view of a layout (internal/tracefile persists it).
+func (l *Layout) Funcs() []Func {
+	return append([]Func(nil), l.funcs...)
+}
+
+// RestoreLayout rebuilds a layout from a function list previously
+// obtained from Funcs (trace-file deserialization). It re-derives the
+// name index and the allocation cursor, and rejects lists that violate
+// the layout invariants AddFunc maintains, so a restored layout is
+// indistinguishable from the one that was saved.
+func RestoreLayout(funcs []Func) (*Layout, error) {
+	l := NewLayout()
+	for i, f := range funcs {
+		if f.ID != FuncID(i) {
+			return nil, fmt.Errorf("codegen: restore: func %d has ID %d", i, f.ID)
+		}
+		if f.Name == "" {
+			return nil, fmt.Errorf("codegen: restore: func %d has no name", i)
+		}
+		if _, dup := l.byName[f.Name]; dup {
+			return nil, fmt.Errorf("codegen: restore: duplicate function %s", f.Name)
+		}
+		// Bound every field before doing arithmetic on it: the list may
+		// come from a hostile file header, and unchecked sizes would
+		// overflow the uint32 end-of-function computation below.
+		const maxBlocks = int(DataBase)
+		if f.CommonBlocks < 1 || f.VariantGroups < 0 || f.VariantBlocks < 0 ||
+			f.CommonBlocks > maxBlocks || f.VariantGroups > maxBlocks || f.VariantBlocks > maxBlocks {
+			return nil, fmt.Errorf("codegen: restore: func %s has bad shape %+v", f.Name, f)
+		}
+		end := uint64(f.Base) + uint64(f.CommonBlocks) + uint64(f.VariantGroups)*uint64(f.VariantBlocks)
+		if end >= uint64(DataBase) {
+			return nil, fmt.Errorf("codegen: restore: func %s exceeds instruction space", f.Name)
+		}
+		if uint32(end) > l.nextBlk {
+			l.nextBlk = uint32(end)
+		}
+		l.funcs = append(l.funcs, f)
+		l.byName[f.Name] = f.ID
+	}
+	return l, nil
+}
+
 // Lookup returns the function registered under name.
 func (l *Layout) Lookup(name string) (FuncID, bool) {
 	id, ok := l.byName[name]

@@ -204,3 +204,38 @@ func TestFunctionsDoNotOverlap(t *testing.T) {
 		t.Fatalf("layout has gaps: %d blocks seen, %d allocated", len(seen), l.CodeBlocks())
 	}
 }
+
+func TestRestoreLayoutRoundTrip(t *testing.T) {
+	l := NewLayout()
+	l.AddFunc("a", 8, 0, 0)
+	l.AddFunc("b", 16, 4, 0.3)
+	r, err := RestoreLayout(l.Funcs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.CodeBlocks() != l.CodeBlocks() || r.NumFuncs() != l.NumFuncs() {
+		t.Fatalf("restore: %d/%d blocks, %d/%d funcs",
+			r.CodeBlocks(), l.CodeBlocks(), r.NumFuncs(), l.NumFuncs())
+	}
+	if id, ok := r.Lookup("b"); !ok || id != 1 {
+		t.Fatalf("lookup b: %v %v", id, ok)
+	}
+}
+
+func TestRestoreLayoutRejectsHostileShapes(t *testing.T) {
+	cases := map[string][]Func{
+		"bad-id":     {{ID: 1, Name: "a", CommonBlocks: 1}},
+		"no-name":    {{ID: 0, CommonBlocks: 1}},
+		"dup-name":   {{ID: 0, Name: "a", CommonBlocks: 1}, {ID: 1, Name: "a", CommonBlocks: 1}},
+		"zero-size":  {{ID: 0, Name: "a"}},
+		"past-space": {{ID: 0, Name: "a", Base: DataBase - 1, CommonBlocks: 2}},
+		// uint32 overflow must not wrap the bound check back into range.
+		"overflow-common":  {{ID: 0, Name: "a", CommonBlocks: 1 << 32}},
+		"overflow-variant": {{ID: 0, Name: "a", CommonBlocks: 1, VariantGroups: 1 << 20, VariantBlocks: 1 << 20}},
+	}
+	for name, funcs := range cases {
+		if _, err := RestoreLayout(funcs); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}

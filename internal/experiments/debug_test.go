@@ -12,7 +12,7 @@ import (
 // doubles as a regression net.
 func TestDebugIdenticalSync(t *testing.T) {
 	s := smallSuite()
-	instances := s.gen("TPC-C-1").GenerateTyped(tpccType("Payment"), 1)
+	instances := s.TypedSet("TPC-C-1", "Payment", 1)
 	identical := replicate(instances, 10)
 	base := s.runOn(identical, 1, sched.NewBaseline(), nil).Stats
 	strex := s.runOn(identical, 1, sched.NewStrex(), nil).Stats

@@ -14,7 +14,7 @@ func smallSuite() *Suite {
 
 func TestFigure2OverlapClaims(t *testing.T) {
 	s := smallSuite()
-	set := s.gen("TPC-C-1").GenerateTyped(tpccType("NewOrder"), 16)
+	set := s.TypedSet("TPC-C-1", "NewOrder", 16)
 	series := OverlapSeries(set, 32, 100)
 	if len(series) < 10 {
 		t.Fatalf("only %d intervals measured", len(series))

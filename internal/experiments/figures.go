@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"strex/internal/bench"
 	"strex/internal/cache"
 	"strex/internal/core"
 	"strex/internal/metrics"
@@ -34,7 +35,8 @@ func newHybrid(set *workload.Set, cores int) func() sim.Scheduler {
 
 // replicate builds the Figure 4 "hypothetical workload": each of the
 // instances is replicated `times` times (sharing the identical trace),
-// interleaved so replicas of the same instance arrive together.
+// interleaved so replicas of the same instance arrive together. Callers
+// holding a cacheable parent register the result via Suite.derivedSet.
 func replicate(set *workload.Set, times int) *workload.Set {
 	out := &workload.Set{Name: set.Name + "-identical", Types: set.Types, Layout: set.Layout}
 	id := 0
@@ -61,13 +63,11 @@ func (s *Suite) Figure4() *metrics.Table {
 		Header: []string{"workload", "txn type", "Baseline I-MPKI", "CTX-Identical I-MPKI", "reduction"},
 	}
 	type src struct {
-		wl    string
-		names []string
-		gen   func(typ, n int) *workload.Set
+		wl, reg string
 	}
 	srcs := []src{
-		{"TPC-C", s.gen("TPC-C-1").TypeNames(), s.gen("TPC-C-1").GenerateTyped},
-		{"TPC-E", s.gen("TPC-E").TypeNames(), s.gen("TPC-E").GenerateTyped},
+		{"TPC-C", "TPC-C-1"},
+		{"TPC-E", "TPC-E"},
 	}
 	type cell struct {
 		wl, name  string
@@ -75,9 +75,9 @@ func (s *Suite) Figure4() *metrics.Table {
 	}
 	var cells []cell
 	for _, sc := range srcs {
-		for typ, name := range sc.names {
-			instances := sc.gen(typ, 10)
-			identical := replicate(instances, 10)
+		for _, name := range registryTypes(sc.reg) {
+			instances := s.TypedSet(sc.reg, name, 10)
+			identical := s.derivedSet(replicate(instances, 10), instances, "replicate10")
 			cells = append(cells, cell{
 				wl: sc.wl, name: name,
 				base: s.runAsync("fig4/"+name+"/base", identical, 1, newBaseline, nil),
@@ -113,6 +113,7 @@ func (s *Suite) Figure5() *metrics.Table {
 		wl    string
 		cores int
 		name  string
+		txns  int
 		fut   *runner.Future
 	}
 	var cells []cell
@@ -126,12 +127,13 @@ func (s *Suite) Figure5() *metrics.Table {
 				{"Base", newBaseline}, {"SLICC", newSlicc}, {"STREX", newStrex},
 			} {
 				label := fmt.Sprintf("fig5/%s/%dc/%s", wl, cores, mk.name)
-				cells = append(cells, cell{wl, cores, mk.name, s.runAsync(label, set, cores, mk.fn, nil)})
+				cells = append(cells, cell{wl, cores, mk.name, len(set.Txns), s.runAsync(label, set, cores, mk.fn, nil)})
 			}
 		}
 	}
 	for _, c := range cells {
 		st := c.fut.Result().Stats
+		s.record(metrics.RunRecordOf("fig5", c.wl, c.name, c.cores, c.txns, st))
 		tab.AddRow(c.wl, c.cores, c.name, st.IMPKI(), st.DMPKI(), st.Switches, st.Migrations)
 		switch c.name {
 		case "Base":
@@ -201,7 +203,9 @@ func (s *Suite) Figure6() *metrics.Table {
 		}
 		tp := make([]float64, len(c.futs))
 		for j, f := range c.futs {
-			tp[j] = f.Result().Stats.SteadyThroughput(c.txns, c.cores)
+			st := f.Result().Stats
+			s.record(metrics.RunRecordOf("fig6", c.wl, tab.Header[2+j], c.cores, c.txns, st))
+			tp[j] = st.SteadyThroughput(c.txns, c.cores)
 		}
 		if base2 == 0 {
 			base2 = tp[0] // first core count is the normalization point
@@ -365,6 +369,16 @@ func (s *Suite) Figure9() *metrics.Table {
 	}
 	tab.AddNote("paper: STREX+LRU beats the best standalone policy by >35%% (TPC-C-10) / >45%% (TPC-E); pairing STREX with anti-thrash policies triggers much more frequent context switching — watch the switches column, not only MPKI")
 	return tab
+}
+
+// registryTypes returns the transaction type names of a registered
+// workload (driver convenience over bench.Lookup).
+func registryTypes(name string) []string {
+	info, ok := bench.Lookup(name)
+	if !ok {
+		panic("experiments: unknown workload " + name)
+	}
+	return info.TxnTypes
 }
 
 // latencyOf is a test helper: mean latency in cycles of a run.

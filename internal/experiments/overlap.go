@@ -137,14 +137,8 @@ func (s *Suite) Figure2() *metrics.Table {
 		Title:  "Figure 2: Temporal overlap (16 same-type txns, 16 cores, 32KB L1-I)",
 		Header: []string{"txn type", "K-instr", "1 cache", "<5", "<10", ">=10"},
 	}
-	for _, tc := range []struct {
-		label string
-		typ   int
-	}{
-		{"NewOrder", tpccType("NewOrder")},
-		{"Payment", tpccType("Payment")},
-	} {
-		set := s.gen("TPC-C-1").GenerateTyped(tc.typ, 16)
+	for _, label := range []string{"NewOrder", "Payment"} {
+		set := s.TypedSet("TPC-C-1", label, 16)
 		series := OverlapSeries(set, 32, 100)
 		step := len(series) / 12
 		if step == 0 {
@@ -152,29 +146,14 @@ func (s *Suite) Figure2() *metrics.Table {
 		}
 		for i := 0; i < len(series); i += step {
 			p := series[i]
-			tab.AddRow(tc.label, fmt.Sprintf("%.1f", p.KInstr),
+			tab.AddRow(label, fmt.Sprintf("%.1f", p.KInstr),
 				pct(p.One), pct(p.Under5), pct(p.Under10), pct(p.AtLeast10))
 		}
 		sum := Summarize(series)
 		tab.AddNote("%s: mean >=5 caches %.0f%%, >=10 caches %.0f%%, single %.0f%% (paper: >70%%, >40%%, <10%%)",
-			tc.label, sum.AtLeast5*100, sum.AtLeast10*100, sum.Single*100)
+			label, sum.AtLeast5*100, sum.AtLeast10*100, sum.Single*100)
 	}
 	return tab
 }
 
 func pct(f float64) string { return fmt.Sprintf("%.0f%%", f*100) }
-
-// tpccType maps a paper label to the tpcc type id. It panics on unknown
-// labels (a programming error in the drivers).
-func tpccType(name string) int {
-	for i, n := range tpccNames() {
-		if n == name {
-			return i
-		}
-	}
-	panic("experiments: unknown tpcc type " + name)
-}
-
-func tpccNames() []string {
-	return []string{"Delivery", "NewOrder", "OrderStatus", "Payment", "StockLevel"}
-}

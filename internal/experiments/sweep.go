@@ -51,14 +51,8 @@ func (s *Suite) FootprintSweep() *metrics.Table {
 	}
 	var cells []cell
 	for i, u := range sweepUnits {
-		g, err := bench.Build("Synth", bench.Options{
-			Seed:  runner.DeriveSeed(s.opts.Seed, i),
-			Synth: synth.Params{FootprintUnits: u, Types: sweepTypes},
-		})
-		if err != nil {
-			panic("experiments: " + err.Error())
-		}
-		set := g.Generate(txns)
+		set := s.synthSet(runner.DeriveSeed(s.opts.Seed, i),
+			synth.Params{FootprintUnits: u, Types: sweepTypes}, txns)
 		kb := set.Layout.CodeBlocks() * codegen.BlockBytes / 1024 / len(set.Types)
 		label := fmt.Sprintf("sweep/%gu", u)
 		cells = append(cells, cell{
@@ -70,6 +64,9 @@ func (s *Suite) FootprintSweep() *metrics.Table {
 	for _, c := range cells {
 		base := c.base.Result().Stats
 		fast := c.strex.Result().Stats
+		wl := fmt.Sprintf("Synth-%gu", c.units)
+		s.record(metrics.RunRecordOf("sweep", wl, "Base", cores, c.txns, base))
+		s.record(metrics.RunRecordOf("sweep", wl, "STREX", cores, c.txns, fast))
 		red := 0.0
 		if base.IMPKI() > 0 {
 			red = (1 - fast.IMPKI()/base.IMPKI()) * 100
@@ -112,6 +109,8 @@ func (s *Suite) WorkloadSmoke() *metrics.Table {
 	for _, c := range cells {
 		base := c.base.Result().Stats
 		fast := c.strex.Result().Stats
+		s.record(metrics.RunRecordOf("smoke", c.info.Name, "Base", cores, c.txns, base))
+		s.record(metrics.RunRecordOf("smoke", c.info.Name, "STREX", cores, c.txns, fast))
 		expect := "no big win"
 		if c.info.STREXWins {
 			expect = "STREX wins"

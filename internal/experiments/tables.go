@@ -73,12 +73,11 @@ func (s *Suite) Table3() *metrics.Table {
 	// per-type profiling phase does (a small mixed sample might miss the
 	// 4%-mix types entirely).
 	for _, wl := range []string{"TPC-C", "TPC-E"} {
-		var fp *core.FPTable
-		if wl == "TPC-C" {
-			fp = core.MeasureFPTable(s.profilingSet(s.gen("TPC-C-1").TypeNames(), s.gen("TPC-C-1").GenerateTyped), 4)
-		} else {
-			fp = core.MeasureFPTable(s.profilingSet(s.gen("TPC-E").TypeNames(), s.gen("TPC-E").GenerateTyped), 4)
+		reg := "TPC-C-1"
+		if wl == "TPC-E" {
+			reg = "TPC-E"
 		}
+		fp := core.MeasureFPTable(s.profilingSet(reg), 4)
 		for _, e := range fp.Entries() {
 			want := "-"
 			if p, ok := paper[e.Name]; ok {
@@ -91,14 +90,16 @@ func (s *Suite) Table3() *metrics.Table {
 	return tab
 }
 
-// profilingSet builds a set with `samples` instances of every type, used
-// only for FPTable measurement.
-func (s *Suite) profilingSet(names []string, gen func(typ, n int) *workload.Set) *workload.Set {
+// profilingSet builds a set with `samples` instances of every type of a
+// registered workload, used only for FPTable measurement. The per-type
+// samples come from TypedSet, so they are cached like every other set.
+func (s *Suite) profilingSet(reg string) *workload.Set {
 	const samples = 4
+	names := registryTypes(reg)
 	out := &workload.Set{Name: "profiling", Types: names}
 	id := 0
-	for typ := range names {
-		typed := gen(typ, samples)
+	for _, name := range names {
+		typed := s.TypedSet(reg, name, samples)
 		for _, tx := range typed.Txns {
 			out.Txns = append(out.Txns, &workload.Txn{
 				ID: id, Type: tx.Type, Header: tx.Header, Trace: tx.Trace,

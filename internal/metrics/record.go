@@ -1,0 +1,75 @@
+package metrics
+
+import (
+	"encoding/json"
+	"io"
+
+	"strex/internal/atomicfile"
+	"strex/internal/sim"
+)
+
+// RunRecord is one machine-readable run summary — the unit of the
+// BENCH_*.json perf trajectory. Fields mirror the comparisons the
+// paper's figures make: identity (experiment cell, workload, scheduler,
+// core count, sample size) plus the headline measurements.
+type RunRecord struct {
+	Experiment    string  `json:"experiment"`
+	Workload      string  `json:"workload"`
+	Sched         string  `json:"sched"`
+	Cores         int     `json:"cores"`
+	Txns          int     `json:"txns"`
+	Cycles        uint64  `json:"cycles"`
+	BusyCycles    uint64  `json:"busy_cycles"`
+	Instrs        uint64  `json:"instrs"`
+	IMPKI         float64 `json:"l1i_mpki"`
+	DMPKI         float64 `json:"l1d_mpki"`
+	ThroughputTPM float64 `json:"txn_per_mcycle"`
+}
+
+// RunRecordOf projects a run's stats into its summary record.
+func RunRecordOf(experiment, workload, sched string, cores, txns int, st sim.Stats) RunRecord {
+	return RunRecord{
+		Experiment:    experiment,
+		Workload:      workload,
+		Sched:         sched,
+		Cores:         cores,
+		Txns:          txns,
+		Cycles:        st.Cycles,
+		BusyCycles:    st.BusyCycles,
+		Instrs:        st.Instrs,
+		IMPKI:         st.IMPKI(),
+		DMPKI:         st.DMPKI(),
+		ThroughputTPM: st.SteadyThroughput(txns, cores),
+	}
+}
+
+// BenchReport is the envelope written to BENCH_*.json files: the suite
+// parameters that make the records comparable across commits, plus the
+// records themselves. It deliberately carries no timestamp or host
+// information, so reruns of the same commit at the same parameters are
+// byte-identical (CI diffs them).
+type BenchReport struct {
+	SchemaVersion int         `json:"schema_version"`
+	TxnsPerCell   int         `json:"txns_per_cell"`
+	Seed          uint64      `json:"seed"`
+	Records       []RunRecord `json:"records"`
+}
+
+// BenchReportSchemaVersion identifies the report layout.
+const BenchReportSchemaVersion = 1
+
+// Write renders the report as indented JSON.
+func (r BenchReport) Write(w io.Writer) error {
+	r.SchemaVersion = BenchReportSchemaVersion
+	if r.Records == nil {
+		r.Records = []RunRecord{} // emit [], not null
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// Save writes the report to path atomically.
+func (r BenchReport) Save(path string) error {
+	return atomicfile.WriteFile(path, r.Write)
+}

@@ -1,0 +1,67 @@
+package runcache_test
+
+import (
+	"testing"
+
+	"strex/internal/bench"
+	"strex/internal/experiments"
+	"strex/internal/metrics"
+	"strex/internal/runcache"
+)
+
+// TestCachedRerunIsByteIdenticalAndGenerationFree is the subsystem's
+// acceptance gate: with a warm cache, rerunning an experiment performs
+// zero workload generations yet renders byte-identical tables — and a
+// cache-less run agrees with both, proving the cache changes wall-clock
+// only, never results.
+func TestCachedRerunIsByteIdenticalAndGenerationFree(t *testing.T) {
+	dir := t.TempDir()
+	opts := func(c *runcache.Cache) experiments.Options {
+		return experiments.Options{Txns: 12, Seed: 7, Cores: []int{2}, Cache: c}
+	}
+	render := func(c *runcache.Cache) (string, int64) {
+		before := bench.Generations()
+		s := experiments.NewSuite(opts(c))
+		tabs := []*metrics.Table{s.WorkloadSmoke(), s.FootprintSweep()}
+		out := ""
+		for _, tab := range tabs {
+			out += tab.String()
+		}
+		return out, bench.Generations() - before
+	}
+
+	cold := openCache(t, dir)
+	coldOut, coldGens := render(cold)
+	if coldGens == 0 {
+		t.Fatal("cold run performed no generations — counter broken")
+	}
+	if st := cold.Stats(); st.TraceMisses == 0 {
+		t.Fatalf("cold run should miss the trace cache: %+v", st)
+	}
+
+	warm := openCache(t, dir)
+	warmOut, warmGens := render(warm)
+	if warmGens != 0 {
+		t.Errorf("warm rerun performed %d workload generations, want 0", warmGens)
+	}
+	if st := warm.Stats(); st.TraceHits == 0 || st.ResultHits == 0 {
+		t.Errorf("warm rerun did not hit the cache: %+v", st)
+	}
+	if warmOut != coldOut {
+		t.Errorf("warm rerun tables differ from cold run\ncold:\n%s\nwarm:\n%s", coldOut, warmOut)
+	}
+
+	freshOut, _ := render(nil) // caching disabled entirely
+	if freshOut != coldOut {
+		t.Errorf("cache-less run differs from cached run\nfresh:\n%s\ncached:\n%s", freshOut, coldOut)
+	}
+}
+
+func openCache(t *testing.T, dir string) *runcache.Cache {
+	t.Helper()
+	c, err := runcache.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}

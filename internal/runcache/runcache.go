@@ -1,0 +1,348 @@
+// Package runcache is the content-addressed on-disk store that makes
+// repeated experiment sweeps bound by simulation instead of generation:
+// it memoizes generated workload sets (as .strextrace artifacts, see
+// internal/tracefile) and completed run results (as JSON records) under
+// stable hashes of everything that determines their content.
+//
+// Keying discipline. A set is a pure function of (workload name, seed,
+// scale, transaction count, generator parameters) — SetKey captures
+// exactly that, plus the trace format version and this package's
+// FormatVersion. A run result is a pure function of (the full
+// sim.Config, the scheduler selection, the workload set) — RunKey
+// captures those, identifying the set by its SetKey hash. Keys never
+// include code versions: if simulator or generator *behavior* changes,
+// the cache must be wiped (or a different directory used) — see
+// docs/TRACES.md for the invalidation rules and how CI keys its cache
+// on the source hash to get this automatically.
+//
+// Layout on disk:
+//
+//	<dir>/traces/<hh>/<hash>.strextrace   memoized workload sets
+//	<dir>/results/<hh>/<hash>.json        memoized run records
+//
+// where <hh> is the first two hex digits of the hash (fan-out keeps
+// directories small). All writes are atomic (temp file + rename), so a
+// cache directory may be shared by concurrent runs; readers only ever
+// observe complete artifacts, and the trace CRC rejects torn files that
+// slipped past rename atomicity (e.g. on crash-prone filesystems).
+//
+// A nil *Cache is valid and means "caching disabled": every method is
+// nil-receiver-safe, so callers thread the knob through without
+// branching.
+package runcache
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync/atomic"
+
+	"strex/internal/atomicfile"
+	"strex/internal/sim"
+	"strex/internal/tracefile"
+	"strex/internal/workload"
+)
+
+// FormatVersion versions the cache layout and key derivation. Bumping
+// it orphans (but does not delete) every existing artifact.
+const FormatVersion = 1
+
+// DefaultDir returns the conventional cache location
+// (os.UserCacheDir()/strex) — callers may pass any directory instead.
+func DefaultDir() string {
+	base, err := os.UserCacheDir()
+	if err != nil {
+		return filepath.Join(os.TempDir(), "strex-cache")
+	}
+	return filepath.Join(base, "strex")
+}
+
+// Stats counts cache traffic since the Cache was opened.
+type Stats struct {
+	TraceHits, TraceMisses   int64
+	ResultHits, ResultMisses int64
+}
+
+// Cache is a handle on one cache directory. The zero value and nil are
+// both "disabled"; Open validates and creates the directory.
+type Cache struct {
+	dir string
+
+	traceHits, traceMisses   atomic.Int64
+	resultHits, resultMisses atomic.Int64
+}
+
+// Open returns a cache rooted at dir, creating it if needed.
+func Open(dir string) (*Cache, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("runcache: empty cache directory")
+	}
+	for _, sub := range []string{"traces", "results"} {
+		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
+			return nil, fmt.Errorf("runcache: %w", err)
+		}
+	}
+	return &Cache{dir: dir}, nil
+}
+
+// Dir returns the cache root ("" when disabled).
+func (c *Cache) Dir() string {
+	if c == nil {
+		return ""
+	}
+	return c.dir
+}
+
+// Enabled reports whether the handle actually persists anything.
+func (c *Cache) Enabled() bool { return c != nil && c.dir != "" }
+
+// Stats returns a snapshot of the traffic counters.
+func (c *Cache) Stats() Stats {
+	if c == nil {
+		return Stats{}
+	}
+	return Stats{
+		TraceHits:    c.traceHits.Load(),
+		TraceMisses:  c.traceMisses.Load(),
+		ResultHits:   c.resultHits.Load(),
+		ResultMisses: c.resultMisses.Load(),
+	}
+}
+
+// SetKey identifies a generated workload set before it is generated.
+// Workload must be the canonical registry name (aliases would fork the
+// key space); Extra carries canonicalized generator parameters that are
+// not covered by Seed/Scale (e.g. synth knobs). TypeID is -1 for the
+// mixed benchmark stream and a type index for GenerateTyped sets.
+type SetKey struct {
+	Workload string
+	Seed     uint64
+	Scale    int
+	Txns     int
+	TypeID   int
+	Extra    string
+}
+
+// Hash returns the content address: a stable hex digest over every key
+// field plus both format versions.
+func (k SetKey) Hash() string {
+	return digest("set", fmt.Sprintf("rc%d|tf%d|%s|seed=%d|scale=%d|txns=%d|type=%d|%s",
+		FormatVersion, tracefile.Version, k.Workload, k.Seed, k.Scale, k.Txns, k.TypeID, k.Extra))
+}
+
+// RunKey identifies one simulation run. Config is hashed in full (every
+// field participates, so any config change is a clean miss); Sched is
+// the scheduler selection including its parameters (e.g. "strex/team=10"
+// or an experiment cell label); SetID is the workload identity — a
+// SetKey.Hash(), possibly decorated for derived sets.
+type RunKey struct {
+	Config sim.Config
+	Sched  string
+	SetID  string
+	Extra  string
+}
+
+// Hash returns the run's content address.
+func (k RunKey) Hash() string {
+	// %#v prints every field of the config (nested structs included)
+	// with names and types: a new Config field automatically changes
+	// the canonical form, which is exactly the invalidation we want.
+	return digest("run", fmt.Sprintf("rc%d|%#v|sched=%s|set=%s|%s",
+		FormatVersion, k.Config, k.Sched, k.SetID, k.Extra))
+}
+
+func digest(kind, canonical string) string {
+	h := sha256.Sum256([]byte(kind + "\x00" + canonical))
+	return hex.EncodeToString(h[:])
+}
+
+func (c *Cache) tracePath(hash string) string {
+	return filepath.Join(c.dir, "traces", hash[:2], hash+tracefile.Ext)
+}
+
+func (c *Cache) resultPath(hash string) string {
+	return filepath.Join(c.dir, "results", hash[:2], hash+".json")
+}
+
+// GetSet loads the memoized set for key, if present and intact. Corrupt
+// or stale-format artifacts count as misses (and are left for Prune).
+func (c *Cache) GetSet(key SetKey) (*workload.Set, bool) {
+	if !c.Enabled() {
+		return nil, false
+	}
+	set, _, err := tracefile.Load(c.tracePath(key.Hash()))
+	if err != nil {
+		c.traceMisses.Add(1)
+		return nil, false
+	}
+	c.traceHits.Add(1)
+	return set, true
+}
+
+// PutSet stores set under key (atomic; concurrent writers of the same
+// key are benign because their content is identical by construction).
+func (c *Cache) PutSet(key SetKey, set *workload.Set) error {
+	if !c.Enabled() {
+		return nil
+	}
+	return tracefile.Save(c.tracePath(key.Hash()), set, tracefile.Provenance{
+		Workload: key.Workload, Seed: key.Seed, Scale: key.Scale,
+		TypeID: key.TypeID, Extra: key.Extra,
+	})
+}
+
+// ThreadRecord preserves the per-thread values result consumers read
+// (latency distributions need the cycle stamps, MPKI needs nothing
+// more).
+type ThreadRecord struct {
+	Enqueue uint64 `json:"enq"`
+	Start   uint64 `json:"start"`
+	Finish  uint64 `json:"finish"`
+	Instrs  uint64 `json:"instrs"`
+}
+
+// Record is the serialized form of a sim.Result.
+type Record struct {
+	SchemaVersion int            `json:"schema_version"`
+	Stats         sim.Stats      `json:"stats"`
+	Threads       []ThreadRecord `json:"threads"`
+}
+
+// RecordOf projects a result into its cacheable record.
+func RecordOf(res sim.Result) Record {
+	rec := Record{SchemaVersion: FormatVersion, Stats: res.Stats}
+	rec.Threads = make([]ThreadRecord, len(res.Threads))
+	for i, t := range res.Threads {
+		rec.Threads[i] = ThreadRecord{
+			Enqueue: t.EnqueueCycle, Start: t.StartCycle,
+			Finish: t.FinishCycle, Instrs: t.Instrs,
+		}
+	}
+	return rec
+}
+
+// Result reconstructs a sim.Result. The rebuilt threads carry the cycle
+// stamps and instruction counts but no transaction pointers — exactly
+// the surface the reporting layers consume.
+func (r Record) Result() sim.Result {
+	res := sim.Result{Stats: r.Stats}
+	res.Threads = make([]*sim.Thread, len(r.Threads))
+	for i, t := range r.Threads {
+		res.Threads[i] = &sim.Thread{
+			EnqueueCycle: t.Enqueue, StartCycle: t.Start,
+			FinishCycle: t.Finish, Instrs: t.Instrs,
+		}
+	}
+	return res
+}
+
+// GetResult loads the memoized run record for key.
+func (c *Cache) GetResult(key string) (Record, bool) {
+	if !c.Enabled() {
+		return Record{}, false
+	}
+	data, err := os.ReadFile(c.resultPath(key))
+	if err != nil {
+		c.resultMisses.Add(1)
+		return Record{}, false
+	}
+	var rec Record
+	if err := json.Unmarshal(data, &rec); err != nil || rec.SchemaVersion != FormatVersion {
+		c.resultMisses.Add(1)
+		return Record{}, false
+	}
+	c.resultHits.Add(1)
+	return rec, true
+}
+
+// PutResult stores rec under key, atomically.
+func (c *Cache) PutResult(key string, rec Record) error {
+	if !c.Enabled() {
+		return nil
+	}
+	rec.SchemaVersion = FormatVersion
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	return atomicfile.WriteFile(c.resultPath(key), func(w io.Writer) error {
+		_, werr := w.Write(data)
+		return werr
+	})
+}
+
+// Size returns the total bytes currently stored.
+func (c *Cache) Size() (int64, error) {
+	if !c.Enabled() {
+		return 0, nil
+	}
+	var total int64
+	err := filepath.WalkDir(c.dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return err
+		}
+		info, err := d.Info()
+		if err != nil {
+			return nil // raced with a concurrent Prune/replace
+		}
+		total += info.Size()
+		return nil
+	})
+	return total, err
+}
+
+// Prune evicts least-recently-modified artifacts until the cache is at
+// or below maxBytes (0 empties it entirely). It returns the number of
+// files removed. Partially written temp files are always removed.
+func (c *Cache) Prune(maxBytes int64) (int, error) {
+	if !c.Enabled() {
+		return 0, nil
+	}
+	type file struct {
+		path  string
+		size  int64
+		mtime int64
+	}
+	var files []file
+	var total int64
+	err := filepath.WalkDir(c.dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return err
+		}
+		info, ierr := d.Info()
+		if ierr != nil {
+			return nil
+		}
+		if filepath.Base(path)[0] == '.' { // orphaned temp file
+			os.Remove(path)
+			return nil
+		}
+		files = append(files, file{path, info.Size(), info.ModTime().UnixNano()})
+		total += info.Size()
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	if total <= maxBytes {
+		return 0, nil
+	}
+	sort.Slice(files, func(i, j int) bool { return files[i].mtime < files[j].mtime })
+	removed := 0
+	for _, f := range files {
+		if total <= maxBytes {
+			break
+		}
+		if err := os.Remove(f.path); err == nil {
+			total -= f.size
+			removed++
+		}
+	}
+	return removed, nil
+}

@@ -38,6 +38,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"strex/internal/runcache"
 	"strex/internal/sim"
 	"strex/internal/workload"
 	"strex/internal/xrand"
@@ -61,6 +62,14 @@ type Spec struct {
 	// mandatory — scheduler state (teams, phase IDs, SLICC queues) is
 	// per-run and must not leak across runs.
 	Sched func() sim.Scheduler
+	// CacheKey, when non-empty and the executor carries a run cache
+	// (SetCache), memoizes this run: a stored record with this key is
+	// returned without executing, and a fresh execution is stored under
+	// it. The caller owns key correctness — the key must identify the
+	// full (Config, scheduler, workload set) triple, typically via
+	// runcache.RunKey.Hash(). Cached results carry the same Stats and
+	// per-thread cycle stamps as a live run but no Txn pointers.
+	CacheKey string
 }
 
 // Future is the pending result of a submitted run.
@@ -86,7 +95,8 @@ func (f *Future) Result() sim.Result {
 // workers never touch the coordinator's state. The zero value is not
 // usable; call New.
 type Executor struct {
-	sem chan struct{} // counting semaphore bounding concurrent runs
+	sem   chan struct{}   // counting semaphore bounding concurrent runs
+	cache *runcache.Cache // nil = no result memoization
 
 	submitted atomic.Int64
 	completed atomic.Int64
@@ -117,6 +127,12 @@ func New(workers int) *Executor {
 
 // Workers returns the concurrency bound.
 func (x *Executor) Workers() int { return cap(x.sem) }
+
+// SetCache attaches a run-result cache consulted for every Spec that
+// carries a CacheKey. Call it before the first Submit; a nil cache (the
+// default) disables memoization. Workers read and write the cache
+// concurrently, which runcache's atomic artifact discipline permits.
+func (x *Executor) SetCache(c *runcache.Cache) { x.cache = c }
 
 // OnProgress registers a callback invoked after every completed run with
 // (completed, submitted, label). It is called from worker goroutines
@@ -164,7 +180,18 @@ func (x *Executor) Submit(spec Spec) *Future {
 			x.mu.Unlock()
 			close(f.done)
 		}()
+		if spec.CacheKey != "" {
+			if rec, ok := x.cache.GetResult(spec.CacheKey); ok {
+				f.res = rec.Result()
+				return
+			}
+		}
 		f.res = sim.New(spec.Config, spec.Set, spec.Sched()).Run()
+		if spec.CacheKey != "" {
+			// Store errors are deliberately swallowed: a full disk must
+			// degrade to "slower", never to "failed run".
+			_ = x.cache.PutResult(spec.CacheKey, runcache.RecordOf(f.res))
+		}
 	}()
 	return f
 }

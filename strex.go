@@ -8,10 +8,12 @@ import (
 	"strex/internal/cache"
 	"strex/internal/core"
 	"strex/internal/prefetch"
+	"strex/internal/runcache"
 	"strex/internal/runner"
 	"strex/internal/sched"
 	"strex/internal/sim"
 	"strex/internal/synth"
+	"strex/internal/tracefile"
 	"strex/internal/workload"
 )
 
@@ -138,7 +140,8 @@ func (c Config) build() (sim.Config, error) {
 
 // Workload is a generated, replayable transaction set.
 type Workload struct {
-	set *workload.Set
+	set  *workload.Set
+	prov tracefile.Provenance
 }
 
 // Name returns the workload label (e.g. "TPC-C-10").
@@ -214,26 +217,98 @@ type WorkloadOptions struct {
 	SynthFootprintUnits float64
 	SynthTypes          int
 	SynthDataReuse      float64
+	// CacheDir enables the on-disk workload cache (see docs/TRACES.md):
+	// generation is skipped when a trace artifact for the exact
+	// (workload, seed, scale, txns, synth knobs) already exists, and a
+	// fresh generation is stored for next time. Empty disables caching.
+	CacheDir string
+	// NoCache disables the cache even when CacheDir is set (the CLI's
+	// -no-cache passthrough).
+	NoCache bool
 }
 
 // BuildWorkload generates a workload by registry name (or alias) — the
 // single entry point the CLIs, the experiment drivers and library users
 // share. The returned workload is replayable: running it under two
-// schedulers compares them on identical transactions.
+// schedulers compares them on identical transactions. With
+// WorkloadOptions.CacheDir set, generation is memoized on disk —
+// cached and fresh builds are byte-identical because set content is a
+// pure function of the options.
 func BuildWorkload(name string, opts WorkloadOptions) (*Workload, error) {
+	sp := synth.Params{
+		FootprintUnits: opts.SynthFootprintUnits,
+		Types:          opts.SynthTypes,
+		DataReuse:      opts.SynthDataReuse,
+	}
+	canonical := name
+	info, known := bench.Lookup(name)
+	if known {
+		canonical = info.Name // aliases share artifacts and provenance
+	}
+	var extra string
+	if canonical == "Synth" {
+		extra = fmt.Sprintf("%#v", sp) // synth knobs determine content too
+	}
+	var rc *runcache.Cache
+	var key runcache.SetKey
+	if known && opts.CacheDir != "" && !opts.NoCache {
+		var err error
+		if rc, err = runcache.Open(opts.CacheDir); err != nil {
+			return nil, err
+		}
+		key = runcache.SetKey{
+			Workload: canonical,
+			Seed:     opts.Seed,
+			Scale:    opts.Scale,
+			Txns:     opts.Txns,
+			TypeID:   -1,
+			Extra:    extra,
+		}
+		if set, ok := rc.GetSet(key); ok {
+			return &Workload{set: set, prov: provenance(canonical, extra, opts)}, nil
+		}
+	}
 	set, err := bench.BuildSet(name, opts.Txns, bench.Options{
 		Seed:  opts.Seed,
 		Scale: opts.Scale,
-		Synth: synth.Params{
-			FootprintUnits: opts.SynthFootprintUnits,
-			Types:          opts.SynthTypes,
-			DataReuse:      opts.SynthDataReuse,
-		},
+		Synth: sp,
 	})
 	if err != nil {
 		return nil, err
 	}
-	return &Workload{set: set}, nil
+	if rc != nil {
+		// Store failures degrade to "regenerate next time" (the workload
+		// in hand is complete and valid), matching the runner's policy
+		// for result stores.
+		_ = rc.PutSet(key, set)
+	}
+	return &Workload{set: set, prov: provenance(canonical, extra, opts)}, nil
+}
+
+func provenance(canonical, extra string, opts WorkloadOptions) tracefile.Provenance {
+	return tracefile.Provenance{
+		Workload: canonical, Seed: opts.Seed, Scale: opts.Scale,
+		TypeID: -1, // the facade only builds mixed streams
+		Extra:  extra,
+	}
+}
+
+// SaveTrace writes the workload to path as a versioned, checksummed
+// .strextrace artifact (see docs/TRACES.md for the format). The file
+// replays anywhere via LoadWorkload or strexsim -load-trace.
+func (w *Workload) SaveTrace(path string) error {
+	return tracefile.Save(path, w.set, w.prov)
+}
+
+// LoadWorkload reads a .strextrace artifact previously written by
+// SaveTrace, tracegen -o, or the run cache. The checksum and structural
+// invariants are verified before any trace reaches a simulator.
+func LoadWorkload(path string) (*Workload, error) {
+	set, meta, err := tracefile.Load(path)
+	if err != nil {
+		return nil, err
+	}
+	return &Workload{set: set, prov: meta.Provenance}, nil
 }
 
 // TPCCConfig parameterizes a TPC-C workload.
