@@ -11,7 +11,10 @@ package strex
 // custom units (I-MPKI, relative throughput, ...) via b.ReportMetric.
 
 import (
+	"encoding/json"
+	"os"
 	"testing"
+	"time"
 
 	"strex/internal/bench"
 	"strex/internal/core"
@@ -240,6 +243,132 @@ func BenchmarkEngineThroughput(b *testing.B) {
 		res := sim.New(sim.DefaultConfig(2), wlSet(w), sched.NewBaseline()).Run()
 		b.SetBytes(int64(res.Stats.Instrs))
 	}
+}
+
+// --- engine hot-loop microbenchmarks -------------------------------------
+//
+// These track the event-driven core's speed directly (docs/ENGINE.md):
+// entries/sec is the simulator's native unit of work, comparable across
+// schedulers and over time. CI runs them at -benchtime=1x as a smoke
+// pass and TestBenchSimJSON records the same measurements (plus the
+// cold-suite wall clock) to BENCH_sim.json for the perf trajectory.
+
+func setEntries(w *Workload) uint64 {
+	var entries uint64
+	for _, tx := range wlSet(w).Txns {
+		entries += uint64(tx.Trace.Len())
+	}
+	return entries
+}
+
+func engineBenchScheds(w *Workload, cores int) []struct {
+	name string
+	mk   func() sim.Scheduler
+} {
+	return []struct {
+		name string
+		mk   func() sim.Scheduler
+	}{
+		{"Base", func() sim.Scheduler { return sched.NewBaseline() }},
+		{"STREX", func() sim.Scheduler { return sched.NewStrex() }},
+		{"SLICC", func() sim.Scheduler { return sched.NewSlicc() }},
+		{"Hybrid", func() sim.Scheduler { return sched.NewHybrid(wlSet(w), cores, 3) }},
+	}
+}
+
+// BenchmarkEngineHotLoop runs one full engine execution per iteration
+// for each scheduler on the TPC-C mix, reporting trace entries/sec.
+func BenchmarkEngineHotLoop(b *testing.B) {
+	w := benchWorkload(b, 40)
+	entries := setEntries(w)
+	const cores = 4
+	for _, s := range engineBenchScheds(w, cores) {
+		b.Run(s.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sim.New(sim.DefaultConfig(cores), wlSet(w), s.mk()).Run()
+			}
+			if secs := b.Elapsed().Seconds(); secs > 0 {
+				b.ReportMetric(float64(entries)*float64(b.N)/secs, "entries/s")
+			}
+		})
+	}
+}
+
+// BenchmarkStepEntrySec isolates the stepper itself: a single-core
+// Baseline run (no dispatch contention, no heap churn) — the tightest
+// loop the engine has.
+func BenchmarkStepEntrySec(b *testing.B) {
+	w := benchWorkload(b, 40)
+	entries := setEntries(w)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.New(sim.DefaultConfig(1), wlSet(w), sched.NewBaseline()).Run()
+	}
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(entries)*float64(b.N)/secs, "entries/s")
+	}
+}
+
+// TestBenchSimJSON records the engine perf baseline to the file named
+// by STREX_BENCH_JSON (skipped when unset — it is a measurement, not a
+// correctness test). CI publishes the result as BENCH_sim.json next to
+// BENCH_suite.json so the entries/sec trajectory and the cold-suite
+// wall clock are tracked per commit.
+func TestBenchSimJSON(t *testing.T) {
+	path := os.Getenv("STREX_BENCH_JSON")
+	if path == "" {
+		t.Skip("STREX_BENCH_JSON not set")
+	}
+	w, err := TPCC(TPCCConfig{Warehouses: 1, Txns: 40, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries := setEntries(w)
+	const cores = 4
+
+	type record struct {
+		Workload      string             `json:"workload"`
+		Txns          int                `json:"txns"`
+		Cores         int                `json:"cores"`
+		TraceEntries  uint64             `json:"trace_entries"`
+		EntriesPerSec map[string]float64 `json:"entries_per_sec"`
+		SuiteColdSecs float64            `json:"suite_cold_secs"`
+		SuiteScale    string             `json:"suite_scale"`
+	}
+	rec := record{
+		Workload: "tpcc", Txns: 40, Cores: cores, TraceEntries: entries,
+		EntriesPerSec: map[string]float64{},
+		SuiteScale:    "txns=24 cores=2,4 figs=fig5+sweep+smoke serial",
+	}
+	for _, s := range engineBenchScheds(w, cores) {
+		res := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sim.New(sim.DefaultConfig(cores), wlSet(w), s.mk()).Run()
+			}
+		})
+		if secs := res.T.Seconds(); secs > 0 {
+			rec.EntriesPerSec[s.name] = float64(entries) * float64(res.N) / secs
+		}
+	}
+
+	// Cold-suite wall clock: regenerate and re-simulate a fixed slice of
+	// the experiment suite with no cache, serially, so the number is a
+	// stable simulator-speed proxy rather than a parallelism measurement.
+	start := time.Now()
+	s := experiments.NewSuite(experiments.Options{Txns: 24, Seed: 42, Cores: []int{2, 4}, Parallel: 1})
+	_ = s.Figure5()
+	_ = s.FootprintSweep()
+	_ = s.WorkloadSmoke()
+	rec.SuiteColdSecs = time.Since(start).Seconds()
+
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s: %s", path, data)
 }
 
 // BenchmarkWorkloadGeneration measures trace-generation speed for

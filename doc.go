@@ -69,4 +69,10 @@
 // performs zero workload generations while emitting byte-identical
 // tables — see docs/TRACES.md for the file format, cache layout and
 // invalidation rules, and docs/RUNNING.md for the caching workflow.
+//
+// The simulator itself runs on an event-driven execution core:
+// heap-scheduled cores, scheduler capability masks and an L1-hit
+// fast path, byte-identical to the retained reference interpreter at
+// every seed — docs/ENGINE.md gives the design and the exactness
+// argument.
 package strex

@@ -12,6 +12,14 @@
 //
 // Replacement policies are pluggable (Section 5.7 of the paper):
 // LRU, LIP, BIP, SRRIP and BRRIP.
+//
+// Layout note: the line array is two parallel slices — tags (with an
+// InvalidBlock sentinel for invalid lines, so lookup is one comparison
+// per way and the free-way scan is folded into the same pass) and a
+// packed per-line meta word (dirty/prefetch flags plus the phaseID).
+// The simulator replays hundreds of millions of accesses per suite run,
+// so the representation is chosen to touch as few host cache lines per
+// simulated access as possible; see docs/ENGINE.md.
 package cache
 
 import (
@@ -21,8 +29,16 @@ import (
 )
 
 // InvalidBlock is a block index that is never inserted into a cache.
-// AccessResult uses it for "no victim".
+// AccessResult uses it for "no victim"; internally it doubles as the
+// invalid-line tag sentinel.
 const InvalidBlock = ^uint32(0)
+
+// Per-line meta word layout: flag bits in the low byte, phaseID in the
+// high byte.
+const (
+	metaDirty = 1 << 0
+	metaPF    = 1 << 1 // prefetched, not yet demand-touched
+)
 
 // Stats counts cache events. All counters are cumulative since creation
 // or the last Reset.
@@ -86,15 +102,38 @@ type AccessResult struct {
 // It is not safe for concurrent use; the simulator is single-goroutine
 // by design (determinism).
 type Cache struct {
-	sets  int
-	ways  int
-	cfg   Config
-	tags  []uint32 // block index per line; indexed set*ways+way
-	valid []bool
-	dirty []bool
-	phase []uint8 // PIDT: 8-bit phaseID tag per block (Section 4.3)
-	pf    []bool  // line was prefetched and not yet demand-touched
-	pol   policy
+	sets    int
+	ways    int
+	setMask uint32 // sets-1 when sets is a power of two, else 0 (modulo fallback)
+	cfg     Config
+	tags    []uint32 // block per line (set*ways+way); InvalidBlock = invalid
+	meta    []uint16 // packed flags (low byte) + phaseID (high byte)
+	pol     policy
+	// mat/mat16 devirtualize pol when it is one of the matrix LRU
+	// forms: the replacement hooks run on every access, and a direct
+	// call lets the compiler inline the one-word matrix update where an
+	// interface call cannot be.
+	mat   *matrixPolicy
+	mat16 *matrix16Policy
+
+	// One-entry lookup memo: the engine's hot paths probe, consult the
+	// victim monitor and then access the same block back to back
+	// (AccessHit → WouldEvict → Touch), and each begins with the same
+	// set scan. The memo returns the previous result while the tag
+	// array is unchanged; every tag mutation (fill, invalidate, flush)
+	// clears it.
+	memoOK    bool
+	memoBlock uint32
+	memoSet   int32
+	memoWay   int32
+	memoFree  int32
+
+	// hasPF is set by the first InsertPrefetch and never cleared: while
+	// false (every cache except an L1-I under an active prefetcher) the
+	// hit paths skip the per-line meta load entirely — one less random
+	// memory touch per simulated hit, and per L2 lookup.
+	hasPF bool
+
 	Stats Stats
 
 	// OnEvict, when non-nil, is invoked for every valid line displaced
@@ -112,17 +151,70 @@ func New(cfg Config) *Cache {
 	blocks := cfg.SizeBytes / cfg.BlockBytes
 	sets := blocks / cfg.Ways
 	c := &Cache{
-		sets:  sets,
-		ways:  cfg.Ways,
-		cfg:   cfg,
-		tags:  make([]uint32, blocks),
-		valid: make([]bool, blocks),
-		dirty: make([]bool, blocks),
-		phase: make([]uint8, blocks),
-		pf:    make([]bool, blocks),
+		sets: sets,
+		ways: cfg.Ways,
+		cfg:  cfg,
+		tags: make([]uint32, blocks),
+		meta: make([]uint16, blocks),
+	}
+	if sets&(sets-1) == 0 {
+		// Power-of-two set count (every geometry the simulator builds):
+		// set selection is a bitmask instead of a modulo.
+		c.setMask = uint32(sets - 1)
+	}
+	for i := range c.tags {
+		c.tags[i] = InvalidBlock
 	}
 	c.pol = newPolicy(cfg.Policy, sets, cfg.Ways, xrand.New(cfg.Seed^0xCACE))
+	switch p := c.pol.(type) {
+	case *matrixPolicy:
+		c.mat = p
+	case *matrix16Policy:
+		c.mat16 = p
+	}
 	return c
+}
+
+// polOnHit / polOnInsert / polVictim / polPeekVictim dispatch to the
+// replacement policy, devirtualized for the matrix LRU forms.
+func (c *Cache) polOnHit(set, way int) {
+	if c.mat != nil {
+		c.mat.promote(set, way)
+	} else if c.mat16 != nil {
+		c.mat16.promote(set, way)
+	} else {
+		c.pol.onHit(set, way)
+	}
+}
+
+func (c *Cache) polOnInsert(set, way int) {
+	if c.mat != nil {
+		c.mat.promote(set, way)
+	} else if c.mat16 != nil {
+		c.mat16.promote(set, way)
+	} else {
+		c.pol.onInsert(set, way)
+	}
+}
+
+func (c *Cache) polVictim(set int) int {
+	if c.mat != nil {
+		return c.mat.victim(set)
+	}
+	if c.mat16 != nil {
+		return c.mat16.victim(set)
+	}
+	return c.pol.victim(set)
+}
+
+func (c *Cache) polPeekVictim(set int) int {
+	if c.mat != nil {
+		return c.mat.victim(set)
+	}
+	if c.mat16 != nil {
+		return c.mat16.victim(set)
+	}
+	return c.pol.peekVictim(set)
 }
 
 // Sets returns the number of sets.
@@ -137,17 +229,43 @@ func (c *Cache) Blocks() int { return c.sets * c.ways }
 // Config returns the construction-time configuration.
 func (c *Cache) Config() Config { return c.cfg }
 
-func (c *Cache) setOf(block uint32) int { return int(block) % c.sets }
+func (c *Cache) setOf(block uint32) int {
+	if c.setMask != 0 {
+		return int(block & c.setMask)
+	}
+	return int(block) % c.sets
+}
 
-func (c *Cache) find(block uint32) (set, way int, ok bool) {
+// find locates block's line. One pass over the set's tags resolves both
+// the lookup and — on a miss — the first free way (-1 when the set is
+// full), so the fill path pays no second scan. Back-to-back lookups of
+// the same block are served from the memo.
+func (c *Cache) find(block uint32) (set, way, free int) {
+	if c.memoOK && block == c.memoBlock {
+		return int(c.memoSet), int(c.memoWay), int(c.memoFree)
+	}
 	set = c.setOf(block)
 	base := set * c.ways
-	for w := 0; w < c.ways; w++ {
-		if c.valid[base+w] && c.tags[base+w] == block {
-			return set, w, true
+	tags := c.tags[base : base+c.ways] // one bounds check for the scan
+	free = -1
+	for w := range tags {
+		t := tags[w]
+		if t == block {
+			return set, w, free
+		}
+		if t == InvalidBlock && free < 0 {
+			free = w
 		}
 	}
-	return set, -1, false
+	// Only misses are memoized: they are the lookups the hot paths
+	// repeat (probe → victim monitor → demand access), and skipping the
+	// memo store on hits keeps the common case write-free.
+	c.memoOK = true
+	c.memoBlock = block
+	c.memoSet = int32(set)
+	c.memoWay = -1
+	c.memoFree = int32(free)
+	return set, -1, free
 }
 
 // Access performs a demand access to block. write marks the line dirty on
@@ -171,67 +289,114 @@ func (c *Cache) access(block uint32, write bool, phaseID uint8, tagPhase bool) A
 		panic("cache: access to InvalidBlock")
 	}
 	c.Stats.Accesses++
-	set, way, ok := c.find(block)
-	if ok {
+	set, way, free := c.find(block)
+	if way >= 0 {
 		idx := set*c.ways + way
 		c.Stats.Hits++
 		var res AccessResult
 		res.Hit = true
-		if c.pf[idx] {
-			c.pf[idx] = false
-			c.Stats.PrefetchHits++
-			res.PrefetchHit = true
+		if c.hasPF || write || tagPhase {
+			m := c.meta[idx]
+			nm := m
+			if nm&metaPF != 0 {
+				nm &^= metaPF
+				c.Stats.PrefetchHits++
+				res.PrefetchHit = true
+			}
+			if write {
+				nm |= metaDirty
+			}
+			if tagPhase {
+				nm = nm&0x00FF | uint16(phaseID)<<8
+			}
+			if nm != m {
+				// Skipping the no-change store keeps read-mostly hits
+				// from dirtying a host cache line.
+				c.meta[idx] = nm
+			}
 		}
-		if write {
-			c.dirty[idx] = true
-		}
-		if tagPhase {
-			c.phase[idx] = phaseID
-		}
-		c.pol.onHit(set, way)
+		c.polOnHit(set, way)
 		return res
 	}
 	c.Stats.Misses++
-	res := c.fill(set, block, write, phaseID)
-	return res
+	return c.fill(set, free, block, write, phaseID)
 }
 
-// fill installs block into set, evicting if needed. Returns the
-// AccessResult with victim information (Hit=false).
-func (c *Cache) fill(set int, block uint32, write bool, phaseID uint8) AccessResult {
-	var res AccessResult
-	base := set * c.ways
-	way := -1
-	for w := 0; w < c.ways; w++ {
-		if !c.valid[base+w] {
-			way = w
-			break
+// Probe reports whether block is resident without touching statistics or
+// replacement state — the read-only fast path the engine's hit-run loop
+// and coherence-style snoops use. Identical to Contains; kept separate
+// so hot-loop call sites document their intent.
+func (c *Cache) Probe(block uint32) bool {
+	_, way, _ := c.find(block)
+	return way >= 0
+}
+
+// AccessHit performs a demand access if and only if it would hit in a
+// line with no pending prefetch credit, returning whether it did. On
+// true the access is fully accounted (hit statistics, replacement
+// promotion, phase tagging when tagPhase); on false no state changed and
+// the caller must fall back to Access/Touch, which will redo the lookup.
+// This is the engine's hit-run primitive: the common case needs neither
+// an AccessResult nor the fill machinery.
+func (c *Cache) AccessHit(block uint32, phaseID uint8, tagPhase bool) bool {
+	if block == InvalidBlock {
+		panic("cache: access to InvalidBlock")
+	}
+	set, way, _ := c.find(block)
+	if way < 0 {
+		return false
+	}
+	idx := set*c.ways + way
+	if c.hasPF || tagPhase {
+		m := c.meta[idx]
+		if m&metaPF != 0 {
+			// First demand touch of a prefetched line carries result
+			// bits (PrefetchHit) the slow path must surface.
+			return false
+		}
+		if tagPhase {
+			if nm := m&0x00FF | uint16(phaseID)<<8; nm != m {
+				c.meta[idx] = nm
+			}
 		}
 	}
-	if way == -1 {
-		way = c.pol.victim(set)
+	c.Stats.Accesses++
+	c.Stats.Hits++
+	c.polOnHit(set, way)
+	return true
+}
+
+// fill installs block into set at the given free way (-1 = set full,
+// evict), returning the AccessResult with victim information (Hit=false).
+func (c *Cache) fill(set, way int, block uint32, write bool, phaseID uint8) AccessResult {
+	c.memoOK = false // tags change below
+	var res AccessResult
+	base := set * c.ways
+	if way < 0 {
+		way = c.polVictim(set)
 		idx := base + way
 		res.Evicted = true
 		res.VictimBlock = c.tags[idx]
-		res.VictimPhase = c.phase[idx]
-		res.VictimDirty = c.dirty[idx]
-		if c.dirty[idx] {
+		res.VictimPhase = uint8(c.meta[idx] >> 8)
+		res.VictimDirty = c.meta[idx]&metaDirty != 0
+		if res.VictimDirty {
 			c.Stats.WriteBacks++
 		}
 		c.Stats.Evictions++
 		if c.OnEvict != nil {
-			c.OnEvict(c.tags[idx], c.phase[idx])
+			c.OnEvict(res.VictimBlock, res.VictimPhase)
 		}
 	} else {
 		res.VictimBlock = InvalidBlock
 	}
 	idx := base + way
 	c.tags[idx] = block
-	c.valid[idx] = true
-	c.dirty[idx] = write
-	c.phase[idx] = phaseID
-	c.pf[idx] = false
-	c.pol.onInsert(set, way)
+	m := uint16(phaseID) << 8
+	if write {
+		m |= metaDirty
+	}
+	c.meta[idx] = m
+	c.polOnInsert(set, way)
 	return res
 }
 
@@ -240,19 +405,20 @@ func (c *Cache) fill(set int, block uint32, write bool, phaseID uint8) AccessRes
 // no-op. The displaced victim (if any) still triggers OnEvict: a prefetch
 // can steal a teammate's block just like a demand fill can.
 func (c *Cache) InsertPrefetch(block uint32) {
-	if _, _, ok := c.find(block); ok {
+	set, way, free := c.find(block)
+	if way >= 0 {
 		return
 	}
-	set := c.setOf(block)
-	c.fill(set, block, false, 0)
+	c.hasPF = true
+	c.fill(set, free, block, false, 0)
 	idx, _ := c.indexOf(block)
-	c.pf[idx] = true
+	c.meta[idx] |= metaPF
 	c.Stats.PrefetchFills++
 }
 
 func (c *Cache) indexOf(block uint32) (int, bool) {
-	set, way, ok := c.find(block)
-	if !ok {
+	set, way, _ := c.find(block)
+	if way < 0 {
 		return 0, false
 	}
 	return set*c.ways + way, true
@@ -261,8 +427,8 @@ func (c *Cache) indexOf(block uint32) (int, bool) {
 // Contains reports whether block is resident. It does not disturb
 // replacement state (probes are free, as a coherence snoop would be).
 func (c *Cache) Contains(block uint32) bool {
-	_, _, ok := c.find(block)
-	return ok
+	_, way, _ := c.find(block)
+	return way >= 0
 }
 
 // WouldEvict reports what a fill of block would displace, without
@@ -273,18 +439,12 @@ func (c *Cache) Contains(block uint32) bool {
 // the point where it would be forced to evict" a block of the current
 // phase).
 func (c *Cache) WouldEvict(block uint32) (victimPhase uint8, would bool) {
-	set, _, ok := c.find(block)
-	if ok {
+	set, way, free := c.find(block)
+	if way >= 0 || free >= 0 {
 		return 0, false
 	}
-	base := set * c.ways
-	for w := 0; w < c.ways; w++ {
-		if !c.valid[base+w] {
-			return 0, false
-		}
-	}
-	way := c.pol.peekVictim(set)
-	return c.phase[base+way], true
+	vw := c.polPeekVictim(set)
+	return uint8(c.meta[set*c.ways+vw] >> 8), true
 }
 
 // PhaseOf returns the phaseID tag of a resident block.
@@ -293,7 +453,7 @@ func (c *Cache) PhaseOf(block uint32) (uint8, bool) {
 	if !ok {
 		return 0, false
 	}
-	return c.phase[idx], true
+	return uint8(c.meta[idx] >> 8), true
 }
 
 // Invalidate removes block if resident (coherence action). Reports
@@ -303,23 +463,22 @@ func (c *Cache) Invalidate(block uint32) bool {
 	if !ok {
 		return false
 	}
-	if c.dirty[idx] {
+	if c.meta[idx]&metaDirty != 0 {
 		c.Stats.WriteBacks++
 	}
-	c.valid[idx] = false
-	c.dirty[idx] = false
-	c.pf[idx] = false
+	c.memoOK = false
+	c.tags[idx] = InvalidBlock
+	c.meta[idx] = 0
 	c.Stats.Invalidations++
 	return true
 }
 
 // Flush invalidates every line (used between experiment repetitions).
 func (c *Cache) Flush() {
-	for i := range c.valid {
-		c.valid[i] = false
-		c.dirty[i] = false
-		c.pf[i] = false
-		c.phase[i] = 0
+	c.memoOK = false
+	for i := range c.tags {
+		c.tags[i] = InvalidBlock
+		c.meta[i] = 0
 	}
 }
 
@@ -327,8 +486,8 @@ func (c *Cache) Flush() {
 // hybrid mechanism's profiling mode (Section 5.5: "All phaseID tables are
 // reset to zero on all cores").
 func (c *Cache) ResetPhases() {
-	for i := range c.phase {
-		c.phase[i] = 0
+	for i := range c.meta {
+		c.meta[i] &= 0x00FF
 	}
 }
 
@@ -336,9 +495,9 @@ func (c *Cache) ResetPhases() {
 // deterministic (set-major). Used to build SLICC cache signatures and the
 // Figure 2 overlap analysis.
 func (c *Cache) ForEach(fn func(block uint32, phase uint8)) {
-	for i := range c.valid {
-		if c.valid[i] {
-			fn(c.tags[i], c.phase[i])
+	for i, t := range c.tags {
+		if t != InvalidBlock {
+			fn(t, uint8(c.meta[i]>>8))
 		}
 	}
 }
@@ -346,8 +505,8 @@ func (c *Cache) ForEach(fn func(block uint32, phase uint8)) {
 // Residency returns the number of valid lines.
 func (c *Cache) Residency() int {
 	n := 0
-	for _, v := range c.valid {
-		if v {
+	for _, t := range c.tags {
+		if t != InvalidBlock {
 			n++
 		}
 	}

@@ -68,11 +68,11 @@ type policy interface {
 func newPolicy(kind PolicyKind, sets, ways int, rng *xrand.RNG) policy {
 	switch kind {
 	case LRU:
-		return newStackPolicy(sets, ways, insertMRU, nil)
+		return newStackFamily(sets, ways, insertMRU, nil)
 	case LIP:
-		return newStackPolicy(sets, ways, insertLRU, nil)
+		return newStackFamily(sets, ways, insertLRU, nil)
 	case BIP:
-		return newStackPolicy(sets, ways, insertBimodal, rng)
+		return newStackFamily(sets, ways, insertBimodal, rng)
 	case SRRIP:
 		return newRRIP(sets, ways, false, nil)
 	case BRRIP:
@@ -80,6 +80,29 @@ func newPolicy(kind PolicyKind, sets, ways int, rng *xrand.RNG) policy {
 	default:
 		panic(fmt.Sprintf("cache: bad policy kind %d", int(kind)))
 	}
+}
+
+// newStackFamily picks the representation for the recency-stack
+// policies. Pure LRU uses the O(1) matrix forms: one word per set up to
+// 8 ways (every L1 the simulator builds), four words per set up to 16
+// ways (the shared L2). Matrix and timestamp forms encode the same
+// strict total order and make identical victim choices
+// (TestMatrixMatchesStackPolicy / TestMatrix16MatchesStackPolicy
+// enforce it differentially). LIP/BIP stay on the timestamp form at
+// any associativity: their insert-at-LRU saturates the stamp floor at
+// zero, deliberately losing the relative order of successive LRU
+// inserts (ties broken by way index) — a frozen behaviour the tie-free
+// matrix cannot reproduce.
+func newStackFamily(sets, ways int, mode insertMode, rng *xrand.RNG) policy {
+	if mode == insertMRU {
+		if ways <= 8 {
+			return newMatrixPolicy(sets, ways)
+		}
+		if ways <= 16 {
+			return newMatrix16Policy(sets, ways)
+		}
+	}
+	return newStackPolicy(sets, ways, mode, rng)
 }
 
 // --- recency-stack policies (LRU / LIP / BIP) ---
@@ -174,6 +197,116 @@ func (p *stackPolicy) victim(set int) int {
 
 // peekVictim is identical to victim: stack-policy selection is pure.
 func (p *stackPolicy) peekVictim(set int) int { return p.victim(set) }
+
+// --- matrix form of the recency-stack policies (ways ≤ 8) ---
+
+// matrixPolicy packs a set's full recency order into one uint64 as the
+// classic upper-triangular LRU matrix: bit (i,j) = 1 iff way i was used
+// more recently than way j. Promotions are two mask operations on one
+// word and the victim is the way whose row is all zero, so the hot path
+// loads 8 bytes per set where the timestamp form loads 64. Victim
+// choice is identical to stackPolicy's lowest-stamp scan: both read the
+// same total order, and ties cannot arise (every update strictly orders
+// the touched way against all others).
+type matrixPolicy struct {
+	ways    int
+	rowBits uint64   // (1<<ways)-1: row bits for the ways that exist
+	m       []uint64 // one 8x8 recency matrix per set
+}
+
+func newMatrixPolicy(sets, ways int) *matrixPolicy {
+	if ways > 8 {
+		panic("cache: matrixPolicy needs ways <= 8")
+	}
+	return &matrixPolicy{ways: ways, rowBits: 1<<uint(ways) - 1, m: make([]uint64, sets)}
+}
+
+// matrixCol is the column mask template: bit (i, 0) for every row i.
+const matrixCol = uint64(0x0101010101010101)
+
+func (p *matrixPolicy) promote(set, way int) {
+	// way becomes more recent than everyone: fill its row (existing
+	// ways only), then clear its column (nobody is more recent than
+	// way; this also clears the self bit the row fill set).
+	p.m[set] = (p.m[set] | p.rowBits<<(8*uint(way))) &^ (matrixCol << uint(way))
+}
+
+func (p *matrixPolicy) onHit(set, way int) { p.promote(set, way) }
+
+// onInsert is MRU insertion — the only mode routed here (LRU proper).
+func (p *matrixPolicy) onInsert(set, way int) { p.promote(set, way) }
+
+func (p *matrixPolicy) victim(set int) int {
+	m := p.m[set]
+	for w := 0; w < p.ways; w++ {
+		if m&(p.rowBits<<(8*uint(w))) == 0 {
+			return w
+		}
+	}
+	return 0 // unreachable once the set is full (a total order exists)
+}
+
+// peekVictim is identical to victim: matrix selection is pure.
+func (p *matrixPolicy) peekVictim(set int) int { return p.victim(set) }
+
+// matrix16Policy is the 16-way form of the LRU matrix (the shared L2):
+// a 16x16 recency matrix per set packed into four uint64 words, four
+// 16-bit rows per word. A promotion is one row fill plus a column-bit
+// clear across the four words — 32 bytes of state per set against the
+// 128 bytes of timestamps it replaces, which matters because the
+// simulated L2 is consulted on every L1 miss and its policy state is
+// far larger than the host's own caches.
+type matrix16Policy struct {
+	ways    int
+	rowBits uint64   // (1<<ways)-1 within a 16-bit row
+	m       []uint64 // 4 words per set, row-major (rows 4i..4i+3 in word i)
+}
+
+func newMatrix16Policy(sets, ways int) *matrix16Policy {
+	if ways > 16 {
+		panic("cache: matrix16Policy needs ways <= 16")
+	}
+	return &matrix16Policy{ways: ways, rowBits: 1<<uint(ways) - 1, m: make([]uint64, sets*4)}
+}
+
+// col16 is the 16-way column mask template: bit (row, 0) for the four
+// rows packed in one word.
+const col16 = uint64(0x0001000100010001)
+
+func (p *matrix16Policy) promote(set, way int) {
+	base := set * 4
+	m := p.m[base : base+4 : base+4]
+	col := col16 << uint(way)
+	// Clear way's column bit in all 16 rows: nobody is more recent
+	// than way (this includes the self bit).
+	m[0] &^= col
+	m[1] &^= col
+	m[2] &^= col
+	m[3] &^= col
+	// Fill way's row except the self bit: way is more recent than
+	// every other way.
+	shift := 16 * uint(way&3)
+	self := uint64(1) << (shift + uint(way))
+	m[way>>2] |= p.rowBits << shift &^ self
+}
+
+func (p *matrix16Policy) onHit(set, way int) { p.promote(set, way) }
+
+// onInsert is MRU insertion — the only mode routed here (LRU proper).
+func (p *matrix16Policy) onInsert(set, way int) { p.promote(set, way) }
+
+func (p *matrix16Policy) victim(set int) int {
+	base := set * 4
+	for w := 0; w < p.ways; w++ {
+		if p.m[base+(w>>2)]&(p.rowBits<<(16*uint(w&3))) == 0 {
+			return w
+		}
+	}
+	return 0 // unreachable once the set is full (a total order exists)
+}
+
+// peekVictim is identical to victim: matrix selection is pure.
+func (p *matrix16Policy) peekVictim(set int) int { return p.victim(set) }
 
 // --- RRIP policies (SRRIP / BRRIP) ---
 

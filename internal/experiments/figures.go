@@ -21,6 +21,22 @@ func newBaseline() sim.Scheduler { return sched.NewBaseline() }
 func newSlicc() sim.Scheduler    { return sched.NewSlicc() }
 func newStrex() sim.Scheduler    { return sched.NewStrex() }
 
+// Scheduler identities for runner.Spec.SchedID: label-independent names
+// of what the factories above construct, so identical (set, config,
+// scheduler) cells submitted by different figures execute once (the
+// executor's in-process dedup). Prefetcher and policy variants need no
+// distinct identity — they live in sim.Config, which is part of the
+// dedup key.
+const (
+	idBase   = "base"
+	idSlicc  = "slicc"
+	idHybrid = "hybrid/s3"
+)
+
+func strexTeamID(teamSize int) string { return fmt.Sprintf("strex/w30/t%d", teamSize) }
+
+var idStrex = strexTeamID(10)
+
 func newStrexTeam(teamSize int) func() sim.Scheduler {
 	return func() sim.Scheduler {
 		return sched.NewStrexSized(core.FormationConfig{Window: 30, TeamSize: teamSize})
@@ -80,8 +96,8 @@ func (s *Suite) Figure4() *metrics.Table {
 			identical := s.derivedSet(replicate(instances, 10), instances, "replicate10")
 			cells = append(cells, cell{
 				wl: sc.wl, name: name,
-				base: s.runAsync("fig4/"+name+"/base", identical, 1, newBaseline, nil),
-				ctx:  s.runAsync("fig4/"+name+"/ctx", identical, 1, newStrex, nil),
+				base: s.runAsync("fig4/"+name+"/base", idBase, identical, 1, newBaseline, nil),
+				ctx:  s.runAsync("fig4/"+name+"/ctx", idStrex, identical, 1, newStrex, nil),
 			})
 		}
 	}
@@ -122,12 +138,13 @@ func (s *Suite) Figure5() *metrics.Table {
 			set := s.SetSized(wl, s.cellTxns(cores, 10))
 			for _, mk := range []struct {
 				name string
+				id   string
 				fn   func() sim.Scheduler
 			}{
-				{"Base", newBaseline}, {"SLICC", newSlicc}, {"STREX", newStrex},
+				{"Base", idBase, newBaseline}, {"SLICC", idSlicc, newSlicc}, {"STREX", idStrex, newStrex},
 			} {
 				label := fmt.Sprintf("fig5/%s/%dc/%s", wl, cores, mk.name)
-				cells = append(cells, cell{wl, cores, mk.name, len(set.Txns), s.runAsync(label, set, cores, mk.fn, nil)})
+				cells = append(cells, cell{wl, cores, mk.name, len(set.Txns), s.runAsync(label, mk.id, set, cores, mk.fn, nil)})
 			}
 		}
 	}
@@ -182,17 +199,17 @@ func (s *Suite) Figure6() *metrics.Table {
 	for _, wl := range WorkloadNames() {
 		for _, cores := range s.opts.Cores {
 			set := s.SetSized(wl, s.cellTxns(cores, 10))
-			submit := func(tag string, mk func() sim.Scheduler, mutate func(*sim.Config)) *runner.Future {
+			submit := func(tag, id string, mk func() sim.Scheduler, mutate func(*sim.Config)) *runner.Future {
 				label := fmt.Sprintf("fig6/%s/%dc/%s", wl, cores, tag)
-				return s.runAsync(label, set, cores, mk, mutate)
+				return s.runAsync(label, id, set, cores, mk, mutate)
 			}
 			cells = append(cells, cell{wl: wl, cores: cores, txns: len(set.Txns), futs: []*runner.Future{
-				submit("base", newBaseline, nil),
-				submit("next", newBaseline, func(c *sim.Config) { c.Prefetcher = prefetch.NextLine }),
-				submit("pif", newBaseline, func(c *sim.Config) { c.Prefetcher = prefetch.PIF }),
-				submit("slicc", newSlicc, nil),
-				submit("strex", newStrex, nil),
-				submit("hybrid", newHybrid(set, cores), nil),
+				submit("base", idBase, newBaseline, nil),
+				submit("next", idBase, newBaseline, func(c *sim.Config) { c.Prefetcher = prefetch.NextLine }),
+				submit("pif", idBase, newBaseline, func(c *sim.Config) { c.Prefetcher = prefetch.PIF }),
+				submit("slicc", idSlicc, newSlicc, nil),
+				submit("strex", idStrex, newStrex, nil),
+				submit("hybrid", idHybrid, newHybrid(set, cores), nil),
 			}})
 		}
 	}
@@ -243,15 +260,15 @@ func (s *Suite) Figure7() *metrics.Table {
 		fut   *runner.Future
 	}
 	var cells []cell
-	submit := func(label string, cores int, mk func() sim.Scheduler) {
-		cells = append(cells, cell{label, s.runAsync("fig7/"+label, set, cores, mk, nil)})
+	submit := func(label, id string, cores int, mk func() sim.Scheduler) {
+		cells = append(cells, cell{label, s.runAsync("fig7/"+label, id, set, cores, mk, nil)})
 	}
-	submit("Baseline", big, newBaseline)
+	submit("Baseline", idBase, big, newBaseline)
 	for _, ts := range []int{2, 4, 6, 8, 10, 12, 16, 20} {
-		submit(fmt.Sprintf("STREX-%dT", ts), big, newStrexTeam(ts))
+		submit(fmt.Sprintf("STREX-%dT", ts), strexTeamID(ts), big, newStrexTeam(ts))
 	}
 	for _, cores := range s.opts.Cores {
-		submit(fmt.Sprintf("SLICC-%d", cores), cores, newSlicc)
+		submit(fmt.Sprintf("SLICC-%d", cores), idSlicc, cores, newSlicc)
 	}
 	for _, c := range cells {
 		res := c.fut.Result()
@@ -303,12 +320,12 @@ func (s *Suite) Figure8() *metrics.Table {
 	for _, wl := range []string{"TPC-C-10", "TPC-E"} {
 		baseSet := s.SetSized(wl, s.cellTxns(big, 10))
 		cells = append(cells, cell{wl, 0, len(baseSet.Txns),
-			s.runAsync("fig8/"+wl+"/base", baseSet, big, newBaseline, nil)})
+			s.runAsync("fig8/"+wl+"/base", idBase, baseSet, big, newBaseline, nil)})
 		for _, ts := range []int{2, 4, 6, 8, 10, 12, 16, 20} {
 			set := s.SetSized(wl, s.cellTxns(big, ts))
 			label := fmt.Sprintf("fig8/%s/%dT", wl, ts)
 			cells = append(cells, cell{wl, ts, len(set.Txns),
-				s.runAsync(label, set, big, newStrexTeam(ts), nil)})
+				s.runAsync(label, strexTeamID(ts), set, big, newStrexTeam(ts), nil)})
 		}
 	}
 	var base float64
@@ -350,12 +367,12 @@ func (s *Suite) Figure9() *metrics.Table {
 		for _, pol := range []cache.PolicyKind{cache.LRU, cache.LIP, cache.BIP, cache.SRRIP, cache.BRRIP} {
 			label := fmt.Sprintf("fig9/%s/%s", wl, pol)
 			cells = append(cells, cell{wl, pol.String(), pol == cache.LRU,
-				s.runAsync(label, set, cores, newBaseline, withPolicy(pol))})
+				s.runAsync(label, idBase, set, cores, newBaseline, withPolicy(pol))})
 		}
 		for _, pol := range []cache.PolicyKind{cache.LRU, cache.BIP, cache.BRRIP} {
 			label := fmt.Sprintf("fig9/%s/strex+%s", wl, pol)
 			cells = append(cells, cell{wl, "STREX+" + pol.String(), false,
-				s.runAsync(label, set, cores, newStrex, withPolicy(pol))})
+				s.runAsync(label, idStrex, set, cores, newStrex, withPolicy(pol))})
 		}
 	}
 	var baseBusy uint64

@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"strex/internal/metrics"
+)
+
+// The golden-table gate: the rendered suite output at a fixed seed and
+// bench scale must stay byte-identical across engine refactors. The
+// files under testdata/ were produced by the pre-event-core engine
+// (`go test ./internal/experiments -run TestGoldenTables -update`);
+// any diff means the simulator's observable behaviour changed, which
+// the event-driven execution core must never do.
+var updateGolden = flag.Bool("update", false, "rewrite the golden table files")
+
+// goldenSuite pins the scale: small enough to run in CI, large enough
+// to cross team formation, migration and eviction paths for every
+// scheduler (the smoke table runs all registered workloads; fig5/fig7
+// run the TPC-C mix on 2 and 4 cores; the sweep runs the synthetic
+// footprint grid).
+func goldenSuite() *Suite {
+	return NewSuite(Options{Txns: 24, Seed: 42, Cores: []int{2, 4}})
+}
+
+func TestGoldenTables(t *testing.T) {
+	s := goldenSuite()
+	tables := map[string]*metrics.Table{
+		"fig5":  s.Figure5(),
+		"fig7":  s.Figure7(),
+		"sweep": s.FootprintSweep(),
+		"smoke": s.WorkloadSmoke(),
+	}
+	for name, tab := range tables {
+		path := filepath.Join("testdata", "golden_"+name+".txt")
+		got := tab.String()
+		if *updateGolden {
+			if err := os.MkdirAll("testdata", 0o755); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v (run with -update to create)", name, err)
+		}
+		if got != string(want) {
+			t.Errorf("%s: output diverged from golden %s;\ngot:\n%s\nwant:\n%s",
+				name, path, got, want)
+		}
+	}
+}

@@ -57,8 +57,8 @@ func (s *Suite) FootprintSweep() *metrics.Table {
 		label := fmt.Sprintf("sweep/%gu", u)
 		cells = append(cells, cell{
 			units: u, kbPerType: kb, txns: len(set.Txns),
-			base:  s.runAsync(label+"/base", set, cores, newBaseline, nil),
-			strex: s.runAsync(label+"/strex", set, cores, newStrex, nil),
+			base:  s.runAsync(label+"/base", idBase, set, cores, newBaseline, nil),
+			strex: s.runAsync(label+"/strex", idStrex, set, cores, newStrex, nil),
 		})
 	}
 	for _, c := range cells {
@@ -102,8 +102,8 @@ func (s *Suite) WorkloadSmoke() *metrics.Table {
 		label := "smoke/" + info.Name
 		cells = append(cells, cell{
 			info: info, txns: len(set.Txns),
-			base:  s.runAsync(label+"/base", set, cores, newBaseline, nil),
-			strex: s.runAsync(label+"/strex", set, cores, newStrex, nil),
+			base:  s.runAsync(label+"/base", idBase, set, cores, newBaseline, nil),
+			strex: s.runAsync(label+"/strex", idStrex, set, cores, newStrex, nil),
 		})
 	}
 	for _, c := range cells {

@@ -65,17 +65,56 @@ func DefaultConfig(n int) Config {
 // live in internal/cpu; the hierarchy keeps pointers to the L1-Ds so the
 // directory can invalidate remote copies on writes.
 type Hierarchy struct {
-	cfg  Config
-	l2   *cache.Cache // one logical cache; NUCA latency modeled by slice distance
-	dims [2]int       // torus dimensions (x, y)
-	l1ds []*cache.Cache
+	cfg      Config
+	l2       *cache.Cache // one logical cache; NUCA latency modeled by slice distance
+	dims     [2]int       // torus dimensions (x, y)
+	coreMask uint32       // cores-1 when cores is a power of two, else 0
+	l1ds     []*cache.Cache
 	// directory: data block -> bitmask of cores whose L1-D may hold it.
 	// The mask is conservative (a core's bit clears only on invalidation
 	// or when an eviction is reported), exactly like a real sparse
-	// directory with imprecise presence bits.
-	dir map[uint32]uint64
+	// directory with imprecise presence bits. Stored as a lazily
+	// allocated paged array (data blocks are allocated densely from
+	// codegen.DataBase, with one far region for the mapreduce shuffle
+	// space): the directory is consulted on every data access, and a
+	// two-level array lookup is several times cheaper than a map probe.
+	dir dirTable
+	// l2lat[core][slice] precomputes L2Hit + round-trip hop latency so
+	// the per-miss path is one table load instead of torus arithmetic.
+	l2lat [][]int
 
 	Stats Stats
+}
+
+// dirPageBits sizes directory pages at 4096 entries (32KB) each.
+const dirPageBits = 12
+
+// dirTable is the paged presence-bit store. The zero mask means "no
+// sharers", exactly like an absent key in the map it replaces.
+type dirTable struct {
+	pages [][]uint64 // indexed by block >> dirPageBits; nil = all zero
+}
+
+func (d *dirTable) get(block uint32) uint64 {
+	p := int(block >> dirPageBits)
+	if p >= len(d.pages) || d.pages[p] == nil {
+		return 0
+	}
+	return d.pages[p][block&(1<<dirPageBits-1)]
+}
+
+// ref returns the writable mask word for block, allocating its page.
+func (d *dirTable) ref(block uint32) *uint64 {
+	p := int(block >> dirPageBits)
+	if p >= len(d.pages) {
+		grown := make([][]uint64, p+1)
+		copy(grown, d.pages)
+		d.pages = grown
+	}
+	if d.pages[p] == nil {
+		d.pages[p] = make([]uint64, 1<<dirPageBits)
+	}
+	return &d.pages[p][block&(1<<dirPageBits-1)]
 }
 
 // Stats counts shared-level events.
@@ -101,13 +140,24 @@ func New(cfg Config) *Hierarchy {
 		Policy:     cache.LRU,
 		Seed:       cfg.Seed ^ 0x12,
 	})
-	return &Hierarchy{
+	h := &Hierarchy{
 		cfg:  cfg,
 		l2:   l2,
 		dims: torusDims(cfg.Cores),
 		l1ds: make([]*cache.Cache, cfg.Cores),
-		dir:  make(map[uint32]uint64),
 	}
+	if cfg.Cores&(cfg.Cores-1) == 0 {
+		h.coreMask = uint32(cfg.Cores - 1)
+	}
+	h.l2lat = make([][]int, cfg.Cores)
+	for c := 0; c < cfg.Cores; c++ {
+		h.l2lat[c] = make([]int, cfg.Cores)
+		for s := 0; s < cfg.Cores; s++ {
+			// request + response hops on top of the slice hit time
+			h.l2lat[c][s] = cfg.Lat.L2Hit + 2*h.hopDistance(c, s)*cfg.Lat.HopCycles
+		}
+	}
+	return h
 }
 
 // AttachL1D registers core's L1-D for coherence actions.
@@ -153,8 +203,14 @@ func absInt(v int) int {
 	return v
 }
 
-// sliceOf statically interleaves blocks across L2 slices.
-func (h *Hierarchy) sliceOf(block uint32) int { return int(block) % h.cfg.Cores }
+// sliceOf statically interleaves blocks across L2 slices (a bitmask for
+// the power-of-two core counts every standard configuration uses).
+func (h *Hierarchy) sliceOf(block uint32) int {
+	if h.coreMask != 0 {
+		return int(block & h.coreMask)
+	}
+	return int(block) % h.cfg.Cores
+}
 
 // FetchI services an L1-I miss from core for block, returning the added
 // latency in cycles (on top of the L1 access the core already charged).
@@ -171,7 +227,7 @@ func (h *Hierarchy) FetchD(core int, block uint32, write bool) int {
 	if write {
 		lat += h.invalidateRemote(core, block)
 	}
-	h.dir[block] |= 1 << uint(core)
+	*h.dir.ref(block) |= 1 << uint(core)
 	return lat
 }
 
@@ -180,18 +236,23 @@ func (h *Hierarchy) FetchD(core int, block uint32, write bool) int {
 // latency (0 when the line was already exclusive).
 func (h *Hierarchy) WriteHit(core int, block uint32) int {
 	lat := h.invalidateRemote(core, block)
-	h.dir[block] |= 1 << uint(core)
+	*h.dir.ref(block) |= 1 << uint(core)
 	return lat
 }
 
 // ReadHit records that core holds block (keeps the directory presence
-// bits conservative even when lines were filled before attach).
+// bits conservative even when lines were filled before attach). This
+// runs on every L1-D read hit, so it avoids the map write when the
+// presence bit is already set — the steady-state case.
 func (h *Hierarchy) ReadHit(core int, block uint32) {
-	h.dir[block] |= 1 << uint(core)
+	bit := uint64(1) << uint(core)
+	if h.dir.get(block)&bit == 0 {
+		*h.dir.ref(block) |= bit
+	}
 }
 
 func (h *Hierarchy) invalidateRemote(core int, block uint32) int {
-	mask := h.dir[block] &^ (1 << uint(core))
+	mask := h.dir.get(block) &^ (1 << uint(core))
 	if mask == 0 {
 		return 0
 	}
@@ -205,7 +266,7 @@ func (h *Hierarchy) invalidateRemote(core int, block uint32) int {
 			lat = h.cfg.Lat.Coherence
 		}
 	}
-	h.dir[block] = 1 << uint(core)
+	*h.dir.ref(block) = 1 << uint(core)
 	return lat
 }
 
@@ -215,9 +276,7 @@ func (h *Hierarchy) invalidateRemote(core int, block uint32) int {
 func (h *Hierarchy) fetch(core int, block uint32, isData bool) int {
 	_ = isData
 	h.Stats.L2Accesses++
-	slice := h.sliceOf(block)
-	hops := h.hopDistance(core, slice)
-	lat := h.cfg.Lat.L2Hit + 2*hops*h.cfg.Lat.HopCycles // request + response
+	lat := h.l2lat[core][h.sliceOf(block)] // L2Hit + request/response hops
 	r := h.l2.Access(block, false)
 	if r.Hit {
 		h.Stats.L2Hits++

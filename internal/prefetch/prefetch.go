@@ -47,6 +47,14 @@ type Prefetcher interface {
 	// HidesMisses reports whether demand misses cost zero latency
 	// (true only for the PIF upper bound).
 	HidesMisses() bool
+	// PassiveOnHit reports that OnIFetch never mutates cache state, so
+	// a demand hit has no prefetcher-visible side effect. The engine's
+	// hit-run fast path requires it: with a passive prefetcher the
+	// cache holds no prefetched lines, hits cannot carry PrefetchHit
+	// credits, and skipping the OnIFetch call is exact. True for None
+	// and PIF (whose model is pure latency accounting), false for
+	// next-line (which inserts block+1 on every fetch).
+	PassiveOnHit() bool
 }
 
 // New builds the prefetcher for kind. iSpaceLimit bounds prefetch
@@ -68,6 +76,7 @@ type nopPrefetcher struct{}
 
 func (nopPrefetcher) OnIFetch(*cache.Cache, uint32, bool) {}
 func (nopPrefetcher) HidesMisses() bool                   { return false }
+func (nopPrefetcher) PassiveOnHit() bool                  { return true }
 
 // nextLine implements sequential prefetching: accessing block b pulls
 // b+1 into the cache. It helps the long sequential walks through
@@ -86,9 +95,11 @@ func (p *nextLine) OnIFetch(l1i *cache.Cache, block uint32, hit bool) {
 	l1i.InsertPrefetch(next)
 }
 
-func (p *nextLine) HidesMisses() bool { return false }
+func (p *nextLine) HidesMisses() bool  { return false }
+func (p *nextLine) PassiveOnHit() bool { return false }
 
 type pif struct{}
 
 func (pif) OnIFetch(*cache.Cache, uint32, bool) {}
 func (pif) HidesMisses() bool                   { return true }
+func (pif) PassiveOnHit() bool                  { return true }

@@ -3,6 +3,7 @@ package runner
 import (
 	"reflect"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"strex/internal/sched"
@@ -191,5 +192,48 @@ func TestDeriveSeed(t *testing.T) {
 	}
 	if DeriveSeed(42, 5) == DeriveSeed(43, 5) {
 		t.Fatal("master seed ignored")
+	}
+}
+
+// In-process dedup: identical (Config, SchedID, Set) specs must execute
+// once, serve every future the same result, and still count each
+// submission in the progress totals.
+func TestSubmitDedupsBySchedID(t *testing.T) {
+	set := testSet(t, 8)
+	x := New(2)
+	var built atomic.Int64
+	mk := func() sim.Scheduler {
+		built.Add(1)
+		return sched.NewBaseline()
+	}
+	spec := Spec{Label: "a", Config: sim.DefaultConfig(2), Set: set, Sched: mk, SchedID: "fifo"}
+	f1 := x.Submit(spec)
+	spec.Label = "b"
+	f2 := x.Submit(spec)
+	r1, r2 := f1.Result(), f2.Result()
+	if built.Load() != 1 {
+		t.Fatalf("scheduler built %d times, want 1 (dedup failed)", built.Load())
+	}
+	if r1.Stats != r2.Stats {
+		t.Fatalf("deduped results differ: %+v vs %+v", r1.Stats, r2.Stats)
+	}
+	if x.Submitted() != 2 || x.Completed() != 2 {
+		t.Fatalf("accounting: submitted=%d completed=%d, want 2/2", x.Submitted(), x.Completed())
+	}
+
+	// A different scheduler identity must not be served from the memo.
+	spec.Label = "c"
+	spec.SchedID = "fifo-v2"
+	_ = x.Submit(spec).Result()
+	if built.Load() != 2 {
+		t.Fatalf("scheduler built %d times, want 2 (distinct SchedID deduped)", built.Load())
+	}
+
+	// No SchedID = no dedup (runOn's opaque schedulers).
+	spec.Label = "d"
+	spec.SchedID = ""
+	_ = x.Submit(spec).Result()
+	if built.Load() != 3 {
+		t.Fatalf("scheduler built %d times, want 3 (empty SchedID deduped)", built.Load())
 	}
 }

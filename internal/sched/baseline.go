@@ -25,6 +25,11 @@ func (b *Baseline) Name() string { return "Base" }
 // Bind implements sim.Scheduler.
 func (b *Baseline) Bind(e *sim.Engine) { b.e = e }
 
+// Hooks implements sim.Scheduler: the baseline observes nothing — it
+// places transactions and lets them run to completion, so the engine
+// may fast-path every event category past it.
+func (b *Baseline) Hooks() sim.HookMask { return 0 }
+
 // Dispatch implements sim.Scheduler: oldest pending transaction first.
 func (b *Baseline) Dispatch(core int) *sim.Thread {
 	pending := b.e.Pending()
@@ -47,6 +52,12 @@ func (b *Baseline) OnWouldEvict(core int, victimPhase uint8) bool { return false
 func (b *Baseline) OnEvent(core int, ev sim.Event) (sim.Action, int) {
 	return sim.Continue, 0
 }
+
+// HitRunOK implements sim.Scheduler (unreachable: no HookIHitBatch).
+func (b *Baseline) HitRunOK(core int) bool { return true }
+
+// OnHitRun implements sim.Scheduler (unreachable: no HookIHitBatch).
+func (b *Baseline) OnHitRun(core int, entries int, instrs uint64) {}
 
 // OnYield implements sim.Scheduler (unreachable for Baseline).
 func (b *Baseline) OnYield(core int, t *sim.Thread) {

@@ -49,6 +49,10 @@ func (h *Hybrid) Name() string {
 // Bind implements sim.Scheduler.
 func (h *Hybrid) Bind(e *sim.Engine) { h.inner.Bind(e) }
 
+// Hooks implements sim.Scheduler: the hybrid observes exactly what the
+// mechanism it selected observes.
+func (h *Hybrid) Hooks() sim.HookMask { return h.inner.Hooks() }
+
 // Dispatch implements sim.Scheduler.
 func (h *Hybrid) Dispatch(core int) *sim.Thread { return h.inner.Dispatch(core) }
 
@@ -63,6 +67,14 @@ func (h *Hybrid) OnWouldEvict(core int, victimPhase uint8) bool {
 // OnEvent implements sim.Scheduler.
 func (h *Hybrid) OnEvent(core int, ev sim.Event) (sim.Action, int) {
 	return h.inner.OnEvent(core, ev)
+}
+
+// HitRunOK implements sim.Scheduler.
+func (h *Hybrid) HitRunOK(core int) bool { return h.inner.HitRunOK(core) }
+
+// OnHitRun implements sim.Scheduler.
+func (h *Hybrid) OnHitRun(core int, entries int, instrs uint64) {
+	h.inner.OnHitRun(core, entries, instrs)
 }
 
 // OnYield implements sim.Scheduler.

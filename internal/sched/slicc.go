@@ -50,12 +50,37 @@ type Slicc struct {
 }
 
 type sliccState struct {
-	missQ      []uint32
+	// missQ is a fixed ring of the last missQLen missed tags (hardware:
+	// a 5-entry shift queue). A ring rather than a sliding slice keeps
+	// the per-miss push allocation-free on the engine's hot path.
+	missQ    [8]uint32
+	missHead int
+	missLen  int
+
 	accesses   int
 	recentMiss int // misses in current window
 	windowLeft int
 	fresh      int // blocks this thread brought into the current core
 	cool       int
+}
+
+// pushMiss appends block to the missed-tag ring, dropping the oldest
+// entry when the queue is at qlen.
+func (st *sliccState) pushMiss(block uint32, qlen int) {
+	if st.missLen == qlen {
+		st.missQ[st.missHead] = block
+		st.missHead = (st.missHead + 1) % qlen
+		return
+	}
+	st.missQ[(st.missHead+st.missLen)%qlen] = block
+	st.missLen++
+}
+
+// eachMiss invokes fn for each queued tag, oldest first.
+func (st *sliccState) eachMiss(qlen int, fn func(block uint32)) {
+	for i := 0; i < st.missLen; i++ {
+		fn(st.missQ[(st.missHead+i)%qlen])
+	}
 }
 
 // NewSlicc returns the scheduler with defaults matched to the paper's
@@ -73,6 +98,69 @@ func NewSlicc() *Slicc {
 
 // Name implements sim.Scheduler.
 func (s *Slicc) Name() string { return "SLICC" }
+
+// Hooks implements sim.Scheduler: SLICC's cache monitor samples every
+// instruction fetch — hits age the shift-vector window, misses feed the
+// missed-tag queue — so it claims both instruction categories. Hits are
+// claimed in *batched* form: while no miss cluster is pending, a hit
+// only performs counter arithmetic (HitRunOK/OnHitRun below), so the
+// engine may collapse hit runs. HookRemoteCaches records that the
+// migration rule reads other cores' L1-I contents, which obliges the
+// engine to keep cache mutations in global order (no prefetch fills
+// inside hit runs). Data accesses never drive SLICC.
+func (s *Slicc) Hooks() sim.HookMask {
+	return sim.HookIHitBatch | sim.HookIMiss | sim.HookRemoteCaches
+}
+
+// HitRunOK implements sim.Scheduler: hit events are pure counter
+// arithmetic unless a miss cluster is pending (recentMiss at or above
+// the cluster threshold with cooldown expired arms the migration
+// decision, which can fire on a hit and reads remote signatures). The
+// cluster count only grows on misses, and window rollovers during a
+// hit run can only reset it, so "below threshold now" guarantees every
+// hit in the run returns Continue.
+func (s *Slicc) HitRunOK(coreID int) bool {
+	cur := s.e.Core(coreID).Cur
+	if cur == nil {
+		return false
+	}
+	st, ok := cur.Scratch.(*sliccState)
+	if !ok {
+		return false
+	}
+	return st.recentMiss < s.clusterAt
+}
+
+// OnHitRun implements sim.Scheduler: apply the per-hit arithmetic of
+// OnEvent (accesses++, windowLeft-- with reset at the window boundary,
+// cooldown decay) for a whole run at once. Identical by construction to
+// entries sequential per-entry deliveries given HitRunOK held at the
+// start of the run.
+func (s *Slicc) OnHitRun(coreID int, entries int, instrs uint64) {
+	cur := s.e.Core(coreID).Cur
+	if cur == nil {
+		return
+	}
+	st, ok := cur.Scratch.(*sliccState)
+	if !ok {
+		return
+	}
+	st.accesses += entries
+	if st.cool >= entries {
+		st.cool -= entries
+	} else {
+		st.cool = 0
+	}
+	if st.windowLeft > entries {
+		st.windowLeft -= entries
+	} else {
+		// The run crossed at least one window boundary: the cluster
+		// count resets there, and the remainder ages the fresh window.
+		over := entries - st.windowLeft
+		st.recentMiss = 0
+		st.windowLeft = s.window - over%s.window
+	}
+}
 
 // Bind implements sim.Scheduler.
 func (s *Slicc) Bind(e *sim.Engine) {
@@ -164,10 +252,7 @@ func (s *Slicc) OnEvent(coreID int, ev sim.Event) (sim.Action, int) {
 	if ev.IMiss {
 		st.recentMiss++
 		st.fresh++
-		st.missQ = append(st.missQ, ev.Entry.Block)
-		if len(st.missQ) > s.missQLen {
-			st.missQ = st.missQ[1:]
-		}
+		st.pushMiss(ev.Entry.Block, s.missQLen)
 	}
 	if st.windowLeft <= 0 {
 		st.recentMiss = 0
@@ -184,11 +269,11 @@ func (s *Slicc) OnEvent(coreID int, ev sim.Event) (sim.Action, int) {
 		}
 		score := 0
 		l1i := s.e.Core(c).L1I
-		for _, b := range st.missQ {
-			if l1i.Contains(b) {
+		st.eachMiss(s.missQLen, func(b uint32) {
+			if l1i.Probe(b) { // read-only snoop: no stats, no LRU disturbance
 				score++
 			}
-		}
+		})
 		if score > bestScore {
 			best, bestScore = c, score
 		}
@@ -212,7 +297,7 @@ func (st *sliccState) reset(s *Slicc) {
 	st.recentMiss = 0
 	st.windowLeft = s.window
 	st.cool = s.cooldown
-	st.missQ = st.missQ[:0]
+	st.missHead, st.missLen = 0, 0
 }
 
 func (s *Slicc) spreadTarget(from int) int {

@@ -50,6 +50,13 @@ func NewStrexSized(cfg core.FormationConfig) *Strex {
 // Name implements sim.Scheduler.
 func (s *Strex) Name() string { return "STREX" }
 
+// Hooks implements sim.Scheduler: all of STREX's preemption runs
+// through the victim block monitor (OnWouldEvict), which only fires on
+// fills — instruction hits, misses-after-the-fact and data accesses
+// carry no information for it, so OnEvent is never needed and the
+// engine's hit-run fast path applies even on phase-tagged cores.
+func (s *Strex) Hooks() sim.HookMask { return sim.HookWouldEvict }
+
 // TeamSize returns the configured maximum team size.
 func (s *Strex) TeamSize() int { return s.cfg.TeamSize }
 
@@ -158,6 +165,12 @@ func (s *Strex) OnWouldEvict(coreID int, victimPhase uint8) bool {
 func (s *Strex) OnEvent(coreID int, ev sim.Event) (sim.Action, int) {
 	return sim.Continue, 0
 }
+
+// HitRunOK implements sim.Scheduler (unreachable: no HookIHitBatch).
+func (s *Strex) HitRunOK(core int) bool { return true }
+
+// OnHitRun implements sim.Scheduler (unreachable: no HookIHitBatch).
+func (s *Strex) OnHitRun(core int, entries int, instrs uint64) {}
 
 // OnYield implements sim.Scheduler: the switched thread goes to the tail
 // of its team's queue.

@@ -7,6 +7,14 @@
 // transaction runs where and reacts to cache events — Baseline, STREX,
 // SLICC and the hybrid all plug in here.
 //
+// The execution core is event-driven (docs/ENGINE.md): cores are
+// selected from a min-heap keyed on (clock, core ID), schedulers
+// declare the event categories they observe through HookMask so the
+// engine skips the hooks they ignore, and runs of consecutive L1-I hit
+// instruction entries replay in a tight loop that touches neither the
+// scheduler nor the memory system. A retained naive selector
+// (RunReference) provides the differential-testing oracle.
+//
 // The simulator is single-goroutine and fully deterministic.
 package sim
 
@@ -71,11 +79,12 @@ type Thread struct {
 // Latency returns queue-entry-to-completion cycles (Figure 7's metric).
 func (t *Thread) Latency() uint64 { return t.FinishCycle - t.EnqueueCycle }
 
-// Core is one processor: private L1s plus its clock.
+// Core is one processor: private L1s (via the embedded Stepper, which
+// also serves the SMT model) plus its clock.
 type Core struct {
+	Stepper // L1I, L1D and the shared entry-execution rules
+
 	ID    int
-	L1I   *cache.Cache
-	L1D   *cache.Cache
 	Clock uint64
 	Cur   *Thread
 
@@ -86,10 +95,15 @@ type Core struct {
 
 	Switches   uint64 // context switches performed on this core
 	Migrations uint64 // threads migrated away from this core
+
+	// phase/tagged cache Scheduler.Phase for the current quantum (the
+	// Phase contract: a core's phase only changes between quanta).
+	phase  uint8
+	tagged bool
 }
 
 // Event describes the outcome of one executed trace entry; schedulers
-// receive it after every entry.
+// receive it after every entry in the categories their HookMask claims.
 type Event struct {
 	Entry       trace.Entry
 	IMiss       bool
@@ -113,28 +127,83 @@ const (
 	Migrate
 )
 
+// HookMask declares which execution events a scheduler observes. The
+// engine consults it once per run and never invokes a hook the mask
+// omits, so inert hooks cost nothing on the hot path. A scheduler whose
+// mask clears HookIHit additionally certifies that instruction hits
+// have no scheduler-visible effect, which licenses the engine's
+// hit-run fast path (docs/ENGINE.md).
+type HookMask uint8
+
+const (
+	// HookIHit delivers OnEvent for instruction entries that hit in the
+	// L1-I. Declaring it disables the hit-run fast path.
+	HookIHit HookMask = 1 << iota
+	// HookIMiss delivers OnEvent for instruction entries that missed
+	// (the events carrying IMiss/IEvicted/Victim* information).
+	HookIMiss
+	// HookData delivers OnEvent for load and store entries.
+	HookData
+	// HookWouldEvict enables the pre-fill OnWouldEvict consultation on
+	// cores where Phase reports tagging (STREX's victim monitor).
+	HookWouldEvict
+	// HookIHitBatch declares that the scheduler observes instruction
+	// hits, but only through state updates that commute within a run of
+	// consecutive hits (SLICC's shift-vector aging). The engine then
+	// keeps the hit-run fast path: while HitRunOK(core) holds it
+	// collapses a run into one OnHitRun call; otherwise it delivers
+	// per-entry OnEvent exactly like HookIHit.
+	HookIHitBatch
+	// HookRemoteCaches declares that the scheduler reads other cores'
+	// cache contents (SLICC's signature queries). The engine must then
+	// keep every cache-content mutation in global clock order, which
+	// forbids hit runs under an active prefetcher (prefetch fills would
+	// run ahead of order and be visible to remote probes).
+	HookRemoteCaches
+)
+
 // Scheduler decides placement and reacts to execution events. Exactly
 // one scheduler drives an Engine.
 type Scheduler interface {
 	Name() string
 	// Bind attaches the scheduler to the engine before the run.
 	Bind(e *Engine)
+	// Hooks declares which events the scheduler observes. The engine
+	// skips every hook the mask omits, so the mask must be honest: a
+	// cleared bit promises the corresponding hook is inert.
+	Hooks() HookMask
 	// Dispatch returns the next thread for an idle core, or nil.
 	Dispatch(core int) *Thread
 	// Phase returns the phaseID to tag instruction blocks with, and
-	// whether tagging is enabled on this core (STREX only).
+	// whether tagging is enabled on this core (STREX only). The engine
+	// samples Phase when a thread is installed; a scheduler must only
+	// change a core's phase between quanta (i.e. from Dispatch or the
+	// yield/migrate/complete hooks), never mid-quantum.
 	Phase(core int) (uint8, bool)
 	// OnWouldEvict is consulted before an instruction fill that would
 	// displace a resident block, but only on cores where Phase reports
-	// tagging. Returning true context-switches the running thread
-	// *without performing the fill* — the paper's rule that a
-	// transaction executes "as long as it does not evict cache blocks
-	// tagged with the current phaseID". The suppressed fetch re-executes
-	// when the thread resumes.
+	// tagging and when HookWouldEvict is declared. Returning true
+	// context-switches the running thread *without performing the
+	// fill* — the paper's rule that a transaction executes "as long as
+	// it does not evict cache blocks tagged with the current phaseID".
+	// The suppressed fetch re-executes when the thread resumes.
 	OnWouldEvict(core int, victimPhase uint8) bool
-	// OnEvent is invoked after every executed entry; the returned
-	// Action directs the engine. target is only meaningful for Migrate.
+	// OnEvent is invoked after every executed entry in the categories
+	// the HookMask declares; the returned Action directs the engine.
+	// target is only meaningful for Migrate.
 	OnEvent(core int, ev Event) (act Action, target int)
+	// HitRunOK reports whether, in the scheduler's current state for
+	// core, a run of instruction-hit events is batchable: every such
+	// event would return Continue and mutate only state whose updates
+	// over the run can be applied at once by OnHitRun. Consulted only
+	// when HookIHitBatch is declared, before each hit run.
+	HitRunOK(core int) bool
+	// OnHitRun replaces the per-entry OnEvent calls for a batched run
+	// of instruction hits: entries hit entries retiring instrs
+	// instructions executed on core. Must leave the scheduler in
+	// exactly the state the per-entry delivery would have. Consulted
+	// only when HookIHitBatch is declared.
+	OnHitRun(core int, entries int, instrs uint64)
 	// OnYield receives a context-switched thread.
 	OnYield(core int, t *Thread)
 	// OnMigrate receives a migrating thread at its destination.
@@ -212,6 +281,22 @@ type Engine struct {
 	mem   *memsys.Hierarchy
 	pf    prefetch.Prefetcher
 	sched Scheduler
+	lat   memsys.Latencies // hoisted out of the hot loop
+
+	// heap holds the busy cores as a min-heap on (Clock, ID) — the
+	// lowest core ID wins clock ties, matching the reference selector's
+	// ascending scan. idle holds the rest in ascending ID order (the
+	// dispatch-offer order).
+	heap []*Core
+	idle []*Core
+
+	// Per-run capability snapshot (taken at the top of Run).
+	hooks     HookMask
+	pfPassive bool                // prefetcher has no on-hit side effects
+	pfHides   bool                // prefetcher hides miss latency (PIF)
+	fastHits  bool                // hit-run fast path licensed (hooks + prefetcher)
+	batchHits bool                // hit runs must be gated and reported (HookIHitBatch)
+	runPF     prefetch.Prefetcher // prefetcher driven inside hit runs (nil when passive)
 
 	threads    []*Thread
 	pending    []*Thread // not yet dispatched, arrival order
@@ -234,21 +319,25 @@ func New(cfg Config, set *workload.Set, sched Scheduler) *Engine {
 		pf:    prefetch.New(cfg.Prefetcher, codegen.DataBase),
 		sched: sched,
 	}
+	e.lat = e.mem.Lat()
 	for c := 0; c < cfg.Cores; c++ {
 		core := &Core{
 			ID: c,
-			L1I: cache.New(cache.Config{
-				SizeBytes: cfg.L1IKB << 10, BlockBytes: 64, Ways: cfg.L1Ways,
-				Policy: cfg.IPolicy, Seed: cfg.Seed ^ uint64(c)<<8,
-			}),
-			L1D: cache.New(cache.Config{
-				SizeBytes: cfg.L1DKB << 10, BlockBytes: 64, Ways: cfg.L1Ways,
-				Policy: cache.LRU, Seed: cfg.Seed ^ uint64(c)<<16 ^ 0xD,
-			}),
+			Stepper: Stepper{
+				L1I: cache.New(cache.Config{
+					SizeBytes: cfg.L1IKB << 10, BlockBytes: 64, Ways: cfg.L1Ways,
+					Policy: cfg.IPolicy, Seed: cfg.Seed ^ uint64(c)<<8,
+				}),
+				L1D: cache.New(cache.Config{
+					SizeBytes: cfg.L1DKB << 10, BlockBytes: 64, Ways: cfg.L1Ways,
+					Policy: cache.LRU, Seed: cfg.Seed ^ uint64(c)<<16 ^ 0xD,
+				}),
+			},
 		}
 		e.mem.AttachL1D(c, core.L1D)
 		e.cores = append(e.cores, core)
 	}
+	e.idle = append(e.idle, e.cores...) // every core starts idle, ID order
 	for _, tx := range set.Txns {
 		t := &Thread{Txn: tx, Cursor: trace.NewCursor(tx.Trace)}
 		e.threads = append(e.threads, t)
@@ -293,31 +382,124 @@ func (e *Engine) TakePending(t *Thread) {
 	panic("sim: TakePending on a thread not pending")
 }
 
+// --- busy-core min-heap ----------------------------------------------------
+
+// coreLess orders the heap: earliest clock first, lowest core ID on
+// ties. The tie-break reproduces the reference selector's ascending
+// scan with strict less-than, which keeps the first (lowest-ID) core
+// among equals — same-seed runs stay byte-identical.
+func coreLess(a, b *Core) bool {
+	return a.Clock < b.Clock || (a.Clock == b.Clock && a.ID < b.ID)
+}
+
+func (e *Engine) heapPush(c *Core) {
+	e.heap = append(e.heap, c)
+	i := len(e.heap) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !coreLess(e.heap[i], e.heap[parent]) {
+			break
+		}
+		e.heap[i], e.heap[parent] = e.heap[parent], e.heap[i]
+		i = parent
+	}
+}
+
+func (e *Engine) heapSiftDown(i int) {
+	n := len(e.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && coreLess(e.heap[l], e.heap[min]) {
+			min = l
+		}
+		if r < n && coreLess(e.heap[r], e.heap[min]) {
+			min = r
+		}
+		if min == i {
+			return
+		}
+		e.heap[i], e.heap[min] = e.heap[min], e.heap[i]
+		i = min
+	}
+}
+
+func (e *Engine) heapPopRoot() {
+	n := len(e.heap) - 1
+	e.heap[0] = e.heap[n]
+	e.heap[n] = nil
+	e.heap = e.heap[:n]
+	if n > 0 {
+		e.heapSiftDown(0)
+	}
+}
+
+// idleAdd inserts c into the idle list keeping ascending ID order.
+func (e *Engine) idleAdd(c *Core) {
+	i := len(e.idle)
+	e.idle = append(e.idle, c)
+	for i > 0 && e.idle[i-1].ID > c.ID {
+		e.idle[i] = e.idle[i-1]
+		i--
+	}
+	e.idle[i] = c
+}
+
+// dispatchIdle offers every idle core (ascending ID) to the scheduler,
+// installing and heap-pushing the threads it returns. Cores left
+// without work stay idle and are re-offered after the next step — the
+// same offer pattern as the reference selector, so the scheduler sees
+// an identical Dispatch call sequence.
+func (e *Engine) dispatchIdle() {
+	kept := e.idle[:0]
+	for _, c := range e.idle {
+		if t := e.sched.Dispatch(c.ID); t != nil {
+			e.install(c, t)
+			e.heapPush(c)
+		} else {
+			kept = append(kept, c)
+		}
+	}
+	e.idle = kept
+}
+
 // Run executes the workload to completion and returns the result.
+//
+// The loop is event-driven: the min-heap yields the lagging busy core
+// in O(log cores), the core executes until its next externally visible
+// event (hit runs collapse into one step), and only then re-enters the
+// heap. Output is byte-identical to RunReference at the same seed.
 func (e *Engine) Run() Result {
+	e.hooks = e.sched.Hooks()
+	e.pfPassive = e.pf.PassiveOnHit()
+	e.pfHides = e.pf.HidesMisses()
+	e.batchHits = e.hooks&HookIHitBatch != 0
+	// Hit runs need a scheduler that never observes hits per entry
+	// (HookIHit clear; batched observation is fine) and cache contents
+	// that stay in global order: a passive prefetcher always qualifies,
+	// an active one only when no scheduler probes remote caches.
+	e.fastHits = e.hooks&HookIHit == 0 &&
+		(e.pfPassive || e.hooks&HookRemoteCaches == 0)
+	if !e.pfPassive {
+		e.runPF = e.pf // drive prefetch fills inside hit runs, in order
+	}
 	for e.live > 0 {
-		// Offer work to idle cores.
-		for _, c := range e.cores {
-			if c.Cur == nil {
-				if t := e.sched.Dispatch(c.ID); t != nil {
-					e.install(c, t)
-				}
-			}
+		if len(e.idle) > 0 {
+			e.dispatchIdle()
 		}
-		// Execute one entry on the lagging busy core (min clock), which
-		// approximates concurrent execution across cores.
-		var busy *Core
-		for _, c := range e.cores {
-			if c.Cur != nil && (busy == nil || c.Clock < busy.Clock) {
-				busy = c
-			}
-		}
-		if busy == nil {
+		if len(e.heap) == 0 {
 			panic("sim: live threads but no runnable core (scheduler dropped a thread)")
 		}
-		before := busy.Clock
-		e.step(busy)
-		e.busyCycles += busy.Clock - before
+		c := e.heap[0]
+		before := c.Clock
+		e.step(c)
+		e.busyCycles += c.Clock - before
+		if c.Cur != nil {
+			e.heapSiftDown(0) // clock advanced; ID unchanged
+		} else {
+			e.heapPopRoot()
+			e.idleAdd(c)
+		}
 	}
 	return e.collect()
 }
@@ -332,24 +514,50 @@ func (e *Engine) install(c *Core, t *Thread) {
 	}
 	c.Cur = t
 	c.QInstrs = 0
+	c.phase, c.tagged = e.sched.Phase(c.ID)
 }
 
-// step executes one trace entry on core c.
+// finish retires t on c (the cursor is exhausted).
+func (e *Engine) finish(c *Core, t *Thread) {
+	t.FinishCycle = c.Clock
+	c.Cur = nil
+	e.live--
+	e.sched.OnComplete(c.ID, t)
+}
+
+// step executes core c up to and including its next externally visible
+// trace entry.
+//
+// Fast path: when the scheduler ignores instruction hits and the
+// prefetcher is passive, a run of consecutive L1-I hit entries executes
+// in Stepper.HitRun without constructing events or consulting anyone.
+// Such entries touch only core-private state, so executing the whole
+// run ahead of the global clock order is exact; the run deliberately
+// stops before the trace's final entry so completion — a scheduler-
+// visible event — is still sequenced by the heap. See docs/ENGINE.md.
 func (e *Engine) step(c *Core) {
 	t := c.Cur
-	entry := t.Cursor.Peek()
-	var ev Event
-	ev.Entry = entry
+	if e.fastHits && (!e.batchHits || e.sched.HitRunOK(c.ID)) {
+		if n, entries := c.HitRun(&t.Cursor, c.phase, c.tagged, e.runPF); entries > 0 {
+			c.Clock += n // 1 IPC
+			t.Instrs += n
+			c.QInstrs += n
+			if e.batchHits {
+				e.sched.OnHitRun(c.ID, entries, n)
+			}
+			return // next entry (miss/data/last) runs when c is min again
+		}
+	}
 
-	ph, tagged := e.sched.Phase(c.ID)
+	entry := t.Cursor.Peek()
 
 	// STREX's switch-before-evict: if filling this instruction block
 	// would displace a block the scheduler still wants resident, context
 	// switch without consuming the entry — the fetch replays on resume.
-	if tagged && entry.Kind == trace.KInstr {
+	if c.tagged && e.hooks&HookWouldEvict != 0 && entry.Kind == trace.KInstr {
 		if victimPhase, would := c.L1I.WouldEvict(entry.Block); would {
 			if e.sched.OnWouldEvict(c.ID, victimPhase) {
-				c.Clock += uint64(e.mem.Lat().SwitchCost)
+				c.Clock += uint64(e.lat.SwitchCost)
 				c.Switches++
 				t.ReadyAt = c.Clock
 				c.Cur = nil
@@ -359,37 +567,43 @@ func (e *Engine) step(c *Core) {
 		}
 	}
 
-	t.Cursor.Next()
+	t.Cursor.Advance(1)
+	var ev Event
+	ev.Entry = entry
 	switch entry.Kind {
 	case trace.KInstr:
 		c.Clock += uint64(entry.N) // 1 IPC
 		t.Instrs += uint64(entry.N)
 		c.QInstrs += uint64(entry.N)
+		// Inlined Stepper.Exec, instruction case (the kind is already
+		// dispatched here; a second switch per entry is pure overhead).
 		var r cache.AccessResult
-		if tagged {
-			r = c.L1I.Touch(entry.Block, ph)
+		if c.tagged {
+			r = c.L1I.Touch(entry.Block, c.phase)
 		} else {
 			r = c.L1I.Access(entry.Block, false)
 		}
 		if !r.Hit {
 			ev.IMiss = true
 			lat := e.mem.FetchI(c.ID, entry.Block)
-			if !e.pf.HidesMisses() {
+			if !e.pfHides {
 				c.Clock += uint64(lat)
 			}
 		} else if r.PrefetchHit {
 			// A late next-line prefetch hides most but not all latency.
-			c.Clock += uint64(e.mem.Lat().L2Hit / 2)
+			c.Clock += uint64(e.lat.L2Hit / 2)
 		}
 		ev.IEvicted = r.Evicted
 		ev.VictimBlock = r.VictimBlock
 		ev.VictimPhase = r.VictimPhase
-		e.pf.OnIFetch(c.L1I, entry.Block, r.Hit)
+		if !e.pfPassive {
+			e.pf.OnIFetch(c.L1I, entry.Block, r.Hit)
+		}
 
 	case trace.KLoad, trace.KStore:
 		write := entry.Kind == trace.KStore
-		c.Clock++ // address generation / pipeline slot
-		r := c.L1D.Access(entry.Block, write)
+		c.Clock++                             // address generation / pipeline slot
+		r := c.L1D.Access(entry.Block, write) // inlined Stepper.Exec, data case
 		if !r.Hit {
 			ev.DMiss = true
 			c.Clock += uint64(e.mem.FetchD(c.ID, entry.Block, write))
@@ -401,18 +615,30 @@ func (e *Engine) step(c *Core) {
 	}
 
 	if t.Cursor.Done() {
-		t.FinishCycle = c.Clock
-		c.Cur = nil
-		e.live--
-		e.sched.OnComplete(c.ID, t)
+		e.finish(c, t)
 		return
 	}
 
+	var deliver bool
+	switch {
+	case entry.Kind != trace.KInstr:
+		deliver = e.hooks&HookData != 0
+	case ev.IMiss:
+		deliver = e.hooks&HookIMiss != 0
+	default:
+		// A hit that reaches the slow path (unbatchable scheduler
+		// state, prefetch credit, final entry) is delivered per entry
+		// to batch observers too.
+		deliver = e.hooks&(HookIHit|HookIHitBatch) != 0
+	}
+	if !deliver {
+		return
+	}
 	act, target := e.sched.OnEvent(c.ID, ev)
 	switch act {
 	case Continue:
 	case Yield:
-		c.Clock += uint64(e.mem.Lat().SwitchCost)
+		c.Clock += uint64(e.lat.SwitchCost)
 		c.Switches++
 		t.ReadyAt = c.Clock
 		c.Cur = nil
@@ -421,9 +647,9 @@ func (e *Engine) step(c *Core) {
 		if target == c.ID || target < 0 || target >= len(e.cores) {
 			panic(fmt.Sprintf("sim: bad migration target %d", target))
 		}
-		c.Clock += uint64(e.mem.Lat().MigrateCost) / 2 // send half
+		c.Clock += uint64(e.lat.MigrateCost) / 2 // send half
 		c.Migrations++
-		t.ReadyAt = c.Clock + uint64(e.mem.Lat().MigrateCost)/2 // receive half
+		t.ReadyAt = c.Clock + uint64(e.lat.MigrateCost)/2 // receive half
 		c.Cur = nil
 		e.sched.OnMigrate(c.ID, target, t)
 	}

@@ -14,8 +14,11 @@ type fifoSched struct {
 	completed []*Thread
 }
 
-func (f *fifoSched) Name() string   { return "fifo" }
-func (f *fifoSched) Bind(e *Engine) { f.e = e }
+func (f *fifoSched) Name() string                    { return "fifo" }
+func (f *fifoSched) Bind(e *Engine)                  { f.e = e }
+func (f *fifoSched) Hooks() HookMask                 { return 0 }
+func (f *fifoSched) HitRunOK(int) bool               { return true }
+func (f *fifoSched) OnHitRun(_ int, _ int, _ uint64) {}
 func (f *fifoSched) Dispatch(core int) *Thread {
 	p := f.e.Pending()
 	if len(p) == 0 {
@@ -40,6 +43,10 @@ type yieldEverySched struct {
 	count int
 	queue []*Thread
 }
+
+// Hooks overrides the embedded fifoSched's empty mask: this scheduler
+// counts every instruction entry, hits included.
+func (y *yieldEverySched) Hooks() HookMask { return HookIHit | HookIMiss }
 
 func (y *yieldEverySched) Dispatch(core int) *Thread {
 	if len(y.queue) > 0 {

@@ -8,8 +8,10 @@
 // locality".
 //
 // This package models one SMT core: W hardware contexts interleave trace
-// entries round-robin over shared L1s. Two co-scheduling policies are
-// compared:
+// entries round-robin over shared L1s, replaying each entry through the
+// CMP engine's shared sim.Stepper (SMT is an issue policy over the same
+// execution substrate, not a second simulator — docs/ENGINE.md). Two
+// co-scheduling policies are compared:
 //
 //   - Arrival: contexts run whatever arrives next (conventional SMT);
 //   - Stratified: the dispatcher fills all contexts with transactions of
@@ -34,6 +36,7 @@ import (
 	"fmt"
 
 	"strex/internal/cache"
+	"strex/internal/sim"
 	"strex/internal/trace"
 	"strex/internal/workload"
 )
@@ -79,40 +82,95 @@ func DefaultConfig(w int) Config {
 	return Config{Ways: w, L1IKB: 32, L1DKB: 32, L1Ways: 8, Seed: 1}
 }
 
+// txnPool is an arrival-ordered transaction pool with O(1) removal at a
+// scanned position: live entries form a singly linked list over the
+// original slice, so taking a transaction advances links instead of
+// shifting the tail (the previous implementation's per-dispatch
+// append(pending[:pick], pending[pick+1:]...) made dispatch O(n) and a
+// run O(n²)). Scan order — and therefore every pick — is exactly the
+// arrival order the slice-based code observed.
+type txnPool struct {
+	txns []*workload.Txn
+	next []int // next[i]: index of the following live txn (len = end)
+	head int   // first live index (len(txns) = empty)
+	n    int   // live count
+}
+
+func newTxnPool(txns []*workload.Txn) *txnPool {
+	p := &txnPool{txns: txns, next: make([]int, len(txns)), n: len(txns)}
+	for i := range p.next {
+		p.next[i] = i + 1
+	}
+	return p
+}
+
+func (p *txnPool) empty() bool { return p.n == 0 }
+
+// first returns the oldest live transaction without removing it.
+func (p *txnPool) first() *workload.Txn { return p.txns[p.head] }
+
+// takeFirst removes and returns the oldest live transaction.
+func (p *txnPool) takeFirst() *workload.Txn {
+	tx := p.txns[p.head]
+	p.head = p.next[p.head]
+	p.n--
+	return tx
+}
+
+// takeMatching removes and returns the oldest live transaction with the
+// given header, or falls back to takeFirst when none matches — the
+// stratified dispatcher's pick rule.
+func (p *txnPool) takeMatching(header uint32) *workload.Txn {
+	prev := -1
+	for i := p.head; i < len(p.txns); i = p.next[i] {
+		if p.txns[i].Header == header {
+			if prev < 0 {
+				p.head = p.next[i]
+			} else {
+				p.next[prev] = p.next[i]
+			}
+			p.n--
+			return p.txns[i]
+		}
+		prev = i
+	}
+	return p.takeFirst()
+}
+
 // Run replays the workload on one SMT core under the given policy and
-// returns the observed miss rates.
+// returns the observed miss rates. Entries execute through the shared
+// sim.Stepper — the same entry-execution rules the CMP engine replays
+// with — interleaved one entry per context per round (timing-free
+// round-robin issue).
 func Run(cfg Config, set *workload.Set, pol Policy) Result {
 	if cfg.Ways <= 0 {
 		panic(fmt.Sprintf("smt: bad ways %d", cfg.Ways))
 	}
-	l1i := cache.New(cache.Config{SizeBytes: cfg.L1IKB << 10, BlockBytes: 64, Ways: cfg.L1Ways, Policy: cache.LRU, Seed: cfg.Seed})
-	l1d := cache.New(cache.Config{SizeBytes: cfg.L1DKB << 10, BlockBytes: 64, Ways: cfg.L1Ways, Policy: cache.LRU, Seed: cfg.Seed ^ 0xD})
+	stepper := sim.Stepper{
+		L1I: cache.New(cache.Config{SizeBytes: cfg.L1IKB << 10, BlockBytes: 64, Ways: cfg.L1Ways, Policy: cache.LRU, Seed: cfg.Seed}),
+		L1D: cache.New(cache.Config{SizeBytes: cfg.L1DKB << 10, BlockBytes: 64, Ways: cfg.L1Ways, Policy: cache.LRU, Seed: cfg.Seed ^ 0xD}),
+	}
 
-	pending := append([]*workload.Txn(nil), set.Txns...)
+	pending := newTxnPool(append([]*workload.Txn(nil), set.Txns...))
 	contexts := make([]*trace.Cursor, cfg.Ways)
 	types := make([]uint32, cfg.Ways)
 
 	take := func(slot int) bool {
-		if len(pending) == 0 {
+		if pending.empty() {
 			return false
 		}
-		pick := 0
+		var tx *workload.Txn
 		if pol == Stratified {
 			// Prefer a transaction whose header matches a running
 			// context (including this slot's previous occupant).
 			want := types[slot]
-			if want == 0 && len(pending) > 0 {
-				want = pending[0].Header
+			if want == 0 {
+				want = pending.first().Header
 			}
-			for i, tx := range pending {
-				if tx.Header == want {
-					pick = i
-					break
-				}
-			}
+			tx = pending.takeMatching(want)
+		} else {
+			tx = pending.takeFirst()
 		}
-		tx := pending[pick]
-		pending = append(pending[:pick], pending[pick+1:]...)
 		cur := trace.NewCursor(tx.Trace)
 		contexts[slot] = &cur
 		types[slot] = tx.Header
@@ -137,15 +195,10 @@ func Run(cfg Config, set *workload.Set, pol Policy) Result {
 			}
 			live++
 			e := cur.Next()
-			switch e.Kind {
-			case trace.KInstr:
+			if e.Kind == trace.KInstr {
 				instrs += uint64(e.N)
-				l1i.Access(e.Block, false)
-			case trace.KLoad:
-				l1d.Access(e.Block, false)
-			case trace.KStore:
-				l1d.Access(e.Block, true)
 			}
+			stepper.Exec(e, 0, false)
 		}
 		if live == 0 {
 			break
@@ -153,8 +206,8 @@ func Run(cfg Config, set *workload.Set, pol Policy) Result {
 	}
 	res := Result{Ways: cfg.Ways, Policy: pol, Instrs: instrs}
 	if instrs > 0 {
-		res.IMPKI = float64(l1i.Stats.Misses) / float64(instrs) * 1000
-		res.DMPKI = float64(l1d.Stats.Misses) / float64(instrs) * 1000
+		res.IMPKI = float64(stepper.L1I.Stats.Misses) / float64(instrs) * 1000
+		res.DMPKI = float64(stepper.L1D.Stats.Misses) / float64(instrs) * 1000
 	}
 	return res
 }

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"strex/internal/tpcc"
+	"strex/internal/workload"
 )
 
 func TestArrivalSMTGivesNoInstructionBenefit(t *testing.T) {
@@ -83,4 +84,56 @@ func TestBadWaysPanics(t *testing.T) {
 	}()
 	w := tpcc.New(tpcc.Config{Warehouses: 1, Seed: 42})
 	Run(Config{Ways: 0, L1IKB: 32, L1DKB: 32, L1Ways: 8}, w.Generate(1), Arrival)
+}
+
+// TestTxnPoolPreservesPickOrder drives the linked pool and the original
+// slice-based removal (append(pending[:pick], pending[pick+1:]...))
+// with the same pick rules and asserts identical pick sequences — the
+// O(n²)-removal fix must be invisible to the dispatcher.
+func TestTxnPoolPreservesPickOrder(t *testing.T) {
+	w := tpcc.New(tpcc.Config{Warehouses: 1, Seed: 7})
+	set := w.Generate(40)
+
+	slice := append([]*workload.Txn(nil), set.Txns...)
+	takeSlice := func(header uint32, match bool) *workload.Txn {
+		pick := 0
+		if match {
+			for i, tx := range slice {
+				if tx.Header == header {
+					pick = i
+					break
+				}
+			}
+		}
+		tx := slice[pick]
+		slice = append(slice[:pick], slice[pick+1:]...)
+		return tx
+	}
+
+	pool := newTxnPool(append([]*workload.Txn(nil), set.Txns...))
+	rng := uint64(1)
+	for !pool.empty() {
+		rng = rng*6364136223846793005 + 1
+		var want, got *workload.Txn
+		if rng&4 != 0 {
+			// Stratified-style pick: first match for an arbitrary
+			// in-flight header (take the current head's header half the
+			// time, a probably-absent one otherwise).
+			header := pool.first().Header
+			if rng&8 != 0 {
+				header = 0xFFFF
+			}
+			want = takeSlice(header, true)
+			got = pool.takeMatching(header)
+		} else {
+			want = takeSlice(0, false)
+			got = pool.takeFirst()
+		}
+		if want != got {
+			t.Fatalf("pick diverged: slice chose txn %d, pool chose txn %d", want.ID, got.ID)
+		}
+	}
+	if len(slice) != 0 {
+		t.Fatalf("pool drained but slice kept %d", len(slice))
+	}
 }

@@ -153,6 +153,24 @@ func (c *Cursor) Next() Entry {
 // Pos returns the current entry index (for progress accounting).
 func (c *Cursor) Pos() int { return c.idx }
 
+// Rest returns the unconsumed entries as a read-only view. Paired with
+// Advance it lets hot replay loops iterate a plain slice instead of
+// paying a Done/Peek/Next call trio per entry.
+func (c *Cursor) Rest() []Entry {
+	if c.buf == nil {
+		return nil
+	}
+	return c.buf.Entries[c.idx:]
+}
+
+// Advance consumes n entries (n must not exceed Remaining).
+func (c *Cursor) Advance(n int) {
+	if n < 0 || n > c.Remaining() {
+		panic("trace: Advance past end")
+	}
+	c.idx += n
+}
+
 // Remaining returns the number of unconsumed entries.
 func (c *Cursor) Remaining() int {
 	if c.buf == nil {

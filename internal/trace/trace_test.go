@@ -182,3 +182,28 @@ func TestKindString(t *testing.T) {
 		t.Fatal("kind mnemonics wrong")
 	}
 }
+
+func TestRestAndAdvance(t *testing.T) {
+	var b Buffer
+	b.AppendInstr(1, 5)
+	b.AppendData(9, false)
+	b.AppendInstr(2, 3)
+	cur := NewCursor(&b)
+	if got := len(cur.Rest()); got != 3 {
+		t.Fatalf("Rest() = %d entries, want 3", got)
+	}
+	cur.Advance(2)
+	rest := cur.Rest()
+	if len(rest) != 1 || rest[0].Block != 2 {
+		t.Fatalf("after Advance(2), Rest() = %+v", rest)
+	}
+	if cur.Pos() != 2 || cur.Remaining() != 1 {
+		t.Fatalf("Pos=%d Remaining=%d", cur.Pos(), cur.Remaining())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Advance past end did not panic")
+		}
+	}()
+	cur.Advance(2)
+}
