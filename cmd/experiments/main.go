@@ -4,11 +4,17 @@
 //
 // Usage:
 //
-//	experiments [-txns N] [-seed S] [-parallel P] [-only fig6] [-csv]
-//	            [-cache-dir DIR] [-no-cache] [-json PATH]
+//	experiments [-txns N] [-seed S] [-seeds R] [-parallel P] [-only fig6]
+//	            [-csv] [-cache-dir DIR] [-no-cache] [-json PATH]
 //
 // -txns scales the sample size per configuration (default 160
 // transactions; the paper replays 1.2B instructions, see DESIGN.md §6).
+// -seeds runs every fig5-fig9/sweep/smoke cell R times: replicate 0 at
+// the verbatim master seed (its tables and cache keys are byte-identical
+// to a -seeds 1 run) and the rest at derived seeds with fresh trace
+// draws. Each replicated figure is followed by an aggregate table of
+// mean ±95% CI cells, and -json records carry per-replicate arrays plus
+// summary blocks (see docs/STATS.md).
 // -parallel bounds how many simulator runs execute concurrently
 // (default: GOMAXPROCS). Results are identical at every setting — the
 // run executor preserves determinism and submission order — so -parallel
@@ -54,6 +60,7 @@ func stderrIsTerminal() bool {
 func main() {
 	txns := flag.Int("txns", 160, "transactions per configuration (scale knob)")
 	seed := flag.Uint64("seed", 42, "master seed")
+	seeds := flag.Int("seeds", 1, "seed-replicates per cell (N > 1 adds mean ±95% CI aggregate tables)")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "concurrent simulator runs (1 = serial)")
 	only := flag.String("only", "", "run a single experiment (e.g. fig6)")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
@@ -80,7 +87,7 @@ func main() {
 	// is not a terminal (redirected logs would fill with control bytes).
 	showProgress := !*quiet && stderrIsTerminal()
 	suite := experiments.NewSuite(experiments.Options{
-		Txns: *txns, Seed: *seed, Parallel: *parallel, Cache: cache,
+		Txns: *txns, Seed: *seed, Seeds: *seeds, Parallel: *parallel, Cache: cache,
 	})
 	if showProgress {
 		suite.Runner().OnProgress(func(done, submitted int, label string) {
@@ -115,14 +122,9 @@ func main() {
 	// Tables go to stdout; timings go to stderr so that stdout is
 	// byte-identical across reruns (the cached-rerun equivalence check
 	// in CI diffs it).
-	run := func(name string) error {
-		drv, ok := drivers[strings.ToLower(name)]
-		if !ok {
-			return fmt.Errorf("unknown experiment %q (have %s)", name, strings.Join(order, ", "))
-		}
-		start := time.Now()
-		tab := drv()
-		clearProgress()
+	// render prints one table in the selected format followed by a
+	// blank separator line.
+	render := func(tab *metrics.Table) error {
 		if *csv {
 			fmt.Printf("# %s\n", tab.Title)
 			if err := tab.WriteCSV(os.Stdout); err != nil {
@@ -134,6 +136,28 @@ func main() {
 			}
 		}
 		fmt.Println()
+		return nil
+	}
+
+	run := func(name string) error {
+		drv, ok := drivers[strings.ToLower(name)]
+		if !ok {
+			return fmt.Errorf("unknown experiment %q (have %s)", name, strings.Join(order, ", "))
+		}
+		start := time.Now()
+		tab := drv()
+		clearProgress()
+		if err := render(tab); err != nil {
+			return err
+		}
+		// Replicate aggregates (only produced at -seeds > 1) follow
+		// their figure's classic table, so -seeds 1 stdout stays
+		// byte-identical to the committed goldens.
+		for _, agg := range suite.DrainAggregates() {
+			if err := render(agg); err != nil {
+				return err
+			}
+		}
 		fmt.Fprintf(os.Stderr, "(%s in %v)\n", name, time.Since(start).Round(time.Millisecond))
 		return nil
 	}
@@ -148,7 +172,7 @@ func main() {
 				cache.Dir(), st.TraceHits, st.TraceMisses, st.ResultHits, st.ResultMisses)
 		}
 		if *jsonPath != "" {
-			report := metrics.BenchReport{TxnsPerCell: *txns, Seed: *seed, Records: suite.Records()}
+			report := metrics.BenchReport{TxnsPerCell: *txns, Seed: *seed, Seeds: *seeds, Records: suite.Records()}
 			if err := report.Save(*jsonPath); err != nil {
 				fatal(err)
 			}
@@ -163,8 +187,14 @@ func main() {
 		finish()
 		return
 	}
-	fmt.Printf("STREX evaluation reproduction — %d txns/config, seed %d, %d workers\n\n",
-		*txns, *seed, suite.Runner().Workers())
+	replicated := ""
+	if *seeds > 1 {
+		// Mentioned only when replicating, so -seeds 1 output stays
+		// byte-identical to the pre-replication format.
+		replicated = fmt.Sprintf(", %d seed-replicates/cell", *seeds)
+	}
+	fmt.Printf("STREX evaluation reproduction — %d txns/config, seed %d, %d workers%s\n\n",
+		*txns, *seed, suite.Runner().Workers(), replicated)
 	for _, name := range order {
 		if err := run(name); err != nil {
 			fatal(err)

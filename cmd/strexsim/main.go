@@ -17,10 +17,17 @@
 // the generated workload to a .strextrace artifact and -load-trace
 // replays one (see docs/TRACES.md).
 //
+// -seeds N runs every grid cell at N seed-replicates — replicate 0 at
+// the verbatim -seed, the rest at derived seeds with fresh trace draws
+// — and prints mean ±95% CI per metric instead of point estimates (see
+// docs/STATS.md). The N draws are generated once and shared by every
+// cell; -cache-dir additionally persists them across invocations.
+//
 // Usage:
 //
 //	strexsim -workload tpcc10 -cores 8 -sched strex -team 10
 //	strexsim -workload tatp -cores 2,4,8,16 -sched base,strex,slicc -parallel 8
+//	strexsim -workload tatp -cores 2,8 -sched base,strex -seeds 5
 //	strexsim -workload synth -synth-units 8 -synth-types 2 -sched base,strex
 //	strexsim -workload tpcc10 -save-trace tpcc10.strextrace -sched base
 //	strexsim -load-trace tpcc10.strextrace -sched strex,slicc -cores 4,8
@@ -59,6 +66,7 @@ func main() {
 	synthUnits := flag.Float64("synth-units", 0, "synth: per-type footprint in 32KB L1-I units (0 = default 4)")
 	synthTypes := flag.Int("synth-types", 0, "synth: transaction type count (0 = default 4)")
 	synthReuse := flag.Float64("synth-reuse", 0, "synth: shared-data reuse fraction (0 = default 0.5)")
+	seedsN := flag.Int("seeds", 1, "seed-replicates per configuration (N > 1 prints mean ±95% CI rows; see docs/STATS.md)")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "concurrent runs for grids (1 = serial)")
 	quiet := flag.Bool("quiet", false, "suppress the progress line on stderr")
 	list := flag.Bool("list", false, "list registered workloads and exit")
@@ -75,6 +83,38 @@ func main() {
 
 	if *list {
 		printWorkloads()
+		return
+	}
+
+	if *seedsN > 1 {
+		// Replicated mode: every grid cell is run at N derived seeds
+		// (fresh trace draws) and reported as mean ±95% CI. Fixed
+		// traces can't be redrawn, so the trace flags are refused.
+		if *loadTrace != "" {
+			fail(fmt.Errorf("-seeds needs generated workloads; it cannot replicate a fixed -load-trace"))
+		}
+		if *saveTrace != "" {
+			fail(fmt.Errorf("-save-trace saves a single trace draw; use -seeds 1 (replicate 0 is that exact draw)"))
+		}
+		cores, err := parseInts(*coresList)
+		if err != nil {
+			fail(err)
+		}
+		kinds, err := parseScheds(*schedList)
+		if err != nil {
+			fail(err)
+		}
+		wopts := strex.WorkloadOptions{
+			Txns:                *txns,
+			Seed:                *seed,
+			Scale:               *scale,
+			SynthFootprintUnits: *synthUnits,
+			SynthTypes:          *synthTypes,
+			SynthDataReuse:      *synthReuse,
+			CacheDir:            *cacheDir,
+			NoCache:             *noCache,
+		}
+		runReplicatedGrid(*wl, wopts, cores, kinds, *seedsN, *team, *policy, *pf, *seed, *parallel, *quiet, fail)
 		return
 	}
 
@@ -107,13 +147,9 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	var kinds []strex.SchedulerKind
-	for _, name := range strings.Split(*schedList, ",") {
-		kind, err := strex.ParseScheduler(name)
-		if err != nil {
-			fail(err)
-		}
-		kinds = append(kinds, kind)
+	kinds, err := parseScheds(*schedList)
+	if err != nil {
+		fail(err)
 	}
 
 	workers := runner.ResolveWorkers(*parallel)
@@ -175,6 +211,69 @@ func printDetail(w *strex.Workload, spec strex.RunSpec, res strex.Result, policy
 			res.MeanLatency/1e6,
 			float64(lat[len(lat)/2])/1e6,
 			float64(lat[len(lat)*99/100])/1e6)
+	}
+}
+
+func parseScheds(list string) ([]strex.SchedulerKind, error) {
+	var kinds []strex.SchedulerKind
+	for _, name := range strings.Split(list, ",") {
+		kind, err := strex.ParseScheduler(name)
+		if err != nil {
+			return nil, err
+		}
+		kinds = append(kinds, kind)
+	}
+	return kinds, nil
+}
+
+// runReplicatedGrid runs every (cores, scheduler) cell at n derived
+// seeds and prints one mean ±95% CI row per cell. Workload content is
+// independent of the grid axes, so the n trace draws are built exactly
+// once (strex.ReplicateWorkloads) and the whole grid — every cell's
+// every replicate — fans out over one worker pool (strex.RunManyDraws),
+// keeping the non-replicated grid's cross-cell parallelism.
+func runReplicatedGrid(wl string, wopts strex.WorkloadOptions, cores []int, kinds []strex.SchedulerKind,
+	n, team int, policy, pf string, seed uint64, parallel int, quiet bool, fail func(error)) {
+	workers := runner.ResolveWorkers(parallel)
+	draws, err := strex.ReplicateWorkloads(wl, wopts, n)
+	if err != nil {
+		fail(err)
+	}
+	var specs []strex.RunSpec
+	for _, c := range cores {
+		for _, kind := range kinds {
+			cfg := strex.DefaultConfig(c)
+			cfg.TeamSize = team
+			cfg.Policy = policy
+			cfg.Prefetcher = pf
+			cfg.Seed = seed
+			specs = append(specs, strex.RunSpec{Config: cfg, Sched: kind})
+		}
+	}
+	progress := func(done, total int) {
+		fmt.Fprintf(os.Stderr, "\r\x1b[K  %d/%d replicate runs", done, total)
+	}
+	if quiet || !stderrIsTerminal() {
+		progress = nil
+	}
+	results, err := strex.RunManyDraws(draws, specs, parallel, progress)
+	if err != nil {
+		fail(err)
+	}
+	if progress != nil {
+		fmt.Fprintf(os.Stderr, "\r\x1b[K")
+	}
+	fmt.Printf("workload %s (%d txns/replicate), %d seed-replicates/config, %s L1-I policy, prefetch=%q, %d workers\n\n",
+		draws[0].Name(), wopts.Txns, n, policy, pf, workers)
+	fmt.Printf("%-6s  %-22s  %16s  %16s  %18s  %16s\n",
+		"cores", "scheduler", "I-MPKI", "D-MPKI", "txn/Mcycle", "mean Mcyc")
+	for i, rr := range results {
+		lat := rr.MeanLatency
+		lat.Mean /= 1e6
+		lat.CI95 /= 1e6
+		fmt.Printf("%-6d  %-22s  %16s  %16s  %18s  %16s\n",
+			specs[i].Config.Cores, rr.Results[0].Scheduler,
+			rr.IMPKI.Format(2), rr.DMPKI.Format(2), rr.Throughput.Format(2), lat.Format(2))
 	}
 }
 

@@ -75,4 +75,18 @@
 // fast path, byte-identical to the retained reference interpreter at
 // every seed — docs/ENGINE.md gives the design and the exactness
 // argument.
+//
+// Single runs are point estimates of a single trace draw. RunReplicated
+// re-draws the workload at N derived seeds and reports mean ±95%
+// confidence intervals per metric (Student-t, internal/stats), which is
+// what makes a "STREX beats Base" claim statistically defensible:
+//
+//	rr, _ := strex.RunReplicated(strex.DefaultConfig(4), "TATP",
+//	    strex.WorkloadOptions{Txns: 100, Seed: 1}, strex.SchedSTREX, 5, 0)
+//	fmt.Printf("I-MPKI %.1f ±%.1f over %d seeds\n", rr.IMPKI.Mean, rr.IMPKI.CI95, rr.IMPKI.N)
+//
+// Both CLIs expose the same replication as -seeds N (aggregate tables
+// next to the classic seed-0 ones); docs/STATS.md covers the estimator
+// choices, the confidence-interval formula and how replicates are
+// addressed in the run cache.
 package strex

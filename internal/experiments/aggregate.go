@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"fmt"
+
+	"strex/internal/sim"
+	"strex/internal/stats"
+)
+
+// This file holds the replicate-aggregation helpers the figure drivers
+// share. Aggregate tables are additive: they render *after* a figure's
+// classic seed-0 table (via Suite.DrainAggregates) and only exist at
+// Seeds > 1, so they can never perturb the committed golden output.
+
+// aggTitle decorates a figure title for its aggregate companion table.
+func aggTitle(base string, seeds int) string {
+	return fmt.Sprintf("%s — aggregate over %d seeds (mean ±95%% CI)", base, seeds)
+}
+
+// series extracts one scalar per replicate from a cell's results.
+func (r *Reps) series(fn func(sim.Result) float64) []float64 {
+	results := r.Results()
+	out := make([]float64, len(results))
+	for i, res := range results {
+		out[i] = fn(res)
+	}
+	return out
+}
+
+// impki returns the per-replicate L1-I MPKI series.
+func (r *Reps) impki() []float64 {
+	return r.series(func(res sim.Result) float64 { return res.Stats.IMPKI() })
+}
+
+// dmpki returns the per-replicate L1-D MPKI series.
+func (r *Reps) dmpki() []float64 {
+	return r.series(func(res sim.Result) float64 { return res.Stats.DMPKI() })
+}
+
+// throughput returns the per-replicate steady-state throughput series;
+// each replicate is sized by its own trace draw's transaction count.
+func (r *Reps) throughput(cores int) []float64 {
+	results := r.Results()
+	out := make([]float64, len(results))
+	for i, res := range results {
+		out[i] = res.Stats.SteadyThroughput(r.Txns(i), cores)
+	}
+	return out
+}
+
+// summarize renders a metric series as a "mean ±ci" aggregate cell.
+func summarize(xs []float64) string { return stats.Summarize(xs).Format(2) }
+
+// pairedSpeedup renders the paired per-replicate ratio test/base as an
+// aggregate cell (see stats.Speedup — replicate seeds must match,
+// which they do by construction inside one suite).
+func pairedSpeedup(test, base []float64) string { return stats.Speedup(test, base).Format(2) }
+
+// pairedReduction returns the per-replicate percentage reduction
+// series 100*(1 - test/base), the paired form of the figures'
+// "reduction" columns (base 0 contributes 0, never Inf).
+func pairedReduction(test, base []float64) []float64 {
+	out := make([]float64, len(test))
+	for i := range test {
+		if base[i] > 0 {
+			out[i] = (1 - test[i]/base[i]) * 100
+		}
+	}
+	return out
+}

@@ -49,6 +49,15 @@ func newHybrid(set *workload.Set, cores int) func() sim.Scheduler {
 	return func() sim.Scheduler { return sched.NewHybrid(set, cores, 3) }
 }
 
+// runHybridReps submits a replicated hybrid cell: the hybrid profiles
+// its workload at construction, so each replicate gets a factory
+// closing over its own trace draw (the profiled set must be the
+// replayed set).
+func (s *Suite) runHybridReps(label string, sets []*workload.Set, cores int) *Reps {
+	schedFor := func(rep int) func() sim.Scheduler { return newHybrid(sets[rep], cores) }
+	return s.submitReps(label, idHybrid, sets, cores, schedFor, newHybrid(sets[0], cores), nil)
+}
+
 // replicate builds the Figure 4 "hypothetical workload": each of the
 // instances is replicated `times` times (sharing the identical trace),
 // interleaved so replicas of the same instance arrive together. Callers
@@ -129,13 +138,12 @@ func (s *Suite) Figure5() *metrics.Table {
 		wl    string
 		cores int
 		name  string
-		txns  int
-		fut   *runner.Future
+		reps  *Reps
 	}
 	var cells []cell
 	for _, wl := range WorkloadNames() {
 		for _, cores := range s.opts.Cores {
-			set := s.SetSized(wl, s.cellTxns(cores, 10))
+			sets := s.setsSized(wl, s.cellTxns(cores, 10))
 			for _, mk := range []struct {
 				name string
 				id   string
@@ -144,13 +152,13 @@ func (s *Suite) Figure5() *metrics.Table {
 				{"Base", idBase, newBaseline}, {"SLICC", idSlicc, newSlicc}, {"STREX", idStrex, newStrex},
 			} {
 				label := fmt.Sprintf("fig5/%s/%dc/%s", wl, cores, mk.name)
-				cells = append(cells, cell{wl, cores, mk.name, len(set.Txns), s.runAsync(label, mk.id, set, cores, mk.fn, nil)})
+				cells = append(cells, cell{wl, cores, mk.name, s.runReps(label, mk.id, sets, cores, mk.fn, nil)})
 			}
 		}
 	}
 	for _, c := range cells {
-		st := c.fut.Result().Stats
-		s.record(metrics.RunRecordOf("fig5", c.wl, c.name, c.cores, c.txns, st))
+		st := c.reps.Seed0().Stats
+		s.recordReps("fig5", c.wl, c.name, c.cores, c.reps)
 		tab.AddRow(c.wl, c.cores, c.name, st.IMPKI(), st.DMPKI(), st.Switches, st.Migrations)
 		switch c.name {
 		case "Base":
@@ -164,6 +172,16 @@ func (s *Suite) Figure5() *metrics.Table {
 	for _, wl := range []string{"TPC-C-1", "TPC-C-10", "TPC-E"} {
 		tab.AddNote("%s: mean I-MPKI reduction %.0f%%, D-MPKI reduction %.0f%% (paper averages: 30/29/44%% I, up to 37%% D)",
 			wl, meanReduction(baseI[wl], strexI[wl]), meanReduction(baseD[wl], strexD[wl]))
+	}
+	if s.aggregated() {
+		agg := &metrics.Table{
+			Title:  aggTitle("Figure 5: L1 instruction and data MPKI", s.opts.Seeds),
+			Header: []string{"workload", "cores", "sched", "I-MPKI", "D-MPKI"},
+		}
+		for _, c := range cells {
+			agg.AddRow(c.wl, c.cores, c.name, summarize(c.reps.impki()), summarize(c.reps.dmpki()))
+		}
+		s.pushAgg(agg)
 	}
 	return tab
 }
@@ -192,24 +210,23 @@ func (s *Suite) Figure6() *metrics.Table {
 	type cell struct {
 		wl    string
 		cores int
-		txns  int
-		futs  []*runner.Future // Base, Next-line, PIF, SLICC, STREX, hybrid
+		reps  []*Reps // Base, Next-line, PIF, SLICC, STREX, hybrid
 	}
 	var cells []cell
 	for _, wl := range WorkloadNames() {
 		for _, cores := range s.opts.Cores {
-			set := s.SetSized(wl, s.cellTxns(cores, 10))
-			submit := func(tag, id string, mk func() sim.Scheduler, mutate func(*sim.Config)) *runner.Future {
+			sets := s.setsSized(wl, s.cellTxns(cores, 10))
+			submit := func(tag, id string, mk func() sim.Scheduler, mutate func(*sim.Config)) *Reps {
 				label := fmt.Sprintf("fig6/%s/%dc/%s", wl, cores, tag)
-				return s.runAsync(label, id, set, cores, mk, mutate)
+				return s.runReps(label, id, sets, cores, mk, mutate)
 			}
-			cells = append(cells, cell{wl: wl, cores: cores, txns: len(set.Txns), futs: []*runner.Future{
+			cells = append(cells, cell{wl: wl, cores: cores, reps: []*Reps{
 				submit("base", idBase, newBaseline, nil),
 				submit("next", idBase, newBaseline, func(c *sim.Config) { c.Prefetcher = prefetch.NextLine }),
 				submit("pif", idBase, newBaseline, func(c *sim.Config) { c.Prefetcher = prefetch.PIF }),
 				submit("slicc", idSlicc, newSlicc, nil),
 				submit("strex", idStrex, newStrex, nil),
-				submit("hybrid", idHybrid, newHybrid(set, cores), nil),
+				s.runHybridReps(fmt.Sprintf("fig6/%s/%dc/hybrid", wl, cores), sets, cores),
 			}})
 		}
 	}
@@ -218,11 +235,11 @@ func (s *Suite) Figure6() *metrics.Table {
 		if i == 0 || c.wl != cells[i-1].wl {
 			base2 = 0
 		}
-		tp := make([]float64, len(c.futs))
-		for j, f := range c.futs {
-			st := f.Result().Stats
-			s.record(metrics.RunRecordOf("fig6", c.wl, tab.Header[2+j], c.cores, c.txns, st))
-			tp[j] = st.SteadyThroughput(c.txns, c.cores)
+		tp := make([]float64, len(c.reps))
+		for j, rp := range c.reps {
+			st := rp.Seed0().Stats
+			s.recordReps("fig6", c.wl, tab.Header[2+j], c.cores, rp)
+			tp[j] = st.SteadyThroughput(rp.Txns(0), c.cores)
 		}
 		if base2 == 0 {
 			base2 = tp[0] // first core count is the normalization point
@@ -234,6 +251,27 @@ func (s *Suite) Figure6() *metrics.Table {
 		tab.AddRow(row...)
 	}
 	tab.AddNote("paper: STREX +35-55%% over Base; next-line between Base and STREX; SLICC wins only at high core counts; hybrid tracks the better of STREX/SLICC")
+	if s.aggregated() {
+		agg := &metrics.Table{
+			Title:  aggTitle("Figure 6: Relative throughput (normalized per replicate to its 2-core Base)", s.opts.Seeds),
+			Header: tab.Header,
+		}
+		var base2Series []float64
+		for i, c := range cells {
+			if i == 0 || c.wl != cells[i-1].wl {
+				// Paired normalization: each replicate is normalized to
+				// ITS OWN first-core-count Base run, so the shared
+				// trace-draw variance cancels within every ratio.
+				base2Series = c.reps[0].throughput(c.cores)
+			}
+			row := []interface{}{c.wl, c.cores}
+			for _, rp := range c.reps {
+				row = append(row, pairedSpeedup(rp.throughput(c.cores), base2Series))
+			}
+			agg.AddRow(row...)
+		}
+		s.pushAgg(agg)
+	}
 	return tab
 }
 
@@ -254,14 +292,14 @@ func (s *Suite) Figure7() *metrics.Table {
 	// One fixed batch for every row: latency includes queueing delay, so
 	// comparing means across configurations requires identical offered
 	// load (the largest cell any configuration needs).
-	set := s.SetSized("TPC-C-10", s.cellTxns(big, 20))
+	sets := s.setsSized("TPC-C-10", s.cellTxns(big, 20))
 	type cell struct {
 		label string
-		fut   *runner.Future
+		reps  *Reps
 	}
 	var cells []cell
 	submit := func(label, id string, cores int, mk func() sim.Scheduler) {
-		cells = append(cells, cell{label, s.runAsync("fig7/"+label, id, set, cores, mk, nil)})
+		cells = append(cells, cell{label, s.runReps("fig7/"+label, id, sets, cores, mk, nil)})
 	}
 	submit("Baseline", idBase, big, newBaseline)
 	for _, ts := range []int{2, 4, 6, 8, 10, 12, 16, 20} {
@@ -271,7 +309,7 @@ func (s *Suite) Figure7() *metrics.Table {
 		submit(fmt.Sprintf("SLICC-%d", cores), idSlicc, cores, newSlicc)
 	}
 	for _, c := range cells {
-		res := c.fut.Result()
+		res := c.reps.Seed0()
 		h := metrics.NewHistogram(2.0)
 		svc := metrics.NewHistogram(2.0)
 		for _, th := range res.Threads {
@@ -281,7 +319,36 @@ func (s *Suite) Figure7() *metrics.Table {
 		tab.AddRow(c.label, h.Mean(), svc.Mean(), bucketAt(h, 0.5), bucketAt(h, 0.9), lastBucket(h))
 	}
 	tab.AddNote("paper means (Mcycles): Base 6.37, STREX-2T 5.96 ... STREX-20T 29.68, SLICC-2 23.00, SLICC-16 7.49; the trend to check is latency growing with team size and shrinking with SLICC core count")
+	if s.aggregated() {
+		agg := &metrics.Table{
+			Title:  aggTitle("Figure 7: TPC-C-10 transaction latency (Mcycles)", s.opts.Seeds),
+			Header: []string{"config", "mean (Mcyc)", "service (Mcyc)"},
+		}
+		for _, c := range cells {
+			agg.AddRow(c.label,
+				summarize(c.reps.series(meanLatencyMcyc)),
+				summarize(c.reps.series(meanServiceMcyc)))
+		}
+		s.pushAgg(agg)
+	}
 	return tab
+}
+
+// meanLatencyMcyc is a run's mean queue-to-completion latency in
+// mega-cycles (the Figure 7 headline metric, one scalar per replicate).
+func meanLatencyMcyc(res sim.Result) float64 { return latencyOf(res) / 1e6 }
+
+// meanServiceMcyc is a run's mean dispatch-to-completion latency in
+// mega-cycles.
+func meanServiceMcyc(res sim.Result) float64 {
+	if len(res.Threads) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, th := range res.Threads {
+		sum += float64(th.FinishCycle - th.StartCycle)
+	}
+	return sum / float64(len(res.Threads)) / 1e6
 }
 
 func bucketAt(h *metrics.Histogram, q float64) string {
@@ -313,24 +380,23 @@ func (s *Suite) Figure8() *metrics.Table {
 	type cell struct {
 		wl   string
 		ts   int // 0 marks the baseline row
-		txns int
-		fut  *runner.Future
+		reps *Reps
 	}
 	var cells []cell
 	for _, wl := range []string{"TPC-C-10", "TPC-E"} {
-		baseSet := s.SetSized(wl, s.cellTxns(big, 10))
-		cells = append(cells, cell{wl, 0, len(baseSet.Txns),
-			s.runAsync("fig8/"+wl+"/base", idBase, baseSet, big, newBaseline, nil)})
+		baseSets := s.setsSized(wl, s.cellTxns(big, 10))
+		cells = append(cells, cell{wl, 0,
+			s.runReps("fig8/"+wl+"/base", idBase, baseSets, big, newBaseline, nil)})
 		for _, ts := range []int{2, 4, 6, 8, 10, 12, 16, 20} {
-			set := s.SetSized(wl, s.cellTxns(big, ts))
+			sets := s.setsSized(wl, s.cellTxns(big, ts))
 			label := fmt.Sprintf("fig8/%s/%dT", wl, ts)
-			cells = append(cells, cell{wl, ts, len(set.Txns),
-				s.runAsync(label, strexTeamID(ts), set, big, newStrexTeam(ts), nil)})
+			cells = append(cells, cell{wl, ts,
+				s.runReps(label, strexTeamID(ts), sets, big, newStrexTeam(ts), nil)})
 		}
 	}
 	var base float64
 	for _, c := range cells {
-		tp := c.fut.Result().Stats.SteadyThroughput(c.txns, big)
+		tp := c.reps.Seed0().Stats.SteadyThroughput(c.reps.Txns(0), big)
 		if c.ts == 0 {
 			base = tp
 			tab.AddRow(c.wl, "Base", 1.0)
@@ -339,6 +405,22 @@ func (s *Suite) Figure8() *metrics.Table {
 		tab.AddRow(c.wl, c.ts, metrics.Relative(tp, base))
 	}
 	tab.AddNote("paper: throughput rises with team size, peaking at +59%% (TPC-C-10) and +80%% (TPC-E) with teams of 20")
+	if s.aggregated() {
+		agg := &metrics.Table{
+			Title:  aggTitle("Figure 8: Throughput vs team size (relative to each replicate's Base)", s.opts.Seeds),
+			Header: []string{"workload", "team size", "relative throughput"},
+		}
+		var baseSeries []float64
+		for _, c := range cells {
+			if c.ts == 0 {
+				baseSeries = c.reps.throughput(big)
+				agg.AddRow(c.wl, "Base", pairedSpeedup(baseSeries, baseSeries))
+				continue
+			}
+			agg.AddRow(c.wl, c.ts, pairedSpeedup(c.reps.throughput(big), baseSeries))
+		}
+		s.pushAgg(agg)
+	}
 	return tab
 }
 
@@ -356,28 +438,28 @@ func (s *Suite) Figure9() *metrics.Table {
 	type cell struct {
 		wl, config string
 		isLRUBase  bool
-		fut        *runner.Future
+		reps       *Reps
 	}
 	var cells []cell
 	for _, wl := range []string{"TPC-C-10", "TPC-E"} {
-		set := s.SetSized(wl, s.cellTxns(cores, 10))
+		sets := s.setsSized(wl, s.cellTxns(cores, 10))
 		withPolicy := func(pol cache.PolicyKind) func(*sim.Config) {
 			return func(c *sim.Config) { c.IPolicy = pol }
 		}
 		for _, pol := range []cache.PolicyKind{cache.LRU, cache.LIP, cache.BIP, cache.SRRIP, cache.BRRIP} {
 			label := fmt.Sprintf("fig9/%s/%s", wl, pol)
 			cells = append(cells, cell{wl, pol.String(), pol == cache.LRU,
-				s.runAsync(label, idBase, set, cores, newBaseline, withPolicy(pol))})
+				s.runReps(label, idBase, sets, cores, newBaseline, withPolicy(pol))})
 		}
 		for _, pol := range []cache.PolicyKind{cache.LRU, cache.BIP, cache.BRRIP} {
 			label := fmt.Sprintf("fig9/%s/strex+%s", wl, pol)
 			cells = append(cells, cell{wl, "STREX+" + pol.String(), false,
-				s.runAsync(label, idStrex, set, cores, newStrex, withPolicy(pol))})
+				s.runReps(label, idStrex, sets, cores, newStrex, withPolicy(pol))})
 		}
 	}
 	var baseBusy uint64
 	for _, c := range cells {
-		st := c.fut.Result().Stats
+		st := c.reps.Seed0().Stats
 		if c.isLRUBase {
 			baseBusy = st.BusyCycles
 		}
@@ -385,6 +467,22 @@ func (s *Suite) Figure9() *metrics.Table {
 			float64(st.BusyCycles)/float64(baseBusy))
 	}
 	tab.AddNote("paper: STREX+LRU beats the best standalone policy by >35%% (TPC-C-10) / >45%% (TPC-E); pairing STREX with anti-thrash policies triggers much more frequent context switching — watch the switches column, not only MPKI")
+	if s.aggregated() {
+		agg := &metrics.Table{
+			Title:  aggTitle("Figure 9: Replacement policies, I-MPKI", s.opts.Seeds),
+			Header: []string{"workload", "config", "I-MPKI", "rel cycles"},
+		}
+		busy := func(res sim.Result) float64 { return float64(res.Stats.BusyCycles) }
+		var baseBusySeries []float64
+		for _, c := range cells {
+			if c.isLRUBase {
+				baseBusySeries = c.reps.series(busy)
+			}
+			agg.AddRow(c.wl, c.config, summarize(c.reps.impki()),
+				pairedSpeedup(c.reps.series(busy), baseBusySeries))
+		}
+		s.pushAgg(agg)
+	}
 	return tab
 }
 
@@ -398,7 +496,9 @@ func registryTypes(name string) []string {
 	return info.TxnTypes
 }
 
-// latencyOf is a test helper: mean latency in cycles of a run.
+// latencyOf is the mean queue-to-completion latency in cycles of a run
+// (the Figure 7 aggregate path consumes it via meanLatencyMcyc; tests
+// use it directly).
 func latencyOf(res sim.Result) float64 {
 	if len(res.Threads) == 0 {
 		return 0

@@ -1,0 +1,145 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"strex/internal/bench"
+	"strex/internal/metrics"
+	"strex/internal/runcache"
+)
+
+// tinyOpts is the scale the replication tests run at: every registered
+// workload, one core count, a handful of transactions.
+func tinyOpts(seeds int) Options {
+	return Options{Txns: 12, Seed: 7, Cores: []int{2}, Seeds: seeds}
+}
+
+// scalarOf strips a record down to its replicate-0 scalar projection.
+func scalarOf(rec metrics.RunRecord) metrics.RunRecord {
+	rec.Replicates = nil
+	rec.Summary = nil
+	return rec
+}
+
+// TestReplicatedSmokeDifferential is the differential satellite: for
+// every registered workload, a -seeds 3 run must (a) render the exact
+// same seed-0 table as a single-seed run, (b) contain the seed-0
+// single-run value inside its replicate set, and (c) be byte-identical
+// when rerun with identical seeds — extending the PR-2 determinism
+// gate from workload generation to the whole replication pipeline.
+func TestReplicatedSmokeDifferential(t *testing.T) {
+	s1 := NewSuite(tinyOpts(1))
+	tab1 := s1.WorkloadSmoke().String()
+	if aggs := s1.DrainAggregates(); len(aggs) != 0 {
+		t.Fatalf("Seeds=1 suite produced %d aggregate tables, want 0", len(aggs))
+	}
+	recs1 := s1.Records()
+
+	s3 := NewSuite(tinyOpts(3))
+	tab3 := s3.WorkloadSmoke().String()
+	aggs3 := s3.DrainAggregates()
+	recs3 := s3.Records()
+
+	// (a) The seed-0 table is untouched by replication.
+	if tab1 != tab3 {
+		t.Errorf("replication changed the seed-0 smoke table:\nSeeds=1:\n%s\nSeeds=3:\n%s", tab1, tab3)
+	}
+	if len(aggs3) != 1 {
+		t.Fatalf("Seeds=3 smoke produced %d aggregate tables, want 1", len(aggs3))
+	}
+	if len(aggs3[0].Rows) != len(bench.Workloads()) {
+		t.Errorf("aggregate table has %d rows, want one per registered workload (%d)",
+			len(aggs3[0].Rows), len(bench.Workloads()))
+	}
+
+	// (b) Per registered workload and scheduler: scalars mirror the
+	// single-seed record, and the seed-0 value sits inside the
+	// replicate set the mean aggregates.
+	if len(recs3) != len(recs1) {
+		t.Fatalf("record counts diverged: %d vs %d", len(recs3), len(recs1))
+	}
+	for i, rec := range recs3 {
+		if !reflect.DeepEqual(scalarOf(rec), recs1[i]) {
+			t.Errorf("%s/%s: replicated scalars diverged from the single-seed record:\n%+v\nvs\n%+v",
+				rec.Workload, rec.Sched, scalarOf(rec), recs1[i])
+		}
+		if len(rec.Replicates) != 3 || rec.Summary == nil {
+			t.Fatalf("%s/%s: replicate blocks missing: %+v", rec.Workload, rec.Sched, rec)
+		}
+		if rec.Replicates[0].IMPKI != rec.IMPKI {
+			t.Errorf("%s/%s: replicate 0 I-MPKI %v != seed-0 scalar %v",
+				rec.Workload, rec.Sched, rec.Replicates[0].IMPKI, rec.IMPKI)
+		}
+		if sum := rec.Summary.IMPKI; rec.IMPKI < sum.Min || rec.IMPKI > sum.Max {
+			t.Errorf("%s/%s: seed-0 I-MPKI %v outside replicate range [%v, %v]",
+				rec.Workload, rec.Sched, rec.IMPKI, sum.Min, sum.Max)
+		}
+		if rec.Summary.IMPKI.N != 3 {
+			t.Errorf("%s/%s: summary N = %d, want 3", rec.Workload, rec.Sched, rec.Summary.IMPKI.N)
+		}
+		seen := map[uint64]bool{}
+		for _, r := range rec.Replicates {
+			if seen[r.Seed] {
+				t.Errorf("%s/%s: duplicate replicate seed %d", rec.Workload, rec.Sched, r.Seed)
+			}
+			seen[r.Seed] = true
+		}
+	}
+
+	// (c) Identical seeds reproduce byte-identical replicates.
+	s3b := NewSuite(tinyOpts(3))
+	tab3b := s3b.WorkloadSmoke().String()
+	aggs3b := s3b.DrainAggregates()
+	if tab3 != tab3b {
+		t.Error("rerun with identical seeds changed the seed-0 table")
+	}
+	if aggs3[0].String() != aggs3b[0].String() {
+		t.Errorf("rerun with identical seeds changed the aggregate table:\n%s\nvs\n%s",
+			aggs3[0].String(), aggs3b[0].String())
+	}
+	if !reflect.DeepEqual(recs3, s3b.Records()) {
+		t.Error("rerun with identical seeds changed the replicate records")
+	}
+}
+
+// TestReplicatedWarmRerunIsGenerationFree is the acceptance criterion
+// at test scale: a warm -seeds N rerun serves every replicate — sets
+// and results — from the run cache, performing zero generations and
+// rendering byte-identical output (classic and aggregate tables both).
+func TestReplicatedWarmRerunIsGenerationFree(t *testing.T) {
+	dir := t.TempDir()
+	render := func(c *runcache.Cache) (string, int64) {
+		before := bench.Generations()
+		opts := tinyOpts(2)
+		opts.Cache = c
+		s := NewSuite(opts)
+		out := s.FootprintSweep().String()
+		for _, agg := range s.DrainAggregates() {
+			out += agg.String()
+		}
+		return out, bench.Generations() - before
+	}
+	cold, err := runcache.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldOut, coldGens := render(cold)
+	if coldGens == 0 {
+		t.Fatal("cold replicated run performed no generations — counter broken")
+	}
+	warm, err := runcache.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmOut, warmGens := render(warm)
+	if warmGens != 0 {
+		t.Errorf("warm replicated rerun performed %d generations, want 0", warmGens)
+	}
+	if st := warm.Stats(); st.ResultMisses != 0 || st.ResultHits == 0 {
+		t.Errorf("warm replicated rerun missed the result cache: %+v", st)
+	}
+	if warmOut != coldOut {
+		t.Errorf("warm replicated rerun output diverged:\ncold:\n%s\nwarm:\n%s", coldOut, warmOut)
+	}
+}

@@ -46,36 +46,50 @@ func (s *Suite) FootprintSweep() *metrics.Table {
 	type cell struct {
 		units       float64
 		kbPerType   int
-		txns        int
-		base, strex *runner.Future
+		base, strex *Reps
 	}
 	var cells []cell
 	for i, u := range sweepUnits {
-		set := s.synthSet(runner.DeriveSeed(s.opts.Seed, i),
+		sets := s.synthSets(runner.DeriveSeed(s.opts.Seed, i),
 			synth.Params{FootprintUnits: u, Types: sweepTypes}, txns)
-		kb := set.Layout.CodeBlocks() * codegen.BlockBytes / 1024 / len(set.Types)
+		kb := sets[0].Layout.CodeBlocks() * codegen.BlockBytes / 1024 / len(sets[0].Types)
 		label := fmt.Sprintf("sweep/%gu", u)
 		cells = append(cells, cell{
-			units: u, kbPerType: kb, txns: len(set.Txns),
-			base:  s.runAsync(label+"/base", idBase, set, cores, newBaseline, nil),
-			strex: s.runAsync(label+"/strex", idStrex, set, cores, newStrex, nil),
+			units: u, kbPerType: kb,
+			base:  s.runReps(label+"/base", idBase, sets, cores, newBaseline, nil),
+			strex: s.runReps(label+"/strex", idStrex, sets, cores, newStrex, nil),
 		})
 	}
 	for _, c := range cells {
-		base := c.base.Result().Stats
-		fast := c.strex.Result().Stats
+		base := c.base.Seed0().Stats
+		fast := c.strex.Seed0().Stats
 		wl := fmt.Sprintf("Synth-%gu", c.units)
-		s.record(metrics.RunRecordOf("sweep", wl, "Base", cores, c.txns, base))
-		s.record(metrics.RunRecordOf("sweep", wl, "STREX", cores, c.txns, fast))
+		s.recordReps("sweep", wl, "Base", cores, c.base)
+		s.recordReps("sweep", wl, "STREX", cores, c.strex)
 		red := 0.0
 		if base.IMPKI() > 0 {
 			red = (1 - fast.IMPKI()/base.IMPKI()) * 100
 		}
-		rel := metrics.Relative(fast.SteadyThroughput(c.txns, cores), base.SteadyThroughput(c.txns, cores))
+		txns0 := c.base.Txns(0)
+		rel := metrics.Relative(fast.SteadyThroughput(txns0, cores), base.SteadyThroughput(txns0, cores))
 		tab.AddRow(fmt.Sprintf("%g", c.units), c.kbPerType, base.IMPKI(), fast.IMPKI(),
 			fmt.Sprintf("%.0f%%", red), rel)
 	}
 	tab.AddNote("claim under test: stratification pays only when the instruction footprint exceeds the L1-I; at <=1 unit both schedulers fit and the gain is noise")
+	if s.aggregated() {
+		agg := &metrics.Table{
+			Title: aggTitle("Footprint sweep: Base vs STREX I-MPKI", s.opts.Seeds),
+			Header: []string{"footprint (units)", "Base I-MPKI", "STREX I-MPKI",
+				"reduction %", "rel tput"},
+		}
+		for _, c := range cells {
+			agg.AddRow(fmt.Sprintf("%g", c.units),
+				summarize(c.base.impki()), summarize(c.strex.impki()),
+				summarize(pairedReduction(c.strex.impki(), c.base.impki())),
+				pairedSpeedup(c.strex.throughput(cores), c.base.throughput(cores)))
+		}
+		s.pushAgg(agg)
+	}
 	return tab
 }
 
@@ -93,32 +107,46 @@ func (s *Suite) WorkloadSmoke() *metrics.Table {
 	txns := s.cellTxns(cores, 10)
 	type cell struct {
 		info        bench.Info
-		txns        int
-		base, strex *runner.Future
+		base, strex *Reps
 	}
 	var cells []cell
 	for _, info := range bench.Workloads() {
-		set := s.SetSized(info.Name, txns)
+		sets := s.setsSized(info.Name, txns)
 		label := "smoke/" + info.Name
 		cells = append(cells, cell{
-			info: info, txns: len(set.Txns),
-			base:  s.runAsync(label+"/base", idBase, set, cores, newBaseline, nil),
-			strex: s.runAsync(label+"/strex", idStrex, set, cores, newStrex, nil),
+			info:  info,
+			base:  s.runReps(label+"/base", idBase, sets, cores, newBaseline, nil),
+			strex: s.runReps(label+"/strex", idStrex, sets, cores, newStrex, nil),
 		})
 	}
 	for _, c := range cells {
-		base := c.base.Result().Stats
-		fast := c.strex.Result().Stats
-		s.record(metrics.RunRecordOf("smoke", c.info.Name, "Base", cores, c.txns, base))
-		s.record(metrics.RunRecordOf("smoke", c.info.Name, "STREX", cores, c.txns, fast))
+		base := c.base.Seed0().Stats
+		fast := c.strex.Seed0().Stats
+		s.recordReps("smoke", c.info.Name, "Base", cores, c.base)
+		s.recordReps("smoke", c.info.Name, "STREX", cores, c.strex)
 		expect := "no big win"
 		if c.info.STREXWins {
 			expect = "STREX wins"
 		}
-		rel := metrics.Relative(fast.SteadyThroughput(c.txns, cores), base.SteadyThroughput(c.txns, cores))
+		txns0 := c.base.Txns(0)
+		rel := metrics.Relative(fast.SteadyThroughput(txns0, cores), base.SteadyThroughput(txns0, cores))
 		tab.AddRow(c.info.Name, len(c.info.TxnTypes), base.IMPKI(), fast.IMPKI(),
 			base.IMPKI()-fast.IMPKI(), rel, expect)
 	}
 	tab.AddNote("expectations come from the registry's STREXWins flag: a win needs per-type footprints above one L1-I unit")
+	if s.aggregated() {
+		agg := &metrics.Table{
+			Title: aggTitle("Workload smoke: Base vs STREX per registered workload", s.opts.Seeds),
+			Header: []string{"workload", "Base I-MPKI", "STREX I-MPKI",
+				"reduction %", "rel tput"},
+		}
+		for _, c := range cells {
+			agg.AddRow(c.info.Name,
+				summarize(c.base.impki()), summarize(c.strex.impki()),
+				summarize(pairedReduction(c.strex.impki(), c.base.impki())),
+				pairedSpeedup(c.strex.throughput(cores), c.base.throughput(cores)))
+		}
+		s.pushAgg(agg)
+	}
 	return tab
 }

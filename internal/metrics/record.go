@@ -6,12 +6,17 @@ import (
 
 	"strex/internal/atomicfile"
 	"strex/internal/sim"
+	"strex/internal/stats"
 )
 
 // RunRecord is one machine-readable run summary — the unit of the
 // BENCH_*.json perf trajectory. Fields mirror the comparisons the
 // paper's figures make: identity (experiment cell, workload, scheduler,
-// core count, sample size) plus the headline measurements.
+// core count, sample size) plus the headline measurements. The scalar
+// fields always describe the verbatim-seed run (replicate 0), so
+// single-seed trajectories stay comparable across commits; replicated
+// runs additionally carry the per-seed measurements and their
+// aggregates.
 type RunRecord struct {
 	Experiment    string  `json:"experiment"`
 	Workload      string  `json:"workload"`
@@ -24,6 +29,37 @@ type RunRecord struct {
 	IMPKI         float64 `json:"l1i_mpki"`
 	DMPKI         float64 `json:"l1d_mpki"`
 	ThroughputTPM float64 `json:"txn_per_mcycle"`
+
+	// Replicates holds the per-seed measurements when the run was
+	// replicated (len >= 2; index 0 is the verbatim-seed run the scalar
+	// fields above mirror). Absent on single-seed runs.
+	Replicates []Replicate `json:"replicates,omitempty"`
+	// Summary aggregates the replicates per headline metric (mean,
+	// stddev, min/max/median, 95% CI half-width). Absent on single-seed
+	// runs.
+	Summary *RunSummary `json:"summary,omitempty"`
+}
+
+// Replicate is one seed's measurement inside a replicated RunRecord.
+// Seed is the workload-generation seed of the replicate's trace draw —
+// the provenance needed to regenerate the exact set it replayed.
+type Replicate struct {
+	Seed          uint64  `json:"seed"`
+	Txns          int     `json:"txns"`
+	Cycles        uint64  `json:"cycles"`
+	BusyCycles    uint64  `json:"busy_cycles"`
+	Instrs        uint64  `json:"instrs"`
+	IMPKI         float64 `json:"l1i_mpki"`
+	DMPKI         float64 `json:"l1d_mpki"`
+	ThroughputTPM float64 `json:"txn_per_mcycle"`
+}
+
+// RunSummary is the per-metric aggregate block of a replicated record.
+type RunSummary struct {
+	Cycles        stats.Summary `json:"cycles"`
+	IMPKI         stats.Summary `json:"l1i_mpki"`
+	DMPKI         stats.Summary `json:"l1d_mpki"`
+	ThroughputTPM stats.Summary `json:"txn_per_mcycle"`
 }
 
 // RunRecordOf projects a run's stats into its summary record.
@@ -43,24 +79,73 @@ func RunRecordOf(experiment, workload, sched string, cores, txns int, st sim.Sta
 	}
 }
 
+// ReplicatedRecordOf projects a replicated cell — one stats/seed/txns
+// triple per replicate, index 0 the verbatim-seed run — into a record:
+// the scalar fields mirror replicate 0 exactly (so a replicated record
+// is a strict superset of RunRecordOf on the same cell), and with two
+// or more replicates the per-seed array and aggregate summary are
+// attached. The three slices must have equal length >= 1.
+func ReplicatedRecordOf(experiment, workload, sched string, cores int, seeds []uint64, txns []int, sts []sim.Stats) RunRecord {
+	rec := RunRecordOf(experiment, workload, sched, cores, txns[0], sts[0])
+	if len(sts) < 2 {
+		return rec
+	}
+	rec.Replicates = make([]Replicate, len(sts))
+	impki := make([]float64, len(sts))
+	dmpki := make([]float64, len(sts))
+	tpm := make([]float64, len(sts))
+	cycles := make([]float64, len(sts))
+	for i, st := range sts {
+		rec.Replicates[i] = Replicate{
+			Seed:          seeds[i],
+			Txns:          txns[i],
+			Cycles:        st.Cycles,
+			BusyCycles:    st.BusyCycles,
+			Instrs:        st.Instrs,
+			IMPKI:         st.IMPKI(),
+			DMPKI:         st.DMPKI(),
+			ThroughputTPM: st.SteadyThroughput(txns[i], cores),
+		}
+		impki[i] = rec.Replicates[i].IMPKI
+		dmpki[i] = rec.Replicates[i].DMPKI
+		tpm[i] = rec.Replicates[i].ThroughputTPM
+		cycles[i] = float64(st.Cycles)
+	}
+	rec.Summary = &RunSummary{
+		Cycles:        stats.Summarize(cycles),
+		IMPKI:         stats.Summarize(impki),
+		DMPKI:         stats.Summarize(dmpki),
+		ThroughputTPM: stats.Summarize(tpm),
+	}
+	return rec
+}
+
 // BenchReport is the envelope written to BENCH_*.json files: the suite
 // parameters that make the records comparable across commits, plus the
 // records themselves. It deliberately carries no timestamp or host
 // information, so reruns of the same commit at the same parameters are
 // byte-identical (CI diffs them).
 type BenchReport struct {
-	SchemaVersion int         `json:"schema_version"`
-	TxnsPerCell   int         `json:"txns_per_cell"`
-	Seed          uint64      `json:"seed"`
-	Records       []RunRecord `json:"records"`
+	SchemaVersion int    `json:"schema_version"`
+	TxnsPerCell   int    `json:"txns_per_cell"`
+	Seed          uint64 `json:"seed"`
+	// Seeds is the replicate count per cell (1 = the classic
+	// single-seed report; records then carry no replicate blocks).
+	Seeds   int         `json:"seeds"`
+	Records []RunRecord `json:"records"`
 }
 
-// BenchReportSchemaVersion identifies the report layout.
-const BenchReportSchemaVersion = 1
+// BenchReportSchemaVersion identifies the report layout. Version 2
+// added the envelope's Seeds count and the optional per-record
+// replicate arrays and summary blocks.
+const BenchReportSchemaVersion = 2
 
 // Write renders the report as indented JSON.
 func (r BenchReport) Write(w io.Writer) error {
 	r.SchemaVersion = BenchReportSchemaVersion
+	if r.Seeds <= 0 {
+		r.Seeds = 1 // a report is always at least the single-seed run
+	}
 	if r.Records == nil {
 		r.Records = []RunRecord{} // emit [], not null
 	}

@@ -1,0 +1,80 @@
+package metrics
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"strex/internal/sim"
+)
+
+func fakeStats(cycles uint64) sim.Stats {
+	return sim.Stats{Cycles: cycles, BusyCycles: cycles, Instrs: cycles * 1000}
+}
+
+func TestReplicatedRecordSingleSeedIsPlainRecord(t *testing.T) {
+	st := fakeStats(500)
+	plain := RunRecordOf("smoke", "TATP", "Base", 2, 24, st)
+	rep := ReplicatedRecordOf("smoke", "TATP", "Base", 2, []uint64{42}, []int{24}, []sim.Stats{st})
+	if rep.Replicates != nil || rep.Summary != nil {
+		t.Fatalf("single-seed replicated record grew blocks: %+v", rep)
+	}
+	if !reflect.DeepEqual(rep, plain) {
+		t.Fatalf("single-seed replicated record diverged:\n%+v\nvs\n%+v", rep, plain)
+	}
+	// The JSON of a single-seed record must not mention replicate keys
+	// at all (omitempty keeps the trajectory schema lean).
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(data), "replicates") || strings.Contains(string(data), "summary") {
+		t.Fatalf("single-seed JSON leaked replicate keys: %s", data)
+	}
+}
+
+func TestReplicatedRecordAggregates(t *testing.T) {
+	sts := []sim.Stats{fakeStats(400), fakeStats(500), fakeStats(600)}
+	seeds := []uint64{42, 1001, 1002}
+	txns := []int{24, 24, 24}
+	rec := ReplicatedRecordOf("fig5", "TPC-E", "STREX", 4, seeds, txns, sts)
+	// Scalars mirror replicate 0.
+	if rec.Cycles != 400 || rec.Txns != 24 {
+		t.Fatalf("scalars don't mirror replicate 0: %+v", rec)
+	}
+	if len(rec.Replicates) != 3 || rec.Summary == nil {
+		t.Fatalf("replicate blocks missing: %+v", rec)
+	}
+	for i, r := range rec.Replicates {
+		if r.Seed != seeds[i] {
+			t.Fatalf("replicate %d seed = %d, want %d", i, r.Seed, seeds[i])
+		}
+	}
+	if rec.Summary.Cycles.N != 3 || rec.Summary.Cycles.Mean != 500 {
+		t.Fatalf("cycles summary = %+v", rec.Summary.Cycles)
+	}
+	if rec.Summary.Cycles.Min != 400 || rec.Summary.Cycles.Max != 600 || rec.Summary.Cycles.Median != 500 {
+		t.Fatalf("cycles order stats = %+v", rec.Summary.Cycles)
+	}
+	if rec.Summary.Cycles.CI95 <= 0 {
+		t.Fatalf("varying replicates must yield a positive CI: %+v", rec.Summary.Cycles)
+	}
+}
+
+func TestBenchReportSeedsDefault(t *testing.T) {
+	var b strings.Builder
+	if err := (BenchReport{TxnsPerCell: 24, Seed: 42}).Write(&b); err != nil {
+		t.Fatal(err)
+	}
+	var back BenchReport
+	if err := json.Unmarshal([]byte(b.String()), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Seeds != 1 {
+		t.Fatalf("default Seeds = %d, want 1", back.Seeds)
+	}
+	if back.SchemaVersion != BenchReportSchemaVersion {
+		t.Fatalf("schema = %d", back.SchemaVersion)
+	}
+}

@@ -297,3 +297,104 @@ func DeriveSeed(master uint64, index int) uint64 {
 	}
 	return s
 }
+
+// ReplicateSeed is the replication convention shared by the experiment
+// suite, the facade and the CLIs: replicate 0 keeps the base seed
+// verbatim (so a single-seed run IS replicate 0, byte for byte — cache
+// keys included), and replicate rep > 0 draws DeriveSeed(base, rep).
+// The same rule seeds both workload generation (a fresh trace draw per
+// replicate) and the simulator config.
+func ReplicateSeed(base uint64, rep int) uint64 {
+	if rep == 0 {
+		return base
+	}
+	return DeriveSeed(base, rep)
+}
+
+// ReplicateSpec describes a batch of N seed-replicates of one run: the
+// replicate-0 spec plus optional per-replicate overrides. Replicate 0
+// always executes Spec verbatim; replicate rep > 0 gets
+// Config.Seed = ReplicateSeed(Spec.Config.Seed, rep).
+type ReplicateSpec struct {
+	Spec
+	// SetFor, when non-nil, supplies replicate rep's workload set — a
+	// fresh trace draw per seed, which is what makes the replication
+	// statistically meaningful (the config seed alone only perturbs
+	// tie-breaking). It is called on the submitting goroutine, in
+	// replicate order, before the replicate is submitted; a nil return
+	// keeps Spec.Set.
+	SetFor func(rep int) *workload.Set
+	// SchedFor, when non-nil, supplies replicate rep's scheduler
+	// factory. Profiling schedulers (the hybrid) close over the set
+	// they profile, which must be the set the replicate replays; fixed
+	// schedulers leave this nil and share Spec.Sched.
+	SchedFor func(rep int) func() sim.Scheduler
+	// KeyFor, when non-nil, supplies replicate rep's run-cache key given
+	// its final config (whose Seed differs per replicate, so every
+	// replicate is individually cache-addressable). When nil, replicate
+	// 0 keeps Spec.CacheKey and derived replicates run uncached — a
+	// shared key would alias distinct runs.
+	KeyFor func(rep int, cfg sim.Config) string
+}
+
+// Batch is the pending result of a replicated submission: one future
+// per seed-replicate, in replicate order (index 0 = the verbatim-seed
+// run).
+type Batch struct {
+	futs []*Future
+}
+
+// Len returns the replicate count.
+func (b *Batch) Len() int { return len(b.futs) }
+
+// Rep blocks until replicate i completes and returns its result,
+// re-panicking if that replicate panicked.
+func (b *Batch) Rep(i int) sim.Result { return b.futs[i].Result() }
+
+// Results waits for every replicate and returns their results in
+// replicate order. If any replicate panicked, Results waits for the
+// whole batch to drain first — no replicate is left running — and then
+// re-panics with the first replicate's panic value: one failed
+// replicate fails the batch, it never yields a partial aggregate.
+func (b *Batch) Results() []sim.Result {
+	for _, f := range b.futs {
+		<-f.done
+	}
+	out := make([]sim.Result, len(b.futs))
+	for i, f := range b.futs {
+		out[i] = f.Result()
+	}
+	return out
+}
+
+// SubmitReplicates submits n seed-replicates of rs and returns the
+// batch. n <= 1 degenerates to a single verbatim submission, so callers
+// thread a user-facing -seeds knob through without branching. Like
+// Submit, it must be called from the coordinator goroutine only.
+func (x *Executor) SubmitReplicates(rs ReplicateSpec, n int) *Batch {
+	if n < 1 {
+		n = 1
+	}
+	b := &Batch{futs: make([]*Future, n)}
+	for rep := 0; rep < n; rep++ {
+		spec := rs.Spec
+		spec.Config.Seed = ReplicateSeed(rs.Spec.Config.Seed, rep)
+		if rs.SetFor != nil {
+			if set := rs.SetFor(rep); set != nil {
+				spec.Set = set
+			}
+		}
+		if rs.SchedFor != nil {
+			if mk := rs.SchedFor(rep); mk != nil {
+				spec.Sched = mk
+			}
+		}
+		if rs.KeyFor != nil {
+			spec.CacheKey = rs.KeyFor(rep, spec.Config)
+		} else if rep > 0 {
+			spec.CacheKey = ""
+		}
+		b.futs[rep] = x.Submit(spec)
+	}
+	return b
+}

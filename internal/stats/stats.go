@@ -1,0 +1,201 @@
+// Package stats provides the replication statistics the multi-seed
+// experiment pipeline reports: per-metric summaries (mean, standard
+// deviation, min/max/median) with 95% confidence intervals via the
+// Student-t distribution, and speedup ratios between paired replicate
+// series with propagated error.
+//
+// Estimator choices (see docs/STATS.md for the full rationale):
+//
+//   - The standard deviation is the sample (n-1, Bessel-corrected)
+//     form: replicates are a small sample of the seed population, not
+//     the population itself.
+//   - Confidence intervals use the Student-t critical value at the
+//     sample's degrees of freedom, not the normal 1.96: replicate
+//     counts are typically 3-10, where the normal approximation
+//     understates the interval badly.
+//   - Speedups between two schedulers on the same replicate seeds are
+//     computed as *paired* per-replicate ratios, then summarized. The
+//     pairing cancels the (large, shared) seed-to-seed workload
+//     variance, so two identical series yield exactly 1.0 with a
+//     zero-width interval.
+//
+// Degenerate inputs never produce NaN or Inf: an empty series yields
+// the zero Summary, a single observation yields a zero-width interval
+// (stddev is undefined at n=1 and reported as 0), and an all-equal
+// series yields zero stddev and zero width.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary describes one metric across N seed-replicates. CI95 is the
+// *half-width* of the two-sided 95% confidence interval on the mean:
+// the interval is [Mean-CI95, Mean+CI95]. JSON tags make the struct
+// embeddable in the BENCH_*.json records verbatim.
+type Summary struct {
+	N      int     `json:"n"`
+	Mean   float64 `json:"mean"`
+	Stddev float64 `json:"stddev"`
+	Min    float64 `json:"min"`
+	Max    float64 `json:"max"`
+	Median float64 `json:"median"`
+	CI95   float64 `json:"ci95"`
+}
+
+// Summarize computes the summary of xs. It never panics and never
+// returns NaN/Inf for finite inputs: len 0 yields the zero Summary and
+// len 1 yields a degenerate summary with zero stddev and zero width.
+func Summarize(xs []float64) Summary {
+	n := len(xs)
+	if n == 0 {
+		return Summary{}
+	}
+	s := Summary{N: n, Min: xs[0], Max: xs[0]}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(n)
+	if n > 1 {
+		// Two-pass sample variance: numerically stable at the scale of
+		// replicate counts, and exact for all-equal inputs (no
+		// catastrophic cancellation producing tiny negative variances —
+		// still guarded below for safety).
+		var ss float64
+		for _, x := range xs {
+			d := x - s.Mean
+			ss += d * d
+		}
+		if v := ss / float64(n-1); v > 0 {
+			s.Stddev = math.Sqrt(v)
+		}
+		s.CI95 = TCritical95(n-1) * s.Stddev / math.Sqrt(float64(n))
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if n%2 == 1 {
+		s.Median = sorted[n/2]
+	} else {
+		s.Median = (sorted[n/2-1] + sorted[n/2]) / 2
+	}
+	return s
+}
+
+// Interval returns the confidence interval bounds [lo, hi].
+func (s Summary) Interval() (lo, hi float64) {
+	return s.Mean - s.CI95, s.Mean + s.CI95
+}
+
+// Contains reports whether x lies inside the closed interval
+// [Mean-CI95, Mean+CI95].
+func (s Summary) Contains(x float64) bool {
+	lo, hi := s.Interval()
+	return x >= lo && x <= hi
+}
+
+// Format renders "mean ±ci95" with the given precision, the cell format
+// the aggregated experiment tables use.
+func (s Summary) Format(prec int) string {
+	return fmt.Sprintf("%.*f ±%.*f", prec, s.Mean, prec, s.CI95)
+}
+
+// Speedup summarizes the paired per-replicate ratio test[i]/base[i].
+// Both series must come from the same replicate seeds in the same
+// order — the pairing is what cancels the shared seed-to-seed variance
+// (identical series give exactly mean 1.0, width 0). A base of 0 maps
+// its ratio to 0 (the metrics.Relative convention) rather than Inf.
+// It panics on a length mismatch, which is a caller bug.
+func Speedup(test, base []float64) Summary {
+	if len(test) != len(base) {
+		panic(fmt.Sprintf("stats: Speedup with mismatched series (%d vs %d)", len(test), len(base)))
+	}
+	ratios := make([]float64, len(test))
+	for i := range test {
+		if base[i] != 0 {
+			ratios[i] = test[i] / base[i]
+		}
+	}
+	return Summarize(ratios)
+}
+
+// RatioOfMeans returns num.Mean/den.Mean with a first-order propagated
+// 95% half-width: for R = A/B with independent errors,
+//
+//	ciR ≈ |R| * sqrt((ciA/A)² + (ciB/B)²)
+//
+// Use it when the two summaries come from *unpaired* samples (different
+// seeds, different replicate counts); for same-seed series prefer
+// Speedup, whose pairing gives much tighter intervals. A zero
+// denominator mean yields (0, 0).
+func RatioOfMeans(num, den Summary) (ratio, ci95 float64) {
+	if den.Mean == 0 {
+		return 0, 0
+	}
+	ratio = num.Mean / den.Mean
+	var rel2 float64
+	if num.Mean != 0 {
+		r := num.CI95 / num.Mean
+		rel2 += r * r
+	}
+	d := den.CI95 / den.Mean
+	rel2 += d * d
+	ci95 = math.Abs(ratio) * math.Sqrt(rel2)
+	return ratio, ci95
+}
+
+// tTable holds two-sided 95% Student-t critical values by degrees of
+// freedom (df 1-30), then the standard published anchor points. Values
+// between anchors are interpolated linearly in 1/df, the conventional
+// table-interpolation rule; df beyond the last anchor converges to the
+// normal 1.960.
+var tTable = []float64{
+	// df = 1..30
+	12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+	2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+	2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+}
+
+var tAnchors = []struct {
+	df int
+	t  float64
+}{
+	{30, 2.042}, {40, 2.021}, {60, 2.000}, {120, 1.980},
+}
+
+// tInf is the asymptotic (normal) two-sided 95% critical value.
+const tInf = 1.960
+
+// TCritical95 returns the two-sided 95% Student-t critical value for
+// df degrees of freedom. df <= 0 (no replication, no interval) returns
+// 0 so degenerate summaries get a zero-width interval instead of a
+// meaningless one.
+func TCritical95(df int) float64 {
+	if df <= 0 {
+		return 0
+	}
+	if df <= len(tTable) {
+		return tTable[df-1]
+	}
+	for i := 1; i < len(tAnchors); i++ {
+		lo, hi := tAnchors[i-1], tAnchors[i]
+		if df <= hi.df {
+			// Linear in 1/df between the bracketing anchors.
+			x := (1/float64(df) - 1/float64(hi.df)) / (1/float64(lo.df) - 1/float64(hi.df))
+			return hi.t + x*(lo.t-hi.t)
+		}
+	}
+	last := tAnchors[len(tAnchors)-1]
+	// Beyond the last anchor, interpolate toward the normal value at
+	// 1/df -> 0.
+	x := (1 / float64(df)) / (1 / float64(last.df))
+	return tInf + x*(last.t-tInf)
+}

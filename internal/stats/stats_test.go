@@ -1,0 +1,237 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"strex/internal/xrand"
+)
+
+func finite(t *testing.T, name string, v float64) {
+	t.Helper()
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		t.Fatalf("%s is not finite: %v", name, v)
+	}
+}
+
+func checkFinite(t *testing.T, s Summary) {
+	t.Helper()
+	finite(t, "mean", s.Mean)
+	finite(t, "stddev", s.Stddev)
+	finite(t, "min", s.Min)
+	finite(t, "max", s.Max)
+	finite(t, "median", s.Median)
+	finite(t, "ci95", s.CI95)
+}
+
+func TestSummarizeKnownValues(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N != 8 {
+		t.Fatalf("N = %d", s.N)
+	}
+	if s.Mean != 5 {
+		t.Fatalf("mean = %v", s.Mean)
+	}
+	// Sample stddev of this classic series: sqrt(32/7).
+	if want := math.Sqrt(32.0 / 7.0); math.Abs(s.Stddev-want) > 1e-12 {
+		t.Fatalf("stddev = %v, want %v", s.Stddev, want)
+	}
+	if s.Min != 2 || s.Max != 9 {
+		t.Fatalf("min/max = %v/%v", s.Min, s.Max)
+	}
+	if s.Median != 4.5 {
+		t.Fatalf("median = %v", s.Median)
+	}
+	// CI95 = t(7) * s / sqrt(8).
+	if want := 2.365 * s.Stddev / math.Sqrt(8); math.Abs(s.CI95-want) > 1e-12 {
+		t.Fatalf("ci95 = %v, want %v", s.CI95, want)
+	}
+	lo, hi := s.Interval()
+	if !s.Contains(s.Mean) || s.Contains(lo-1) || s.Contains(hi+1) {
+		t.Fatal("Interval/Contains inconsistent")
+	}
+}
+
+// TestCIShrinksWithN is the satellite property: at fixed underlying
+// spread, the confidence interval must shrink strictly as the replicate
+// count grows. The samples alternate mean±1 so the sample stddev is
+// exactly 1 at every even N, isolating the t/sqrt(N) factor.
+func TestCIShrinksWithN(t *testing.T) {
+	prev := math.Inf(1)
+	for _, n := range []int{2, 4, 8, 16, 32, 64, 128, 256} {
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = 10 + float64(1-2*(i%2)) // 11, 9, 11, 9, ...
+		}
+		s := Summarize(xs)
+		if math.Abs(s.Stddev-math.Sqrt(float64(n)/float64(n-1))) > 1e-9 {
+			t.Fatalf("n=%d: stddev = %v", n, s.Stddev)
+		}
+		if s.CI95 <= 0 {
+			t.Fatalf("n=%d: non-positive CI %v", n, s.CI95)
+		}
+		if s.CI95 >= prev {
+			t.Fatalf("n=%d: CI %v did not shrink from %v", n, s.CI95, prev)
+		}
+		prev = s.CI95
+	}
+}
+
+func TestDegenerateInputs(t *testing.T) {
+	// Empty: the zero Summary.
+	if s := Summarize(nil); s != (Summary{}) {
+		t.Fatalf("empty summary = %+v", s)
+	}
+	// N=1: no stddev, zero-width interval, no NaN anywhere.
+	s := Summarize([]float64{3.25})
+	checkFinite(t, s)
+	if s.N != 1 || s.Mean != 3.25 || s.Stddev != 0 || s.CI95 != 0 {
+		t.Fatalf("n=1 summary = %+v", s)
+	}
+	if s.Min != 3.25 || s.Max != 3.25 || s.Median != 3.25 {
+		t.Fatalf("n=1 order stats = %+v", s)
+	}
+	if !s.Contains(3.25) || s.Contains(3.26) {
+		t.Fatal("n=1 interval should be the point itself")
+	}
+	// All-equal: zero stddev and width, even at large N.
+	eq := make([]float64, 100)
+	for i := range eq {
+		eq[i] = -7.5
+	}
+	s = Summarize(eq)
+	checkFinite(t, s)
+	if s.Stddev != 0 || s.CI95 != 0 || s.Mean != -7.5 || s.Median != -7.5 {
+		t.Fatalf("all-equal summary = %+v", s)
+	}
+	// Zeros: nothing divides by the values themselves.
+	s = Summarize(make([]float64, 5))
+	checkFinite(t, s)
+	if s.Mean != 0 || s.CI95 != 0 {
+		t.Fatalf("all-zero summary = %+v", s)
+	}
+}
+
+// TestSummarizeRandomProperty fuzzes Summarize with seeded random data:
+// finite outputs, order statistics consistent, mean inside [min, max],
+// and the interval centered on the mean.
+func TestSummarizeRandomProperty(t *testing.T) {
+	rng := xrand.New(7)
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(40)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = (rng.Float64() - 0.5) * 1e6
+		}
+		s := Summarize(xs)
+		checkFinite(t, s)
+		if s.N != n {
+			t.Fatalf("N = %d, want %d", s.N, n)
+		}
+		if s.Min > s.Median || s.Median > s.Max {
+			t.Fatalf("order stats violated: %+v", s)
+		}
+		if s.Mean < s.Min || s.Mean > s.Max {
+			t.Fatalf("mean outside range: %+v", s)
+		}
+		if s.CI95 < 0 || s.Stddev < 0 {
+			t.Fatalf("negative spread: %+v", s)
+		}
+		if !s.Contains(s.Mean) {
+			t.Fatalf("interval excludes its own mean: %+v", s)
+		}
+	}
+}
+
+// TestSpeedupIdenticalSeries is the satellite property: the speedup of
+// two identical replicate series is exactly 1.0 with a zero-width
+// interval — the pairing cancels all shared variance.
+func TestSpeedupIdenticalSeries(t *testing.T) {
+	rng := xrand.New(11)
+	xs := make([]float64, 9)
+	for i := range xs {
+		xs[i] = 1 + rng.Float64()*100
+	}
+	s := Speedup(xs, xs)
+	checkFinite(t, s)
+	if s.Mean != 1.0 || s.CI95 != 0 || s.Stddev != 0 {
+		t.Fatalf("identical-series speedup = %+v, want exactly 1.0 ±0", s)
+	}
+}
+
+func TestSpeedupPairedValues(t *testing.T) {
+	// test is exactly 2x base per replicate, with wildly different
+	// absolute levels per seed: the paired ratio is still exactly 2.
+	base := []float64{10, 1000, 3}
+	test := []float64{20, 2000, 6}
+	s := Speedup(test, base)
+	if s.Mean != 2 || s.CI95 != 0 {
+		t.Fatalf("paired speedup = %+v, want exactly 2 ±0", s)
+	}
+	// A zero base replicate contributes ratio 0, never Inf.
+	s = Speedup([]float64{4, 4}, []float64{2, 0})
+	checkFinite(t, s)
+	if s.Min != 0 || s.Max != 2 {
+		t.Fatalf("zero-base speedup = %+v", s)
+	}
+}
+
+func TestSpeedupMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched Speedup did not panic")
+		}
+	}()
+	Speedup([]float64{1}, []float64{1, 2})
+}
+
+func TestRatioOfMeans(t *testing.T) {
+	num := Summary{N: 3, Mean: 20, CI95: 2} // 10% relative
+	den := Summary{N: 3, Mean: 10, CI95: 1} // 10% relative
+	ratio, ci := RatioOfMeans(num, den)
+	if ratio != 2 {
+		t.Fatalf("ratio = %v", ratio)
+	}
+	if want := 2 * math.Sqrt(0.01+0.01); math.Abs(ci-want) > 1e-12 {
+		t.Fatalf("ci = %v, want %v", ci, want)
+	}
+	// Zero denominator degrades to (0, 0), never NaN.
+	if r, c := RatioOfMeans(num, Summary{}); r != 0 || c != 0 {
+		t.Fatalf("zero-den ratio = %v ±%v", r, c)
+	}
+	// Zero numerator mean: ratio 0 with only the denominator's error.
+	if r, c := RatioOfMeans(Summary{}, den); r != 0 || c != 0 {
+		t.Fatalf("zero-num ratio = %v ±%v", r, c)
+	}
+}
+
+func TestTCritical95(t *testing.T) {
+	cases := map[int]float64{1: 12.706, 2: 4.303, 7: 2.365, 30: 2.042, 40: 2.021, 60: 2.000, 120: 1.980}
+	for df, want := range cases {
+		if got := TCritical95(df); math.Abs(got-want) > 1e-9 {
+			t.Fatalf("t(%d) = %v, want %v", df, got, want)
+		}
+	}
+	// Monotone decreasing toward the normal value, never below it.
+	prev := math.Inf(1)
+	for df := 1; df <= 2000; df++ {
+		v := TCritical95(df)
+		if v > prev+1e-12 {
+			t.Fatalf("t(%d) = %v rose above t(%d) = %v", df, v, df-1, prev)
+		}
+		if v < tInf-1e-9 {
+			t.Fatalf("t(%d) = %v fell below the normal limit", df, v)
+		}
+		prev = v
+	}
+	if TCritical95(0) != 0 || TCritical95(-3) != 0 {
+		t.Fatal("df <= 0 must yield 0 (zero-width interval)")
+	}
+}
+
+func TestSummaryFormat(t *testing.T) {
+	s := Summary{Mean: 12.345, CI95: 0.678}
+	if got := s.Format(2); got != "12.35 ±0.68" {
+		t.Fatalf("Format = %q", got)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"strex/internal/runner"
 	"strex/internal/sched"
 	"strex/internal/sim"
+	"strex/internal/stats"
 	"strex/internal/synth"
 	"strex/internal/tracefile"
 	"strex/internal/workload"
@@ -492,6 +493,182 @@ func RunMany(w *Workload, specs []RunSpec, parallel int, onProgress func(done, t
 	out := make([]Result, len(runs))
 	for i, res := range x.Map(rspecs) {
 		out[i] = toResult(runs[i].name, res, len(w.set.Txns), runs[i].spec.Config.Cores)
+	}
+	return out, nil
+}
+
+// Summary describes one metric across the replicates of a
+// RunReplicated call: sample size, central tendency, spread, and the
+// half-width of the two-sided 95% confidence interval on the mean
+// (Student-t at N-1 degrees of freedom — see docs/STATS.md). The
+// interval is [Mean-CI95, Mean+CI95]; N=1 yields a zero-width interval.
+type Summary struct {
+	N      int
+	Mean   float64
+	Stddev float64
+	Min    float64
+	Max    float64
+	Median float64
+	CI95   float64
+}
+
+func summaryOf(s stats.Summary) Summary {
+	return Summary{N: s.N, Mean: s.Mean, Stddev: s.Stddev, Min: s.Min, Max: s.Max, Median: s.Median, CI95: s.CI95}
+}
+
+// Format renders "mean ±ci95" with the given precision — the same
+// aggregate-cell format the experiment suite's tables use.
+func (s Summary) Format(prec int) string {
+	return fmt.Sprintf("%.*f ±%.*f", prec, s.Mean, prec, s.CI95)
+}
+
+// ReplicatedResult bundles the per-seed results of a replicated run
+// with their aggregate summaries.
+type ReplicatedResult struct {
+	// Results holds one Result per replicate, in replicate order.
+	// Replicate 0 ran at the verbatim seeds and is byte-identical to a
+	// plain Run with the same arguments; later replicates ran fresh
+	// trace draws at derived seeds.
+	Results []Result
+	// Seeds holds each replicate's workload-generation seed (the
+	// config seed is derived in parallel from Config.Seed).
+	Seeds []uint64
+	// Aggregates over the replicates, one per headline metric.
+	IMPKI, DMPKI, Throughput, MeanLatency Summary
+}
+
+// RunReplicated builds the named workload `seeds` times — replicate 0
+// at WorkloadOptions.Seed verbatim, later replicates at
+// DeriveSeed-derived seeds, i.e. statistically independent trace draws
+// — and runs each draw under the chosen scheduler, fanning the runs
+// over up to `parallel` workers (<= 0 selects GOMAXPROCS). The returned
+// summaries carry mean ±95% CI per metric, which is what makes a
+// "scheduler A beats scheduler B" claim defensible rather than a
+// single-seed point estimate. With WorkloadOptions.CacheDir set, each
+// replicate's trace is individually cached on disk. seeds < 1 is
+// treated as 1 (the degenerate single-run case, zero-width intervals).
+func RunReplicated(cfg Config, name string, wopts WorkloadOptions, kind SchedulerKind, seeds, parallel int) (*ReplicatedResult, error) {
+	draws, err := ReplicateWorkloads(name, wopts, seeds)
+	if err != nil {
+		return nil, err
+	}
+	return RunDraws(cfg, draws, kind, parallel)
+}
+
+// ReplicateWorkloads builds the N per-replicate trace draws of a
+// registered workload: draw 0 at WorkloadOptions.Seed verbatim, later
+// draws at DeriveSeed-derived seeds. Workload content is independent
+// of any simulator configuration, so a grid of (cores, scheduler)
+// cells builds its draws once here and runs every cell on them via
+// RunDraws — that is exactly how strexsim's -seeds grid avoids
+// regenerating N workloads per cell.
+func ReplicateWorkloads(name string, wopts WorkloadOptions, seeds int) ([]*Workload, error) {
+	if seeds < 1 {
+		seeds = 1
+	}
+	draws := make([]*Workload, seeds)
+	for rep := range draws {
+		ropts := wopts
+		ropts.Seed = runner.ReplicateSeed(wopts.Seed, rep)
+		w, err := BuildWorkload(name, ropts)
+		if err != nil {
+			return nil, err
+		}
+		if len(w.set.Txns) == 0 {
+			return nil, fmt.Errorf("strex: replicated runs need a non-empty workload")
+		}
+		draws[rep] = w
+	}
+	return draws, nil
+}
+
+// RunDraws runs one (config, scheduler) cell over pre-built replicate
+// draws (from ReplicateWorkloads) and aggregates the results. Draw
+// index doubles as replicate index: the config seed of draw r is
+// derived by the same ReplicateSeed rule the draws' workload seeds
+// used, so RunDraws(cfg, ReplicateWorkloads(...)) ≡ RunReplicated.
+func RunDraws(cfg Config, draws []*Workload, kind SchedulerKind, parallel int) (*ReplicatedResult, error) {
+	out, err := RunManyDraws(draws, []RunSpec{{Config: cfg, Sched: kind}}, parallel, nil)
+	if err != nil {
+		return nil, err
+	}
+	return out[0], nil
+}
+
+// RunManyDraws runs a whole grid of (config, scheduler) cells over the
+// same replicate draws, fanning every cell's every replicate over one
+// worker pool — all cells are submitted before any is collected, so a
+// 16-run grid at -parallel 16 keeps 16 simulations in flight, exactly
+// like the non-replicated RunMany. Results come back in spec order.
+// onProgress, if non-nil, is invoked after each completed replicate
+// with (done, total) counted across the whole grid.
+func RunManyDraws(draws []*Workload, specs []RunSpec, parallel int, onProgress func(done, total int)) ([]*ReplicatedResult, error) {
+	if len(draws) == 0 {
+		return nil, fmt.Errorf("strex: RunManyDraws needs at least one workload draw")
+	}
+	n := len(draws)
+	x := runner.New(parallel)
+	total := n * len(specs)
+	if onProgress != nil {
+		x.OnProgress(func(done, submitted int, label string) {
+			onProgress(done, total)
+		})
+	}
+	type cell struct {
+		simCfg sim.Config
+		scheds []sim.Scheduler
+		batch  *runner.Batch
+	}
+	cells := make([]cell, len(specs))
+	for i, spec := range specs {
+		simCfg, err := spec.Config.build()
+		if err != nil {
+			return nil, err
+		}
+		// Scheduler construction stays on the caller's goroutine (like
+		// RunMany's eager construction): only simulations fan out.
+		scheds := make([]sim.Scheduler, n)
+		for rep, w := range draws {
+			s, err := spec.Config.scheduler(spec.Sched, w, simCfg.Cores)
+			if err != nil {
+				return nil, err
+			}
+			scheds[rep] = s
+		}
+		rs := runner.ReplicateSpec{Spec: runner.Spec{
+			Label:  scheds[0].Name(),
+			Config: simCfg,
+			Set:    draws[0].set,
+			Sched:  func() sim.Scheduler { return scheds[0] },
+		}}
+		rs.SetFor = func(rep int) *workload.Set { return draws[rep].set }
+		rs.SchedFor = func(rep int) func() sim.Scheduler {
+			s := scheds[rep]
+			return func() sim.Scheduler { return s }
+		}
+		cells[i] = cell{simCfg: simCfg, scheds: scheds, batch: x.SubmitReplicates(rs, n)}
+	}
+	out := make([]*ReplicatedResult, len(cells))
+	for i, c := range cells {
+		rr := &ReplicatedResult{
+			Results: make([]Result, 0, n),
+			Seeds:   make([]uint64, n),
+		}
+		impki := make([]float64, n)
+		dmpki := make([]float64, n)
+		tpm := make([]float64, n)
+		lat := make([]float64, n)
+		for rep, res := range c.batch.Results() {
+			rr.Seeds[rep] = draws[rep].prov.Seed
+			r := toResult(c.scheds[rep].Name(), res, len(draws[rep].set.Txns), c.simCfg.Cores)
+			rr.Results = append(rr.Results, r)
+			impki[rep], dmpki[rep], tpm[rep], lat[rep] = r.IMPKI, r.DMPKI, r.ThroughputTPM, r.MeanLatency
+		}
+		rr.IMPKI = summaryOf(stats.Summarize(impki))
+		rr.DMPKI = summaryOf(stats.Summarize(dmpki))
+		rr.Throughput = summaryOf(stats.Summarize(tpm))
+		rr.MeanLatency = summaryOf(stats.Summarize(lat))
+		out[i] = rr
 	}
 	return out, nil
 }

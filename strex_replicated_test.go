@@ -1,0 +1,121 @@
+package strex_test
+
+import (
+	"reflect"
+	"testing"
+
+	"strex"
+)
+
+// TestRunReplicatedSeed0MatchesRun pins the embedding contract: the
+// first replicate of a replicated run is byte-identical to a plain Run
+// with the same arguments — replication only *adds* draws.
+func TestRunReplicatedSeed0MatchesRun(t *testing.T) {
+	cfg := strex.DefaultConfig(2)
+	wopts := strex.WorkloadOptions{Txns: 30, Seed: 9}
+	rr, err := strex.RunReplicated(cfg, "TATP", wopts, strex.SchedSTREX, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rr.Results) != 3 || len(rr.Seeds) != 3 {
+		t.Fatalf("replicate counts: %d results, %d seeds", len(rr.Results), len(rr.Seeds))
+	}
+	if rr.Seeds[0] != wopts.Seed {
+		t.Fatalf("replicate 0 seed = %d, want the verbatim %d", rr.Seeds[0], wopts.Seed)
+	}
+	w, err := strex.BuildWorkload("TATP", wopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := strex.Run(cfg, w, strex.SchedSTREX)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rr.Results[0], single) {
+		t.Fatalf("replicate 0 diverged from a plain Run:\n%+v\nvs\n%+v", rr.Results[0], single)
+	}
+	// The differential satellite's containment check at the facade: the
+	// seed-0 value lies inside the replicate set its mean aggregates.
+	if single.IMPKI < rr.IMPKI.Min || single.IMPKI > rr.IMPKI.Max {
+		t.Fatalf("seed-0 I-MPKI %v outside replicate range [%v, %v]",
+			single.IMPKI, rr.IMPKI.Min, rr.IMPKI.Max)
+	}
+}
+
+func TestRunReplicatedSummaries(t *testing.T) {
+	cfg := strex.DefaultConfig(2)
+	rr, err := strex.RunReplicated(cfg, "Voter", strex.WorkloadOptions{Txns: 30, Seed: 3}, strex.SchedBaseline, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sum := range []strex.Summary{rr.IMPKI, rr.DMPKI, rr.Throughput, rr.MeanLatency} {
+		if sum.N != 4 {
+			t.Fatalf("summary N = %d, want 4", sum.N)
+		}
+		if sum.Min > sum.Median || sum.Median > sum.Max {
+			t.Fatalf("order stats violated: %+v", sum)
+		}
+		if sum.CI95 < 0 || sum.Stddev < 0 {
+			t.Fatalf("negative spread: %+v", sum)
+		}
+	}
+	// Distinct trace draws: seeds must all differ.
+	seen := map[uint64]bool{}
+	for _, s := range rr.Seeds {
+		if seen[s] {
+			t.Fatalf("duplicate replicate seed %d in %v", s, rr.Seeds)
+		}
+		seen[s] = true
+	}
+	// Fresh draws should actually move the measurements (Voter replays
+	// a randomized mix; three identical cycle counts would mean the
+	// derived seeds never reached the generator).
+	allEqual := true
+	for _, r := range rr.Results[1:] {
+		if r.Cycles != rr.Results[0].Cycles {
+			allEqual = false
+		}
+	}
+	if allEqual {
+		t.Fatal("all replicates produced identical cycle counts — derived seeds not applied")
+	}
+}
+
+// TestRunReplicatedDeterministic: identical seeds reproduce identical
+// replicates, regardless of worker count (the differential gate's
+// facade-level face).
+func TestRunReplicatedDeterministic(t *testing.T) {
+	cfg := strex.DefaultConfig(2)
+	wopts := strex.WorkloadOptions{Txns: 24, Seed: 5}
+	a, err := strex.RunReplicated(cfg, "SmallBank", wopts, strex.SchedSTREX, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := strex.RunReplicated(cfg, "SmallBank", wopts, strex.SchedSTREX, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("replicated runs with identical seeds diverged:\n%+v\nvs\n%+v", a, b)
+	}
+}
+
+func TestRunReplicatedDegenerate(t *testing.T) {
+	cfg := strex.DefaultConfig(2)
+	// seeds < 1 degenerates to a single replicate with zero-width CIs.
+	rr, err := strex.RunReplicated(cfg, "TATP", strex.WorkloadOptions{Txns: 20, Seed: 2}, strex.SchedBaseline, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rr.Results) != 1 || rr.IMPKI.N != 1 || rr.IMPKI.CI95 != 0 {
+		t.Fatalf("degenerate replication = %d results, IMPKI %+v", len(rr.Results), rr.IMPKI)
+	}
+	// Unknown workloads fail cleanly.
+	if _, err := strex.RunReplicated(cfg, "no-such-workload", strex.WorkloadOptions{Txns: 10}, strex.SchedBaseline, 2, 1); err == nil {
+		t.Fatal("unknown workload did not error")
+	}
+	// Bad configs fail cleanly.
+	if _, err := strex.RunReplicated(strex.Config{}, "TATP", strex.WorkloadOptions{Txns: 10}, strex.SchedBaseline, 2, 1); err == nil {
+		t.Fatal("zero-core config did not error")
+	}
+}
