@@ -47,6 +47,7 @@ import (
 	"strex/internal/bench"
 	"strex/internal/experiments"
 	"strex/internal/metrics"
+	"strex/internal/profiling"
 	"strex/internal/runcache"
 )
 
@@ -68,9 +69,27 @@ func main() {
 	cacheDir := flag.String("cache-dir", "", "content-addressed cache for traces and run results (empty = off)")
 	noCache := flag.Bool("no-cache", false, "disable the cache even when -cache-dir is set")
 	jsonPath := flag.String("json", "", "write machine-readable run summaries (BENCH_*.json) to this path")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write an end-of-run heap profile to this file")
 	flag.Parse()
 
+	prof, profErr := profiling.Start(*cpuprofile, *memprofile)
+	if profErr != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", profErr)
+		os.Exit(1)
+	}
+	// The success path falls off the end of main, so the deferred Finish
+	// writes the heap profile exactly once; fatal only stops the CPU
+	// profile, keeping the partial profile of the failing run.
+	defer func() {
+		if err := prof.Finish(); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+	}()
+
 	fatal := func(err error) {
+		prof.StopCPU()
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}

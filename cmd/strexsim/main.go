@@ -34,6 +34,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -43,7 +44,9 @@ import (
 	"strings"
 
 	"strex"
+	"strex/internal/profiling"
 	"strex/internal/runner"
+	"strex/internal/tracefile"
 )
 
 // stderrIsTerminal reports whether stderr is a character device (a
@@ -74,9 +77,27 @@ func main() {
 	noCache := flag.Bool("no-cache", false, "disable the trace cache even when -cache-dir is set")
 	saveTrace := flag.String("save-trace", "", "write the workload to this .strextrace file before running")
 	loadTrace := flag.String("load-trace", "", "replay this .strextrace file instead of generating (-workload/-txns/-scale ignored)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write an end-of-run heap profile to this file")
 	flag.Parse()
 
+	prof, profErr := profiling.Start(*cpuprofile, *memprofile)
+	if profErr != nil {
+		fmt.Fprintln(os.Stderr, "strexsim:", profErr)
+		os.Exit(1)
+	}
+	// Success paths all return from main, so the heap profile is written
+	// exactly once; error paths go through fail, which only stops the
+	// CPU profile (keeping the partial profile of the failing run).
+	defer func() {
+		if err := prof.Finish(); err != nil {
+			fmt.Fprintln(os.Stderr, "strexsim:", err)
+			os.Exit(1)
+		}
+	}()
+
 	fail := func(err error) {
+		prof.StopCPU()
 		fmt.Fprintln(os.Stderr, "strexsim:", err)
 		os.Exit(1)
 	}
@@ -122,6 +143,12 @@ func main() {
 	var err error
 	if *loadTrace != "" {
 		w, err = strex.LoadWorkload(*loadTrace)
+		// An old-format file is a usage problem, not corruption: say so
+		// instead of surfacing a bare decode failure.
+		if errors.Is(err, tracefile.ErrVersion) {
+			fail(fmt.Errorf("%s: %v\n  (old trace files cannot be upgraded in place; rerun with -save-trace to produce a v%d file)",
+				*loadTrace, err, tracefile.Version))
+		}
 	} else {
 		w, err = strex.BuildWorkload(*wl, strex.WorkloadOptions{
 			Txns:                *txns,

@@ -116,17 +116,20 @@ type Cache struct {
 	mat   *matrixPolicy
 	mat16 *matrix16Policy
 
-	// One-entry lookup memo: the engine's hot paths probe, consult the
-	// victim monitor and then access the same block back to back
-	// (AccessHit → WouldEvict → Touch), and each begins with the same
-	// set scan. The memo returns the previous result while the tag
-	// array is unchanged; every tag mutation (fill, invalidate, flush)
-	// clears it.
-	memoOK    bool
-	memoBlock uint32
-	memoSet   int32
-	memoWay   int32
-	memoFree  int32
+	// loc is the reverse block→way index: a lazily paged array over the
+	// block space (the same layout as memsys's directory pages) holding
+	// way+1 for resident blocks, 0 otherwise. Lookup is two dependent
+	// loads regardless of associativity — no per-way tag scan on hits
+	// and, crucially, none on the miss-dominated paths either. Pages are
+	// retained and zeroed by Flush so the steady state stays
+	// allocation-free. Every tag mutation (fill, invalidate, flush)
+	// updates it in lockstep with tags.
+	loc [][]uint16
+	// freeCount tracks invalid lines per set so the miss path only scans
+	// for a free way during cold fill, never in the steady state.
+	freeCount []int32
+	// collapseOK caches pol.collapseSafe() (see CollapseSafe).
+	collapseOK bool
 
 	// hasPF is set by the first InsertPrefetch and never cleared: while
 	// false (every cache except an L1-I under an active prefetcher) the
@@ -151,11 +154,15 @@ func New(cfg Config) *Cache {
 	blocks := cfg.SizeBytes / cfg.BlockBytes
 	sets := blocks / cfg.Ways
 	c := &Cache{
-		sets: sets,
-		ways: cfg.Ways,
-		cfg:  cfg,
-		tags: make([]uint32, blocks),
-		meta: make([]uint16, blocks),
+		sets:      sets,
+		ways:      cfg.Ways,
+		cfg:       cfg,
+		tags:      make([]uint32, blocks),
+		meta:      make([]uint16, blocks),
+		freeCount: make([]int32, sets),
+	}
+	for i := range c.freeCount {
+		c.freeCount[i] = int32(cfg.Ways)
 	}
 	if sets&(sets-1) == 0 {
 		// Power-of-two set count (every geometry the simulator builds):
@@ -172,7 +179,20 @@ func New(cfg Config) *Cache {
 	case *matrix16Policy:
 		c.mat16 = p
 	}
+	c.collapseOK = c.pol.collapseSafe()
 	return c
+}
+
+// Reset returns the cache to its as-constructed state — empty, zero
+// statistics, replacement policy re-armed from seed exactly as New
+// would — without releasing any allocation. Engine pooling calls this
+// between runs; a Reset cache is indistinguishable from a fresh one.
+func (c *Cache) Reset(seed uint64) {
+	c.cfg.Seed = seed
+	c.Flush()
+	c.hasPF = false
+	c.Stats.Reset()
+	c.pol.reset(seed ^ 0xCACE)
 }
 
 // polOnHit / polOnInsert / polVictim / polPeekVictim dispatch to the
@@ -236,36 +256,64 @@ func (c *Cache) setOf(block uint32) int {
 	return int(block) % c.sets
 }
 
-// find locates block's line. One pass over the set's tags resolves both
-// the lookup and — on a miss — the first free way (-1 when the set is
-// full), so the fill path pays no second scan. Back-to-back lookups of
-// the same block are served from the memo.
+// locPageBits sizes location-index pages at 4096 entries (8KB) each,
+// matching memsys's directory paging: block spaces are dense regions
+// (instruction blocks from zero, data blocks from codegen.DataBase), so
+// only the touched pages materialize.
+const (
+	locPageBits = 12
+	locPageMask = 1<<locPageBits - 1
+)
+
+// find locates block's line via the reverse index: way (or -1) plus, on
+// a miss, the first free way (-1 when the set is full). The free-way
+// scan only runs while the set still has invalid lines — cold fills —
+// so the steady-state miss path never touches the tag array at all.
+// free is unspecified on hits (callers use it only when way < 0).
 func (c *Cache) find(block uint32) (set, way, free int) {
-	if c.memoOK && block == c.memoBlock {
-		return int(c.memoSet), int(c.memoWay), int(c.memoFree)
+	if p := block >> locPageBits; int(p) < len(c.loc) {
+		if pg := c.loc[p]; pg != nil {
+			if w := pg[block&locPageMask]; w != 0 {
+				return c.setOf(block), int(w) - 1, -1
+			}
+		}
 	}
 	set = c.setOf(block)
-	base := set * c.ways
-	tags := c.tags[base : base+c.ways] // one bounds check for the scan
 	free = -1
-	for w := range tags {
-		t := tags[w]
-		if t == block {
-			return set, w, free
-		}
-		if t == InvalidBlock && free < 0 {
-			free = w
+	if c.freeCount[set] > 0 {
+		base := set * c.ways
+		tags := c.tags[base : base+c.ways] // one bounds check for the scan
+		for w, t := range tags {
+			if t == InvalidBlock {
+				free = w
+				break
+			}
 		}
 	}
-	// Only misses are memoized: they are the lookups the hot paths
-	// repeat (probe → victim monitor → demand access), and skipping the
-	// memo store on hits keeps the common case write-free.
-	c.memoOK = true
-	c.memoBlock = block
-	c.memoSet = int32(set)
-	c.memoWay = -1
-	c.memoFree = int32(free)
 	return set, -1, free
+}
+
+// locSet records block as resident in way, growing the page store on
+// first touch of a region.
+func (c *Cache) locSet(block uint32, way int) {
+	p := int(block >> locPageBits)
+	if p >= len(c.loc) {
+		grown := make([][]uint16, p+1)
+		copy(grown, c.loc)
+		c.loc = grown
+	}
+	pg := c.loc[p]
+	if pg == nil {
+		pg = make([]uint16, 1<<locPageBits)
+		c.loc[p] = pg
+	}
+	pg[block&locPageMask] = uint16(way) + 1
+}
+
+// locClear removes block from the index. The block must be resident
+// (its page necessarily exists).
+func (c *Cache) locClear(block uint32) {
+	c.loc[block>>locPageBits][block&locPageMask] = 0
 }
 
 // Access performs a demand access to block. write marks the line dirty on
@@ -366,38 +414,185 @@ func (c *Cache) AccessHit(block uint32, phaseID uint8, tagPhase bool) bool {
 	return true
 }
 
+// CollapseSafe reports whether the replacement policy tolerates
+// collapsed hit runs: a sequence of hits may be applied as one promote
+// per distinct block, in last-occurrence order, with no observable
+// difference in any future victim choice. This licenses ApplyHitRun —
+// the segment-replay primitive. True for every policy the simulator
+// configures except LIP/BIP (see policy.collapseSafe).
+func (c *Cache) CollapseSafe() bool { return c.collapseOK }
+
+// ResidentRun reports whether every block in blocks is resident with no
+// pending prefetch credit — the precondition for ApplyHitRun. Purely a
+// probe: no statistics, no replacement state.
+func (c *Cache) ResidentRun(blocks []uint32) bool {
+	for _, b := range blocks {
+		p := b >> locPageBits
+		if int(p) >= len(c.loc) {
+			return false
+		}
+		pg := c.loc[p]
+		if pg == nil || pg[b&locPageMask] == 0 {
+			return false
+		}
+	}
+	if c.hasPF {
+		// A first demand touch of a prefetched line carries result bits
+		// the per-entry path must surface; such a run is not collapsible.
+		for _, b := range blocks {
+			set := c.setOf(b)
+			way := int(c.loc[b>>locPageBits][b&locPageMask]) - 1
+			if c.meta[set*c.ways+way]&metaPF != 0 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// ApplyHitRun accounts a compiled segment of entries instruction hits
+// over its footprint blocks (distinct, last-occurrence order) as one
+// batch: per-block replacement promotion and phase tagging, batched hit
+// statistics. The caller must have established ResidentRun(blocks) and
+// CollapseSafe(); under those preconditions the cache ends in a state
+// the per-entry AccessHit sequence could not distinguish (docs/ENGINE.md
+// gives the argument).
+func (c *Cache) ApplyHitRun(blocks []uint32, entries int, phaseID uint8, tagPhase bool) {
+	for _, b := range blocks {
+		set := c.setOf(b)
+		way := int(c.loc[b>>locPageBits][b&locPageMask]) - 1
+		c.polOnHit(set, way)
+		if tagPhase {
+			idx := set*c.ways + way
+			if nm := c.meta[idx]&0x00FF | uint16(phaseID)<<8; nm != c.meta[idx] {
+				c.meta[idx] = nm
+			}
+		}
+	}
+	c.Stats.Accesses += uint64(entries)
+	c.Stats.Hits += uint64(entries)
+}
+
 // fill installs block into set at the given free way (-1 = set full,
 // evict), returning the AccessResult with victim information (Hit=false).
 func (c *Cache) fill(set, way int, block uint32, write bool, phaseID uint8) AccessResult {
-	c.memoOK = false // tags change below
 	var res AccessResult
-	base := set * c.ways
 	if way < 0 {
-		way = c.polVictim(set)
-		idx := base + way
+		way, res.VictimBlock, res.VictimPhase, res.VictimDirty = c.evict(set)
 		res.Evicted = true
-		res.VictimBlock = c.tags[idx]
-		res.VictimPhase = uint8(c.meta[idx] >> 8)
-		res.VictimDirty = c.meta[idx]&metaDirty != 0
-		if res.VictimDirty {
-			c.Stats.WriteBacks++
-		}
-		c.Stats.Evictions++
-		if c.OnEvict != nil {
-			c.OnEvict(res.VictimBlock, res.VictimPhase)
-		}
 	} else {
 		res.VictimBlock = InvalidBlock
+		c.freeCount[set]--
 	}
-	idx := base + way
+	c.install(set, way, block, write, phaseID)
+	return res
+}
+
+// evict selects a victim in set, removes it (statistics, reverse index,
+// OnEvict delivery) and returns the freed way plus the victim's
+// identity. Shared by fill and the brief access path; the returned
+// scalars stay in registers where fill's AccessResult would not.
+func (c *Cache) evict(set int) (way int, vblock uint32, vphase uint8, vdirty bool) {
+	way = c.polVictim(set)
+	idx := set*c.ways + way
+	vblock = c.tags[idx]
+	vphase = uint8(c.meta[idx] >> 8)
+	vdirty = c.meta[idx]&metaDirty != 0
+	if vdirty {
+		c.Stats.WriteBacks++
+	}
+	c.Stats.Evictions++
+	c.locClear(vblock)
+	if c.OnEvict != nil {
+		c.OnEvict(vblock, vphase)
+	}
+	return
+}
+
+// install writes block into (set, way): tag, reverse index, meta,
+// replacement insert. The line must already be free.
+func (c *Cache) install(set, way int, block uint32, write bool, phaseID uint8) {
+	idx := set*c.ways + way
 	c.tags[idx] = block
+	c.locSet(block, way)
 	m := uint16(phaseID) << 8
 	if write {
 		m |= metaDirty
 	}
 	c.meta[idx] = m
 	c.polOnInsert(set, way)
-	return res
+}
+
+// AccessBrief performs exactly the demand access Access/Touch would —
+// same statistics, same replacement, meta and reverse-index updates,
+// same OnEvict delivery — but reports only the hit and prefetch-hit
+// outcomes, with the lookup fused into one frame. The engine's solo
+// replay loop and the L2 fetch path issue this tens of millions of
+// times per simulated run; dropping the AccessResult marshalling and
+// the find/fill call boundaries is a measurable share of the miss
+// path. Any behavioural change here must be mirrored in access (the
+// differential suites compare the two paths run-for-run).
+func (c *Cache) AccessBrief(block uint32, write bool, phaseID uint8, tagPhase bool) (hit, pfHit bool) {
+	if block == InvalidBlock {
+		panic("cache: access to InvalidBlock")
+	}
+	c.Stats.Accesses++
+	if p := block >> locPageBits; int(p) < len(c.loc) {
+		if pg := c.loc[p]; pg != nil {
+			if w := pg[block&locPageMask]; w != 0 {
+				set := c.setOf(block)
+				way := int(w) - 1
+				c.Stats.Hits++
+				if c.hasPF || write || tagPhase {
+					idx := set*c.ways + way
+					m := c.meta[idx]
+					nm := m
+					if nm&metaPF != 0 {
+						nm &^= metaPF
+						c.Stats.PrefetchHits++
+						pfHit = true
+					}
+					if write {
+						nm |= metaDirty
+					}
+					if tagPhase {
+						nm = nm&0x00FF | uint16(phaseID)<<8
+					}
+					if nm != m {
+						c.meta[idx] = nm
+					}
+				}
+				if c.mat != nil {
+					c.mat.promote(set, way)
+				} else if c.mat16 != nil {
+					c.mat16.promote(set, way)
+				} else {
+					c.pol.onHit(set, way)
+				}
+				return true, pfHit
+			}
+		}
+	}
+	set := c.setOf(block)
+	c.Stats.Misses++
+	way := -1
+	if c.freeCount[set] > 0 {
+		base := set * c.ways
+		tags := c.tags[base : base+c.ways]
+		for w, t := range tags {
+			if t == InvalidBlock {
+				way = w
+				break
+			}
+		}
+	}
+	if way < 0 {
+		way, _, _, _ = c.evict(set)
+	} else {
+		c.freeCount[set]--
+	}
+	c.install(set, way, block, write, phaseID)
+	return false, false
 }
 
 // InsertPrefetch installs block without counting a demand access, as a
@@ -466,19 +661,29 @@ func (c *Cache) Invalidate(block uint32) bool {
 	if c.meta[idx]&metaDirty != 0 {
 		c.Stats.WriteBacks++
 	}
-	c.memoOK = false
 	c.tags[idx] = InvalidBlock
 	c.meta[idx] = 0
+	c.locClear(block)
+	c.freeCount[c.setOf(block)]++
 	c.Stats.Invalidations++
 	return true
 }
 
 // Flush invalidates every line (used between experiment repetitions).
+// Location-index pages are zeroed, not released, so a flushed cache
+// replays without re-allocating them.
 func (c *Cache) Flush() {
-	c.memoOK = false
 	for i := range c.tags {
 		c.tags[i] = InvalidBlock
 		c.meta[i] = 0
+	}
+	for _, pg := range c.loc {
+		if pg != nil {
+			clear(pg)
+		}
+	}
+	for i := range c.freeCount {
+		c.freeCount[i] = int32(c.ways)
 	}
 }
 

@@ -2,6 +2,7 @@ package cache
 
 import (
 	"fmt"
+	"math/bits"
 
 	"strex/internal/xrand"
 )
@@ -63,6 +64,21 @@ type policy interface {
 	onInsert(set, way int)
 	victim(set int) int
 	peekVictim(set int) int
+	// reset returns the policy to its as-constructed state in place
+	// (engine pooling reuses caches across runs), reseeding any bimodal
+	// dice from seed.
+	reset(seed uint64)
+	// collapseSafe reports whether a run of onHit calls may be collapsed
+	// to one promote per distinct way, applied in last-occurrence order:
+	// the final policy state must be unable to influence any future
+	// victim choice differently from the full per-hit sequence. True for
+	// the matrix orders (exact final state), the timestamp stack with
+	// MRU insertion (relative order preserved; victims compare stamps
+	// only relatively) and RRIP (hit promotion is idempotent,
+	// order-free). False for LIP/BIP: their insert-at-LRU stamps derive
+	// from the set's minimum with a floor, so absolute stamp values —
+	// which collapsing changes — can reach the tie-breaking floor.
+	collapseSafe() bool
 }
 
 func newPolicy(kind PolicyKind, sets, ways int, rng *xrand.RNG) policy {
@@ -198,6 +214,17 @@ func (p *stackPolicy) victim(set int) int {
 // peekVictim is identical to victim: stack-policy selection is pure.
 func (p *stackPolicy) peekVictim(set int) int { return p.victim(set) }
 
+func (p *stackPolicy) reset(seed uint64) {
+	clear(p.stamp)
+	clear(p.lowWater)
+	p.clock = 1
+	if p.rng != nil {
+		p.rng.Reseed(seed)
+	}
+}
+
+func (p *stackPolicy) collapseSafe() bool { return p.mode == insertMRU }
+
 // --- matrix form of the recency-stack policies (ways ≤ 8) ---
 
 // matrixPolicy packs a set's full recency order into one uint64 as the
@@ -222,7 +249,11 @@ func newMatrixPolicy(sets, ways int) *matrixPolicy {
 }
 
 // matrixCol is the column mask template: bit (i, 0) for every row i.
-const matrixCol = uint64(0x0101010101010101)
+// matrixColHi is its high-bit counterpart, used by the victim scan.
+const (
+	matrixCol   = uint64(0x0101010101010101)
+	matrixColHi = uint64(0x8080808080808080)
+)
 
 func (p *matrixPolicy) promote(set, way int) {
 	// way becomes more recent than everyone: fill its row (existing
@@ -237,17 +268,26 @@ func (p *matrixPolicy) onHit(set, way int) { p.promote(set, way) }
 func (p *matrixPolicy) onInsert(set, way int) { p.promote(set, way) }
 
 func (p *matrixPolicy) victim(set int) int {
+	// The victim is the way whose row (one byte) is all zero. The SWAR
+	// borrow trick flags zero bytes; bytes below the first zero byte are
+	// never flagged, so the lowest flag is exactly the ascending scan's
+	// answer. Rows past p.ways are always zero but sit above any real
+	// row's flag, and the guard preserves the scan's fallback for the
+	// unreachable not-full case.
 	m := p.m[set]
-	for w := 0; w < p.ways; w++ {
-		if m&(p.rowBits<<(8*uint(w))) == 0 {
-			return w
-		}
+	z := (m - matrixCol) & ^m & matrixColHi
+	if w := bits.TrailingZeros64(z) >> 3; w < p.ways {
+		return w
 	}
 	return 0 // unreachable once the set is full (a total order exists)
 }
 
 // peekVictim is identical to victim: matrix selection is pure.
 func (p *matrixPolicy) peekVictim(set int) int { return p.victim(set) }
+
+func (p *matrixPolicy) reset(uint64) { clear(p.m) }
+
+func (p *matrixPolicy) collapseSafe() bool { return true }
 
 // matrix16Policy is the 16-way form of the LRU matrix (the shared L2):
 // a 16x16 recency matrix per set packed into four uint64 words, four
@@ -270,12 +310,16 @@ func newMatrix16Policy(sets, ways int) *matrix16Policy {
 }
 
 // col16 is the 16-way column mask template: bit (row, 0) for the four
-// rows packed in one word.
-const col16 = uint64(0x0001000100010001)
+// rows packed in one word. col16Hi is its high-bit counterpart, used
+// by the victim scan.
+const (
+	col16   = uint64(0x0001000100010001)
+	col16Hi = uint64(0x8000800080008000)
+)
 
 func (p *matrix16Policy) promote(set, way int) {
-	base := set * 4
-	m := p.m[base : base+4 : base+4]
+	// One bounds check for the whole 4-word update.
+	m := (*[4]uint64)(p.m[set*4:])
 	col := col16 << uint(way)
 	// Clear way's column bit in all 16 rows: nobody is more recent
 	// than way (this includes the self bit).
@@ -296,10 +340,17 @@ func (p *matrix16Policy) onHit(set, way int) { p.promote(set, way) }
 func (p *matrix16Policy) onInsert(set, way int) { p.promote(set, way) }
 
 func (p *matrix16Policy) victim(set int) int {
+	// Same SWAR zero-row scan as matrixPolicy.victim, on 16-bit rows
+	// four to a word: the lowest flagged row in the lowest word with a
+	// flag matches the ascending scan's answer exactly.
 	base := set * 4
-	for w := 0; w < p.ways; w++ {
-		if p.m[base+(w>>2)]&(p.rowBits<<(16*uint(w&3))) == 0 {
-			return w
+	for i := 0; i < 4; i++ {
+		x := p.m[base+i]
+		if z := (x - col16) & ^x & col16Hi; z != 0 {
+			if w := i*4 + bits.TrailingZeros64(z)>>4; w < p.ways {
+				return w
+			}
+			break
 		}
 	}
 	return 0 // unreachable once the set is full (a total order exists)
@@ -307,6 +358,10 @@ func (p *matrix16Policy) victim(set int) int {
 
 // peekVictim is identical to victim: matrix selection is pure.
 func (p *matrix16Policy) peekVictim(set int) int { return p.victim(set) }
+
+func (p *matrix16Policy) reset(uint64) { clear(p.m) }
+
+func (p *matrix16Policy) collapseSafe() bool { return true }
 
 // --- RRIP policies (SRRIP / BRRIP) ---
 
@@ -372,3 +427,14 @@ func (r *rrip) peekVictim(set int) int {
 	}
 	return way
 }
+
+func (r *rrip) reset(seed uint64) {
+	for i := range r.rrpv {
+		r.rrpv[i] = rripMax
+	}
+	if r.rng != nil {
+		r.rng.Reseed(seed)
+	}
+}
+
+func (r *rrip) collapseSafe() bool { return true }

@@ -1,0 +1,186 @@
+package cache
+
+import (
+	"testing"
+
+	"strex/internal/xrand"
+)
+
+// accessSeq drives a deterministic pseudo-random mixed sequence and
+// returns a fingerprint of every observable output.
+func accessSeq(c *Cache, seed uint64, n int) uint64 {
+	rng := xrand.New(seed)
+	var fp uint64
+	for i := 0; i < n; i++ {
+		block := uint32(rng.Intn(256))
+		switch rng.Intn(5) {
+		case 0:
+			r := c.Access(block, rng.Bool(0.3))
+			fp = xrand.Hash64(fp ^ uint64(r.VictimBlock))
+			if r.Hit {
+				fp ^= 1
+			}
+		case 1:
+			if c.AccessHit(block, uint8(i), i%3 == 0) {
+				fp = xrand.Hash64(fp ^ uint64(block))
+			}
+		case 2:
+			if ph, would := c.WouldEvict(block); would {
+				fp = xrand.Hash64(fp ^ uint64(ph))
+			}
+		case 3:
+			if c.Invalidate(block) {
+				fp ^= uint64(block) << 13
+			}
+		case 4:
+			r := c.Touch(block, uint8(rng.Intn(8)))
+			fp = xrand.Hash64(fp ^ uint64(r.VictimBlock))
+		}
+	}
+	fp ^= c.Stats.Accesses<<1 ^ c.Stats.Hits<<2 ^ c.Stats.Misses<<3 ^
+		c.Stats.Evictions<<4 ^ c.Stats.WriteBacks<<5 ^ c.Stats.Invalidations<<6
+	return fp
+}
+
+// TestResetMatchesFresh checks the pooling contract: a used cache after
+// Reset(seed) is observationally identical to New with that seed.
+func TestResetMatchesFresh(t *testing.T) {
+	for _, pol := range []PolicyKind{LRU, LIP, BIP, SRRIP, BRRIP} {
+		cfg := Config{SizeBytes: 4096, BlockBytes: 64, Ways: 4, Policy: pol, Seed: 7}
+		reused := New(cfg)
+		accessSeq(reused, 99, 4000) // dirty it under a different stream
+		reused.Reset(41)
+
+		fresh := New(Config{SizeBytes: 4096, BlockBytes: 64, Ways: 4, Policy: pol, Seed: 41})
+		fpA := accessSeq(fresh, 5, 6000)
+		fpB := accessSeq(reused, 5, 6000)
+		if fpA != fpB {
+			t.Errorf("%v: reset cache diverged from fresh (fp %x vs %x)", pol, fpB, fpA)
+		}
+		if fresh.Stats != reused.Stats {
+			t.Errorf("%v: stats diverged: fresh %+v reset %+v", pol, fresh.Stats, reused.Stats)
+		}
+	}
+}
+
+// TestLocIndexConsistency cross-checks find()'s reverse index against
+// the tag array through a long mixed sequence.
+func TestLocIndexConsistency(t *testing.T) {
+	c := New(Config{SizeBytes: 2048, BlockBytes: 64, Ways: 4, Policy: LRU, Seed: 3})
+	rng := xrand.New(11)
+	check := func() {
+		free := make([]int32, c.Sets())
+		for i, tag := range c.tags {
+			set := i / c.Ways()
+			if tag == InvalidBlock {
+				free[set]++
+				continue
+			}
+			want := i % c.Ways()
+			s2, w2, _ := c.find(tag)
+			if s2 != set || w2 != want {
+				t.Fatalf("find(%d) = (%d,%d), tags say (%d,%d)", tag, s2, w2, set, want)
+			}
+		}
+		for s, n := range free {
+			if c.freeCount[s] != n {
+				t.Fatalf("freeCount[%d] = %d, tags say %d", s, c.freeCount[s], n)
+			}
+		}
+	}
+	for i := 0; i < 3000; i++ {
+		block := uint32(rng.Intn(128))
+		switch rng.Intn(4) {
+		case 0, 1:
+			c.Access(block, rng.Bool(0.2))
+		case 2:
+			c.Invalidate(block)
+		case 3:
+			c.InsertPrefetch(block)
+		}
+		if i%251 == 0 {
+			check()
+		}
+		if i == 1500 {
+			c.Flush()
+			check()
+		}
+	}
+	check()
+	// Absent blocks must not be found.
+	if c.Contains(InvalidBlock - 1) {
+		t.Fatal("never-inserted block reported resident")
+	}
+}
+
+// TestApplyHitRunMatchesPerEntry replays a synthetic hit run two ways —
+// per-entry AccessHit versus ResidentRun+ApplyHitRun over the collapsed
+// footprint — and requires identical subsequent behaviour and stats for
+// every collapse-safe policy.
+func TestApplyHitRunMatchesPerEntry(t *testing.T) {
+	for _, pol := range []PolicyKind{LRU, SRRIP, BRRIP} {
+		mk := func() *Cache {
+			c := New(Config{SizeBytes: 1024, BlockBytes: 64, Ways: 8, Policy: pol, Seed: 9})
+			if !c.CollapseSafe() {
+				t.Fatalf("%v unexpectedly not collapse-safe", pol)
+			}
+			// Fill one set exactly (8 ways) so promotes are
+			// order-sensitive and the run below hits.
+			for b := uint32(0); b < 8; b++ {
+				c.Access(b*uint32(c.Sets()), false)
+			}
+			return c
+		}
+		// Entry sequence with duplicates; same set (stride = sets).
+		entryBlocks := []uint32{0, 2, 0, 5, 2, 7}
+		stride := uint32(mk().Sets())
+		var run []uint32
+		for _, b := range entryBlocks {
+			run = append(run, b*stride)
+		}
+		// Collapsed footprint in last-occurrence order: 0, 5, 2, 7.
+		collapsed := []uint32{0 * stride, 5 * stride, 2 * stride, 7 * stride}
+
+		a, b := mk(), mk()
+		for _, blk := range run {
+			if !a.AccessHit(blk, 3, true) {
+				t.Fatalf("%v: expected hit on %d", pol, blk)
+			}
+		}
+		if !b.ResidentRun(collapsed) {
+			t.Fatalf("%v: footprint not resident", pol)
+		}
+		b.ApplyHitRun(collapsed, len(run), 3, true)
+
+		if a.Stats != b.Stats {
+			t.Errorf("%v: stats diverged: per-entry %+v collapsed %+v", pol, a.Stats, b.Stats)
+		}
+		fpA := accessSeq(a, 21, 4000)
+		fpB := accessSeq(b, 21, 4000)
+		if fpA != fpB {
+			t.Errorf("%v: collapsed apply diverged from per-entry (fp %x vs %x)", pol, fpB, fpA)
+		}
+	}
+}
+
+// TestResidentRunRejectsPrefetchCredit ensures a pending prefetched
+// line blocks segment application (the per-entry path must surface the
+// PrefetchHit result).
+func TestResidentRunRejectsPrefetchCredit(t *testing.T) {
+	c := New(Config{SizeBytes: 1024, BlockBytes: 64, Ways: 8, Policy: LRU, Seed: 1})
+	c.Access(1, false)
+	c.InsertPrefetch(3)
+	if !c.ResidentRun([]uint32{1}) {
+		t.Fatal("demand-filled line rejected")
+	}
+	if c.ResidentRun([]uint32{1, 3}) {
+		t.Fatal("prefetched line accepted before demand touch")
+	}
+	if c.ResidentRun([]uint32{1, 5}) {
+		t.Fatal("absent block accepted")
+	}
+	c.Access(3, false) // demand touch clears the credit
+	if !c.ResidentRun([]uint32{1, 3}) {
+		t.Fatal("line rejected after credit cleared")
+	}
+}

@@ -79,9 +79,10 @@ type Hierarchy struct {
 	// space): the directory is consulted on every data access, and a
 	// two-level array lookup is several times cheaper than a map probe.
 	dir dirTable
-	// l2lat[core][slice] precomputes L2Hit + round-trip hop latency so
-	// the per-miss path is one table load instead of torus arithmetic.
-	l2lat [][]int
+	// l2lat[core*Cores+slice] precomputes L2Hit + round-trip hop latency
+	// so the per-miss path is one table load instead of torus
+	// arithmetic (flattened: the lookup runs on every L1 miss).
+	l2lat []int
 
 	Stats Stats
 }
@@ -149,12 +150,11 @@ func New(cfg Config) *Hierarchy {
 	if cfg.Cores&(cfg.Cores-1) == 0 {
 		h.coreMask = uint32(cfg.Cores - 1)
 	}
-	h.l2lat = make([][]int, cfg.Cores)
+	h.l2lat = make([]int, cfg.Cores*cfg.Cores)
 	for c := 0; c < cfg.Cores; c++ {
-		h.l2lat[c] = make([]int, cfg.Cores)
 		for s := 0; s < cfg.Cores; s++ {
 			// request + response hops on top of the slice hit time
-			h.l2lat[c][s] = cfg.Lat.L2Hit + 2*h.hopDistance(c, s)*cfg.Lat.HopCycles
+			h.l2lat[c*cfg.Cores+s] = cfg.Lat.L2Hit + 2*h.hopDistance(c, s)*cfg.Lat.HopCycles
 		}
 	}
 	return h
@@ -162,6 +162,22 @@ func New(cfg Config) *Hierarchy {
 
 // AttachL1D registers core's L1-D for coherence actions.
 func (h *Hierarchy) AttachL1D(core int, c *cache.Cache) { h.l1ds[core] = c }
+
+// Reset returns the hierarchy to its as-constructed state under a new
+// seed without releasing any allocation: the L2 is reset in place,
+// directory pages are zeroed but retained, statistics cleared. Engine
+// pooling calls this between runs; attached L1-Ds stay attached (their
+// owner resets them separately).
+func (h *Hierarchy) Reset(seed uint64) {
+	h.cfg.Seed = seed
+	h.l2.Reset(seed ^ 0x12)
+	for _, pg := range h.dir.pages {
+		if pg != nil {
+			clear(pg)
+		}
+	}
+	h.Stats = Stats{}
+}
 
 // Lat returns the timing parameters.
 func (h *Hierarchy) Lat() Latencies { return h.cfg.Lat }
@@ -276,9 +292,8 @@ func (h *Hierarchy) invalidateRemote(core int, block uint32) int {
 func (h *Hierarchy) fetch(core int, block uint32, isData bool) int {
 	_ = isData
 	h.Stats.L2Accesses++
-	lat := h.l2lat[core][h.sliceOf(block)] // L2Hit + request/response hops
-	r := h.l2.Access(block, false)
-	if r.Hit {
+	lat := h.l2lat[core*h.cfg.Cores+h.sliceOf(block)] // L2Hit + request/response hops
+	if hit, _ := h.l2.AccessBrief(block, false, 0, false); hit {
 		h.Stats.L2Hits++
 		return lat
 	}

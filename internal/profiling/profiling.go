@@ -1,0 +1,74 @@
+// Package profiling wires the conventional -cpuprofile/-memprofile
+// flags into the CLIs. Both binaries share the same lifecycle: CPU
+// profiling starts right after flag parsing and must be stopped on
+// every exit path (including error exits, so a partial profile of the
+// failing run is still usable), while the heap profile is written only
+// once, at the end of a successful run, after a forced GC so that it
+// reflects live steady-state memory rather than collectable garbage.
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Profiler owns the profile outputs of one CLI invocation. The zero
+// value (and a nil pointer) is inert, so callers can thread it through
+// unconditionally.
+type Profiler struct {
+	cpuFile *os.File
+	memPath string
+}
+
+// Start begins CPU profiling to cpuPath and records memPath for the
+// end-of-run heap profile. Either path may be empty to disable that
+// profile. The caller must arrange for StopCPU (on error exits) or
+// Finish (on success) to run before the process ends.
+func Start(cpuPath, memPath string) (*Profiler, error) {
+	p := &Profiler{memPath: memPath}
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+		p.cpuFile = f
+	}
+	return p, nil
+}
+
+// StopCPU flushes and closes the CPU profile. It is idempotent and
+// safe on a nil Profiler, so error helpers can call it unconditionally
+// before os.Exit.
+func (p *Profiler) StopCPU() {
+	if p == nil || p.cpuFile == nil {
+		return
+	}
+	pprof.StopCPUProfile()
+	p.cpuFile.Close()
+	p.cpuFile = nil
+}
+
+// Finish ends the profiling session on the success path: it stops the
+// CPU profile and, when requested, writes the heap profile.
+func (p *Profiler) Finish() error {
+	p.StopCPU()
+	if p == nil || p.memPath == "" {
+		return nil
+	}
+	f, err := os.Create(p.memPath)
+	if err != nil {
+		return fmt.Errorf("memprofile: %w", err)
+	}
+	defer f.Close()
+	runtime.GC() // drop collectable garbage so the profile shows live memory
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		return fmt.Errorf("memprofile: %w", err)
+	}
+	return nil
+}

@@ -127,6 +127,45 @@ type Executor struct {
 	// map is also read by derived-future goroutines).
 	inprocMu sync.Mutex
 	inproc   map[string]inprocEntry
+
+	pool enginePool
+}
+
+// enginePool retains finished engines for reuse by later runs with the
+// same geometry (sim.Config.Geometry — the shape that fixes every
+// allocation an engine owns). Reusing an engine replaces the dominant
+// allocation cost of a replicate sweep with an in-place Reset; the
+// engine-level contract (a Reset engine is indistinguishable from a
+// fresh one, enforced differentially by the sim and runner tests) is
+// what keeps pooled results bit-identical to fresh ones. Retention is
+// bounded per geometry by the worker count — more than that can never
+// be in flight at once, so anything beyond it is dead weight.
+type enginePool struct {
+	mu   sync.Mutex
+	free map[sim.Config][]*sim.Engine
+}
+
+func (p *enginePool) get(geo sim.Config) *sim.Engine {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	list := p.free[geo]
+	if len(list) == 0 {
+		return nil
+	}
+	eng := list[len(list)-1]
+	p.free[geo] = list[:len(list)-1]
+	return eng
+}
+
+func (p *enginePool) put(geo sim.Config, eng *sim.Engine, max int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.free == nil {
+		p.free = make(map[sim.Config][]*sim.Engine)
+	}
+	if len(p.free[geo]) < max {
+		p.free[geo] = append(p.free[geo], eng)
+	}
 }
 
 // inprocEntry is one in-process memo slot.
@@ -255,7 +294,7 @@ func (x *Executor) Submit(spec Spec) *Future {
 				return
 			}
 		}
-		f.res = sim.New(spec.Config, spec.Set, spec.Sched()).Run()
+		f.res = x.execute(&spec)
 		if spec.CacheKey != "" {
 			// Store errors are deliberately swallowed: a full disk must
 			// degrade to "slower", never to "failed run".
@@ -263,6 +302,25 @@ func (x *Executor) Submit(spec Spec) *Future {
 		}
 	}()
 	return f
+}
+
+// execute performs one simulation on a pooled engine when one with the
+// right geometry is free, a fresh engine otherwise. The result is
+// detached before the engine returns to the pool, so it stays valid
+// after the engine's arenas are recycled. A panicking run abandons its
+// engine (it never reaches the pool), so a violated invariant cannot
+// contaminate later runs.
+func (x *Executor) execute(spec *Spec) sim.Result {
+	geo := spec.Config.Geometry()
+	eng := x.pool.get(geo)
+	if eng == nil {
+		eng = sim.New(spec.Config, spec.Set, spec.Sched())
+	} else {
+		eng.Reset(spec.Config, spec.Set, spec.Sched())
+	}
+	res := eng.Run().Detach()
+	x.pool.put(geo, eng, cap(x.sem))
+	return res
 }
 
 // Run is the synchronous convenience form: Submit + Result.

@@ -237,3 +237,46 @@ func TestSubmitDedupsBySchedID(t *testing.T) {
 		t.Fatalf("scheduler built %d times, want 3 (empty SchedID deduped)", built.Load())
 	}
 }
+
+// stamps projects a result to its per-thread cycle stamps, the
+// finest-grained observable a run produces.
+func stamps(r sim.Result) [][3]uint64 {
+	out := make([][3]uint64, len(r.Threads))
+	for i, th := range r.Threads {
+		out[i] = [3]uint64{th.EnqueueCycle, th.StartCycle, th.FinishCycle}
+	}
+	return out
+}
+
+func TestPooledEngineMatchesFresh(t *testing.T) {
+	// The executor reuses engines across runs of the same geometry (one
+	// worker = maximal reuse: every run after the first Resets a pooled
+	// engine). Each pooled result must be bit-identical — Stats and
+	// per-thread stamps — to a fresh engine's, across scheduler changes,
+	// seed changes and geometry changes on the same pooled engine.
+	set := testSet(t, 8)
+	specs := grid(set, 27)
+	// Double the grid so every geometry is revisited at least once with
+	// a different seed and scheduler mix.
+	specs = append(specs, grid(set, 31)...)
+	x := New(1)
+	for i, spec := range specs {
+		pooled := x.Run(spec)
+		fresh := sim.New(spec.Config, spec.Set, spec.Sched()).Run()
+		if !reflect.DeepEqual(pooled.Stats, fresh.Stats) {
+			t.Fatalf("spec %d: pooled stats diverged\npooled: %+v\nfresh:  %+v",
+				i, pooled.Stats, fresh.Stats)
+		}
+		if !reflect.DeepEqual(stamps(pooled), stamps(fresh)) {
+			t.Fatalf("spec %d: pooled per-thread stamps diverged", i)
+		}
+	}
+	// The pooled results must also survive the engine being recycled:
+	// results are detached, so a later run must not mutate them.
+	a := x.Run(specs[0])
+	before := stamps(a)
+	x.Run(specs[1]) // reuses the engine that produced a
+	if !reflect.DeepEqual(before, stamps(a)) {
+		t.Fatal("detached result mutated by a later pooled run")
+	}
+}

@@ -74,6 +74,11 @@ type Thread struct {
 	// Scratch is scheduler-private per-thread state (SLICC keeps its
 	// missed-tag queue here).
 	Scratch interface{}
+
+	// seg tracks the thread's position in its trace's compiled segment
+	// table (engine-private; initialized by Run when segment replay is
+	// licensed, zero otherwise).
+	seg trace.SegCursor
 }
 
 // Latency returns queue-entry-to-completion cycles (Figure 7's metric).
@@ -296,12 +301,18 @@ type Engine struct {
 	pfHides   bool                // prefetcher hides miss latency (PIF)
 	fastHits  bool                // hit-run fast path licensed (hooks + prefetcher)
 	batchHits bool                // hit runs must be gated and reported (HookIHitBatch)
+	segOK     bool                // segment replay licensed (passive pf + collapse-safe L1-I)
 	runPF     prefetch.Prefetcher // prefetcher driven inside hit runs (nil when passive)
 
 	threads    []*Thread
 	pending    []*Thread // not yet dispatched, arrival order
 	live       int       // threads not yet finished
 	busyCycles uint64
+
+	// threadArena backs threads: Reset recycles it so a pooled engine's
+	// steady state performs no per-run allocation. Result.Threads alias
+	// the arena — Result.Detach copies them out before the next Reset.
+	threadArena []Thread
 }
 
 // New builds an engine for the given workload set and scheduler.
@@ -309,10 +320,7 @@ func New(cfg Config, set *workload.Set, sched Scheduler) *Engine {
 	if cfg.Cores <= 0 {
 		panic("sim: need at least one core")
 	}
-	if cfg.PoolWindow <= 0 {
-		cfg.PoolWindow = 30
-	}
-	cfg.Mem.Cores = cfg.Cores
+	cfg = normalize(cfg)
 	e := &Engine{
 		cfg:   cfg,
 		mem:   memsys.New(cfg.Mem),
@@ -337,15 +345,85 @@ func New(cfg Config, set *workload.Set, sched Scheduler) *Engine {
 		e.mem.AttachL1D(c, core.L1D)
 		e.cores = append(e.cores, core)
 	}
-	e.idle = append(e.idle, e.cores...) // every core starts idle, ID order
-	for _, tx := range set.Txns {
-		t := &Thread{Txn: tx, Cursor: trace.NewCursor(tx.Trace)}
-		e.threads = append(e.threads, t)
-		e.pending = append(e.pending, t)
-	}
-	e.live = len(e.threads)
-	sched.Bind(e)
+	e.prepare(set, sched)
 	return e
+}
+
+// normalize applies New's config defaulting rules.
+func normalize(cfg Config) Config {
+	if cfg.PoolWindow <= 0 {
+		cfg.PoolWindow = 30
+	}
+	cfg.Mem.Cores = cfg.Cores
+	return cfg
+}
+
+// Geometry returns the configuration with its seeds zeroed — everything
+// that determines the engine's allocated shape. Two configs with equal
+// Geometry may share a pooled engine via Reset.
+func (c Config) Geometry() Config {
+	c.Seed = 0
+	c.Mem.Seed = 0
+	return normalize(c)
+}
+
+// prepare builds the per-run state — threads (recycling the arena),
+// queues, idle list — and binds the scheduler. Shared by New and Reset.
+func (e *Engine) prepare(set *workload.Set, sched Scheduler) {
+	e.sched = sched
+	e.heap = e.heap[:0]
+	e.idle = e.idle[:0]
+	e.idle = append(e.idle, e.cores...) // every core starts idle, ID order
+	n := len(set.Txns)
+	if cap(e.threadArena) < n {
+		e.threadArena = make([]Thread, n)
+		e.threads = make([]*Thread, 0, n)
+		e.pending = make([]*Thread, 0, n)
+	}
+	arena := e.threadArena[:n]
+	e.threads = e.threads[:0]
+	e.pending = e.pending[:0]
+	for i, tx := range set.Txns {
+		arena[i] = Thread{Txn: tx, Cursor: trace.NewCursor(tx.Trace)}
+		e.threads = append(e.threads, &arena[i])
+		e.pending = append(e.pending, &arena[i])
+	}
+	e.live = n
+	e.busyCycles = 0
+	sched.Bind(e)
+}
+
+// Reset rewinds a used engine to the state New(cfg, set, sched) would
+// produce, reusing every allocation: caches are flushed and reseeded in
+// place, the memory system and thread arena recycled. cfg must have the
+// same Geometry as the engine's original configuration (only seeds may
+// differ). A Reset invalidates the Threads of any Result previously
+// returned by this engine — callers that keep results across runs must
+// Detach them first.
+func (e *Engine) Reset(cfg Config, set *workload.Set, sched Scheduler) {
+	if cfg.Cores <= 0 {
+		panic("sim: need at least one core")
+	}
+	cfg = normalize(cfg)
+	if cfg.Geometry() != e.cfg.Geometry() {
+		panic(fmt.Sprintf("sim: Reset with different geometry:\n  have %+v\n  want %+v", cfg.Geometry(), e.cfg.Geometry()))
+	}
+	e.cfg = cfg
+	for _, c := range e.cores {
+		id := uint64(c.ID)
+		c.L1I.OnEvict = nil // schedulers re-hook in Bind
+		c.L1D.OnEvict = nil
+		c.L1I.Reset(cfg.Seed ^ id<<8)
+		c.L1D.Reset(cfg.Seed ^ id<<16 ^ 0xD)
+		c.Clock = 0
+		c.Cur = nil
+		c.QInstrs = 0
+		c.Switches, c.Migrations = 0, 0
+		c.phase, c.tagged = 0, false
+	}
+	e.mem.Reset(cfg.Mem.Seed)
+	e.pf = prefetch.New(cfg.Prefetcher, codegen.DataBase)
+	e.prepare(set, sched)
 }
 
 // Cores returns the core count.
@@ -480,8 +558,25 @@ func (e *Engine) Run() Result {
 	// an active one only when no scheduler probes remote caches.
 	e.fastHits = e.hooks&HookIHit == 0 &&
 		(e.pfPassive || e.hooks&HookRemoteCaches == 0)
+	e.runPF = nil
 	if !e.pfPassive {
 		e.runPF = e.pf // drive prefetch fills inside hit runs, in order
+	}
+	// Segment replay is licensed by a passive prefetcher (per-entry
+	// fetch observation would be skipped) and a collapse-safe L1-I
+	// replacement policy (collapsed promotes must be exact).
+	e.segOK = e.pfPassive && e.cores[0].L1I.CollapseSafe()
+	if e.segOK && e.fastHits {
+		for _, t := range e.threads {
+			t.seg = trace.NewSegCursor(t.Txn.Trace.Segments())
+		}
+	}
+	// Solo fast path: with one core there is no cross-core clock order
+	// to preserve, so if the scheduler observes no per-entry events a
+	// whole quantum replays in a tight loop (see runSolo).
+	if len(e.cores) == 1 && e.hooks&(HookIHit|HookIHitBatch|HookIMiss|HookData) == 0 {
+		e.runSolo()
+		return e.collect()
 	}
 	for e.live > 0 {
 		if len(e.idle) > 0 {
@@ -538,7 +633,20 @@ func (e *Engine) finish(c *Core, t *Thread) {
 func (e *Engine) step(c *Core) {
 	t := c.Cur
 	if e.fastHits && (!e.batchHits || e.sched.HitRunOK(c.ID)) {
-		if n, entries := c.HitRun(&t.Cursor, c.phase, c.tagged, e.runPF); entries > 0 {
+		var n uint64
+		var entries int
+		if e.segOK {
+			// Consume whole resident segments first — one precomputed
+			// delta each — then let HitRun finish the hit prefix
+			// per-entry (mid-segment resumes, partially resident
+			// segments). Together they take exactly the maximal run of
+			// instruction hits, reported as one batch.
+			n, entries = c.SegRun(&t.Cursor, &t.seg, c.phase, c.tagged)
+		}
+		hn, hentries := c.HitRun(&t.Cursor, c.phase, c.tagged, e.runPF)
+		n += hn
+		entries += hentries
+		if entries > 0 {
 			c.Clock += n // 1 IPC
 			t.Instrs += n
 			c.QInstrs += n
@@ -653,6 +761,130 @@ func (e *Engine) step(c *Core) {
 		c.Cur = nil
 		e.sched.OnMigrate(c.ID, target, t)
 	}
+}
+
+// runSolo is Run's single-core loop. With one core nothing ever needs
+// to be sequenced against another clock, so scheduler-inert stretches —
+// entire quanta when the scheduler observes no per-entry events — are
+// replayed in one tight pass (replaySolo) instead of per-step heap
+// turns. Only schedulers whose HookMask clears every per-entry event
+// category get here; the WouldEvict consultation (which can interrupt a
+// quantum) routes through the general step loop. Dispatch and
+// OnComplete are invoked in exactly the order the general loop would
+// use, and per-thread cycle stamps, statistics and cache state are
+// byte-identical to RunReference.
+func (e *Engine) runSolo() {
+	c := e.cores[0]
+	for e.live > 0 {
+		if c.Cur == nil {
+			t := e.sched.Dispatch(c.ID)
+			if t == nil {
+				panic("sim: live threads but no runnable core (scheduler dropped a thread)")
+			}
+			e.install(c, t)
+		}
+		before := c.Clock
+		if c.tagged && e.hooks&HookWouldEvict != 0 {
+			// The victim monitor may preempt mid-quantum: sequence this
+			// quantum entry by entry through the general step.
+			e.step(c)
+		} else {
+			e.replaySolo(c)
+		}
+		e.busyCycles += c.Clock - before
+	}
+}
+
+// replaySolo runs core c's current thread to completion. Per entry it
+// performs exactly the general step's slow-path work (same cache calls,
+// same latency charges, in trace order); fully resident compiled
+// segments are applied as one delta when segment replay is licensed.
+func (e *Engine) replaySolo(c *Core) {
+	t := c.Cur
+	l1i, l1d := c.L1I, c.L1D
+	rest := t.Cursor.Rest()
+	base := t.Cursor.Pos()
+	phase, tagged := c.phase, c.tagged
+	var pid uint8 // phase passed to the L1-I: zero unless tagging (Touch semantics)
+	if tagged {
+		pid = phase
+	}
+	mem, coreID, pfHides := e.mem, c.ID, e.pfHides
+	// segNext is the trace position of the next segment start — the
+	// per-entry segment probe is one integer compare, with the cursor
+	// advanced only at actual segment boundaries.
+	segNext := trace.NoSeg
+	if e.segOK && t.seg.Tab() != nil {
+		segNext = t.seg.NextStart(base)
+	}
+	clock := c.Clock
+	var instrs uint64
+	for i := 0; i < len(rest); {
+		en := rest[i]
+		if en.Kind == trace.KInstr {
+			if base+i == segNext {
+				seg := t.seg.Cur()
+				blocks := t.seg.Tab().Footprint(seg)
+				if l1i.ResidentRun(blocks) {
+					l1i.ApplyHitRun(blocks, int(seg.End-seg.Start), phase, tagged)
+					instrs += seg.Instrs
+					clock += seg.Instrs
+					i = int(seg.End) - base
+					segNext = t.seg.NextStart(base + i)
+					continue
+				}
+				// Not fully resident: replay this segment per entry and
+				// re-probe from the segment after it.
+				segNext = t.seg.NextStart(base + i + 1)
+			}
+			clock += uint64(en.N) // 1 IPC
+			instrs += uint64(en.N)
+			hit, pfHit := l1i.AccessBrief(en.Block, false, pid, tagged)
+			if !hit {
+				lat := mem.FetchI(coreID, en.Block)
+				if !pfHides {
+					clock += uint64(lat)
+				}
+			} else if pfHit {
+				// A late next-line prefetch hides most but not all latency.
+				clock += uint64(e.lat.L2Hit / 2)
+			}
+			if !e.pfPassive {
+				e.pf.OnIFetch(l1i, en.Block, hit)
+			}
+			i++
+		} else {
+			write := en.Kind == trace.KStore
+			clock++ // address generation / pipeline slot
+			hit, _ := l1d.AccessBrief(en.Block, write, 0, false)
+			if !hit {
+				clock += uint64(mem.FetchD(coreID, en.Block, write))
+			} else if write {
+				clock += uint64(mem.WriteHit(coreID, en.Block))
+			} else {
+				mem.ReadHit(coreID, en.Block)
+			}
+			i++
+		}
+	}
+	t.Cursor.Advance(len(rest))
+	c.Clock = clock
+	t.Instrs += instrs
+	c.QInstrs += instrs
+	e.finish(c, t)
+}
+
+// Detach returns a copy of the result whose Threads no longer alias the
+// producing engine's internal arena, so the engine can be Reset (or
+// pooled) while the result stays valid indefinitely.
+func (r Result) Detach() Result {
+	threads := make([]*Thread, len(r.Threads))
+	for i, t := range r.Threads {
+		cp := *t
+		threads[i] = &cp
+	}
+	r.Threads = threads
+	return r
 }
 
 func (e *Engine) collect() Result {

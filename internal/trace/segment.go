@@ -1,0 +1,239 @@
+// Segment compilation: a one-time pass that folds a trace into segments
+// — maximal runs of consecutive instruction entries — with precomputed
+// instruction counts and deduplicated footprint block lists. Data
+// entries are the explicit break points between segments (an L1-I miss
+// is a dynamic break: a segment only replays as a unit when its whole
+// footprint is resident, see Cache.ResidentRun).
+//
+// The engine consumes segments through a SegCursor: when a thread's
+// cursor sits at a segment start and the segment's footprint is fully
+// resident in the core's L1-I, the whole segment is applied as one
+// precomputed delta (instruction count, hit statistics, collapsed
+// replacement promotes) instead of an entry loop. docs/ENGINE.md spells
+// out the exactness argument.
+//
+// Tables are immutable once compiled and are cached on the Buffer, so
+// every run replaying the same workload set shares one compile.
+package trace
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Seg is one compiled segment: entries [Start, End) of the buffer, all
+// KInstr, retiring Instrs instructions and touching the footprint
+// blocks SegTable.Footprint returns.
+type Seg struct {
+	Start int32 // first entry index (inclusive)
+	End   int32 // last entry index (exclusive)
+
+	// BlockOff/BlockLen locate the footprint in SegTable.Blocks: the
+	// distinct instruction blocks the segment touches, ordered by *last*
+	// occurrence within the segment. Applying replacement promotes in
+	// that order is equivalent to the per-entry promote sequence for
+	// every collapse-safe policy (cache.Cache.CollapseSafe).
+	BlockOff int32
+	BlockLen int32
+
+	Instrs uint64 // total instructions across the segment's entries
+}
+
+// SegTable is the compiled form of one trace Buffer. It is immutable
+// and safe for concurrent readers; all runs that share a workload set
+// share one table per transaction.
+type SegTable struct {
+	Segs   []Seg
+	Blocks []uint32 // footprint backing store, see Seg.BlockOff
+
+	entries int    // len(Buffer.Entries) at compile time (staleness check)
+	instrs  uint64 // Buffer.Instrs at compile time (staleness check)
+}
+
+// Len returns the number of segments.
+func (t *SegTable) Len() int { return len(t.Segs) }
+
+// Entries returns the number of trace entries the table was compiled
+// from — the exclusive upper bound of every segment's End.
+func (t *SegTable) Entries() int { return t.entries }
+
+// Footprint returns s's distinct instruction blocks in last-occurrence
+// order. The slice aliases the table; callers must not modify it.
+func (t *SegTable) Footprint(s Seg) []uint32 {
+	return t.Blocks[s.BlockOff : s.BlockOff+s.BlockLen]
+}
+
+// Compile-cost counters (process-wide, atomic): the bench harness
+// reports them so the cost of segment compilation stays visible next to
+// the replay rates it buys.
+var (
+	compileTables  atomic.Uint64
+	compileEntries atomic.Uint64
+	compileSegs    atomic.Uint64
+	compileNanos   atomic.Uint64
+)
+
+// CompileStats returns cumulative segment-compilation counters for this
+// process: tables compiled, trace entries scanned, segments produced,
+// and total wall-clock nanoseconds spent compiling.
+func CompileStats() (tables, entries, segs, nanos uint64) {
+	return compileTables.Load(), compileEntries.Load(), compileSegs.Load(), compileNanos.Load()
+}
+
+// Compile folds entries into a segment table. Adjacent KInstr entries
+// join one segment; every data entry is a break point. Compilation is
+// O(entries) plus footprint deduplication (linear scan for the short
+// runs real traces produce, a map above a threshold so adversarial
+// inputs stay linear).
+func Compile(entries []Entry) *SegTable {
+	start := time.Now()
+	t := &SegTable{entries: len(entries)}
+	var scratch map[uint32]struct{}
+	for i := 0; i < len(entries); {
+		if entries[i].Kind != KInstr {
+			i++
+			continue
+		}
+		j := i
+		var instrs uint64
+		for j < len(entries) && entries[j].Kind == KInstr {
+			instrs += uint64(entries[j].N)
+			t.instrs += uint64(entries[j].N)
+			j++
+		}
+		off := len(t.Blocks)
+		// Collect distinct blocks by walking the run backward (first
+		// sighting = last occurrence), then reverse into ascending
+		// last-occurrence order.
+		if j-i <= 64 {
+			for k := j - 1; k >= i; k-- {
+				b := entries[k].Block
+				dup := false
+				for _, seen := range t.Blocks[off:] {
+					if seen == b {
+						dup = true
+						break
+					}
+				}
+				if !dup {
+					t.Blocks = append(t.Blocks, b)
+				}
+			}
+		} else {
+			if scratch == nil {
+				scratch = make(map[uint32]struct{})
+			} else {
+				clear(scratch)
+			}
+			for k := j - 1; k >= i; k-- {
+				b := entries[k].Block
+				if _, dup := scratch[b]; !dup {
+					scratch[b] = struct{}{}
+					t.Blocks = append(t.Blocks, b)
+				}
+			}
+		}
+		fp := t.Blocks[off:]
+		for l, r := 0, len(fp)-1; l < r; l, r = l+1, r-1 {
+			fp[l], fp[r] = fp[r], fp[l]
+		}
+		t.Segs = append(t.Segs, Seg{
+			Start:    int32(i),
+			End:      int32(j),
+			BlockOff: int32(off),
+			BlockLen: int32(len(fp)),
+			Instrs:   instrs,
+		})
+		i = j
+	}
+	compileTables.Add(1)
+	compileEntries.Add(uint64(len(entries)))
+	compileSegs.Add(uint64(len(t.Segs)))
+	compileNanos.Add(uint64(time.Since(start)))
+	return t
+}
+
+// Segments returns the buffer's compiled segment table, compiling on
+// first use and caching the result. The cache self-invalidates if the
+// buffer grew or changed since the compile (entry count and instruction
+// total are checked), but the intended discipline is the workload Set
+// ownership rule: generation finishes, then replay begins. Concurrent
+// callers may race to compile; both produce identical tables and either
+// may win the cache slot.
+func (b *Buffer) Segments() *SegTable {
+	if t := b.seg.Load(); t != nil && t.entries == len(b.Entries) && t.instrs == b.Instrs {
+		return t
+	}
+	t := Compile(b.Entries)
+	b.seg.Store(t)
+	return t
+}
+
+// DropSegments discards the cached compiled table. The cache is derived
+// state — recompiled on demand, never persisted — so tests that compare
+// Buffers structurally (reflect.DeepEqual) drop it on both sides first.
+func (b *Buffer) DropSegments() { b.seg.Store(nil) }
+
+// SegCursor is a monotonic read position within a SegTable, advanced in
+// step with a thread's entry cursor. The zero value (no table) reports
+// no segments.
+type SegCursor struct {
+	tab *SegTable
+	idx int // first segment with End > the last queried position
+}
+
+// NewSegCursor returns a cursor over tab positioned at the start.
+func NewSegCursor(tab *SegTable) SegCursor { return SegCursor{tab: tab} }
+
+// Tab returns the table the cursor reads (nil for the zero cursor).
+func (sc *SegCursor) Tab() *SegTable { return sc.tab }
+
+// AtStart reports the segment starting exactly at entry position pos,
+// if any. Positions must be queried in non-decreasing order: the cursor
+// discards segments it has passed, which is what makes the per-entry
+// probe O(1) amortized over a replay.
+func (sc *SegCursor) AtStart(pos int) (Seg, bool) {
+	if sc.tab == nil {
+		return Seg{}, false
+	}
+	segs := sc.tab.Segs
+	i := sc.idx
+	for i < len(segs) && int(segs[i].End) <= pos {
+		i++
+	}
+	sc.idx = i
+	if i < len(segs) && int(segs[i].Start) == pos {
+		return segs[i], true
+	}
+	return Seg{}, false
+}
+
+// NoSeg is NextStart's exhausted sentinel: larger than any trace
+// position, so "pos == next start" compares stay a single integer test.
+const NoSeg = int(^uint(0) >> 1)
+
+// NextStart returns the entry position of the first segment starting at
+// or after pos (NoSeg when no segment remains), parking the cursor on
+// that segment for Cur. Like AtStart, positions must be non-decreasing.
+// The engine's solo replay loop uses this to turn the per-entry segment
+// probe into one integer compare against the returned position.
+func (sc *SegCursor) NextStart(pos int) int {
+	if sc.tab == nil {
+		return NoSeg
+	}
+	segs := sc.tab.Segs
+	i := sc.idx
+	for i < len(segs) && int(segs[i].Start) < pos {
+		i++
+	}
+	sc.idx = i
+	if i == len(segs) {
+		return NoSeg
+	}
+	return int(segs[i].Start)
+}
+
+// Cur returns the segment the cursor is parked on — the one whose start
+// NextStart last reported. It must not be called on an exhausted or
+// zero cursor.
+func (sc *SegCursor) Cur() Seg { return sc.tab.Segs[sc.idx] }

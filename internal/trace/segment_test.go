@@ -1,0 +1,236 @@
+package trace
+
+import (
+	"testing"
+)
+
+// checkTable verifies every structural invariant of a compiled table
+// against the entries it was compiled from:
+//   - segments are exactly the maximal runs of KInstr entries, in order;
+//   - Instrs sums the run's N values;
+//   - the footprint is the run's distinct blocks in last-occurrence
+//     order;
+//   - footprint slices tile the Blocks backing store.
+func checkTable(t *testing.T, entries []Entry, tab *SegTable) {
+	t.Helper()
+	if tab.Entries() != len(entries) {
+		t.Fatalf("Entries() = %d, want %d", tab.Entries(), len(entries))
+	}
+	si := 0
+	var nextOff int32
+	for i := 0; i < len(entries); {
+		if entries[i].Kind != KInstr {
+			i++
+			continue
+		}
+		j := i
+		var instrs uint64
+		for j < len(entries) && entries[j].Kind == KInstr {
+			instrs += uint64(entries[j].N)
+			j++
+		}
+		if si >= tab.Len() {
+			t.Fatalf("run [%d,%d) has no segment (only %d segments)", i, j, tab.Len())
+		}
+		seg := tab.Segs[si]
+		if int(seg.Start) != i || int(seg.End) != j {
+			t.Fatalf("segment %d = [%d,%d), want [%d,%d)", si, seg.Start, seg.End, i, j)
+		}
+		if seg.Instrs != instrs {
+			t.Fatalf("segment %d Instrs = %d, want %d", si, seg.Instrs, instrs)
+		}
+		if seg.BlockOff != nextOff {
+			t.Fatalf("segment %d BlockOff = %d, want %d (footprints must tile Blocks)", si, seg.BlockOff, nextOff)
+		}
+		nextOff = seg.BlockOff + seg.BlockLen
+		// Reference footprint: distinct blocks by last occurrence.
+		lastAt := map[uint32]int{}
+		for k := i; k < j; k++ {
+			lastAt[entries[k].Block] = k
+		}
+		var want []uint32
+		for k := i; k < j; k++ {
+			if lastAt[entries[k].Block] == k {
+				want = append(want, entries[k].Block)
+			}
+		}
+		got := tab.Footprint(seg)
+		if len(got) != len(want) {
+			t.Fatalf("segment %d footprint len = %d, want %d", si, len(got), len(want))
+		}
+		for k := range want {
+			if got[k] != want[k] {
+				t.Fatalf("segment %d footprint[%d] = %d, want %d (got %v want %v)", si, k, got[k], want[k], got, want)
+			}
+		}
+		si++
+		i = j
+	}
+	if si != tab.Len() {
+		t.Fatalf("table has %d segments, entries have %d runs", tab.Len(), si)
+	}
+	if int(nextOff) != len(tab.Blocks) {
+		t.Fatalf("footprints cover %d of %d backing blocks", nextOff, len(tab.Blocks))
+	}
+}
+
+// checkCursor verifies AtStart against a linear scan over all positions.
+func checkCursor(t *testing.T, tab *SegTable) {
+	t.Helper()
+	sc := NewSegCursor(tab)
+	starts := map[int]Seg{}
+	for _, s := range tab.Segs {
+		starts[int(s.Start)] = s
+	}
+	for pos := 0; pos <= tab.Entries(); pos++ {
+		seg, ok := sc.AtStart(pos)
+		want, wantOK := starts[pos]
+		if ok != wantOK || (ok && seg != want) {
+			t.Fatalf("AtStart(%d) = %+v,%v want %+v,%v", pos, seg, ok, want, wantOK)
+		}
+	}
+	// NextStart against the same linear scan: for every position, the
+	// first segment start at or after it (NoSeg when none), with Cur
+	// parked on that segment.
+	nc := NewSegCursor(tab)
+	for pos := 0; pos <= tab.Entries()+1; pos++ {
+		got := nc.NextStart(pos)
+		want := NoSeg
+		for _, s := range tab.Segs {
+			if int(s.Start) >= pos {
+				want = int(s.Start)
+				break
+			}
+		}
+		if got != want {
+			t.Fatalf("NextStart(%d) = %d, want %d", pos, got, want)
+		}
+		if got != NoSeg && int(nc.Cur().Start) != got {
+			t.Fatalf("Cur() after NextStart(%d) starts at %d, want %d", pos, nc.Cur().Start, got)
+		}
+	}
+}
+
+func TestCompileAdversarialBreaks(t *testing.T) {
+	i := func(block uint32, n uint16) Entry { return Entry{Block: block, N: n, Kind: KInstr} }
+	l := func(block uint32) Entry { return Entry{Block: block, Kind: KLoad} }
+	s := func(block uint32) Entry { return Entry{Block: block, Kind: KStore} }
+	cases := map[string][]Entry{
+		"empty":          nil,
+		"single instr":   {i(7, 3)},
+		"single data":    {l(9)},
+		"data only":      {l(1), s(2), l(3)},
+		"instr only":     {i(1, 1), i(2, 5), i(1, 2)},
+		"leading data":   {l(5), i(1, 1), i(2, 2)},
+		"trailing data":  {i(1, 1), i(2, 2), s(5)},
+		"adjacent data":  {i(1, 1), l(2), s(3), l(4), i(5, 1)},
+		"alternating":    {i(1, 1), l(2), i(3, 1), s(4), i(5, 1), l(6)},
+		"duplicates":     {i(1, 1), i(2, 1), i(1, 1), i(3, 1), i(2, 1)},
+		"all same block": {i(4, 1), i(4, 2), i(4, 3)},
+		"zero N":         {i(1, 0), i(2, 0)},
+	}
+	for name, entries := range cases {
+		tab := Compile(entries)
+		t.Run(name, func(t *testing.T) {
+			checkTable(t, entries, tab)
+			checkCursor(t, tab)
+		})
+	}
+}
+
+func TestCompileLongRunUsesSameOrder(t *testing.T) {
+	// A run longer than the linear-dedup threshold must produce the same
+	// footprint order as the short-run path.
+	var long, short []Entry
+	for k := 0; k < 100; k++ {
+		long = append(long, Entry{Block: uint32(k % 7), N: 1, Kind: KInstr})
+	}
+	short = append(short, long[:40]...) // under threshold, same block cycle
+	checkTable(t, long, Compile(long))
+	checkTable(t, short, Compile(short))
+}
+
+func TestSegmentsCachedAndInvalidated(t *testing.T) {
+	var b Buffer
+	b.AppendInstr(1, 4)
+	b.AppendData(100, false)
+	b.AppendInstr(2, 4)
+	t1 := b.Segments()
+	if t2 := b.Segments(); t2 != t1 {
+		t.Fatal("Segments not cached")
+	}
+	checkTable(t, b.Entries, t1)
+	b.AppendInstr(3, 1) // grows the trace: cache must refresh
+	t3 := b.Segments()
+	if t3 == t1 {
+		t.Fatal("stale segment table returned after append")
+	}
+	checkTable(t, b.Entries, t3)
+	b.Reset()
+	if got := b.Segments(); got.Len() != 0 || got.Entries() != 0 {
+		t.Fatalf("after Reset: %d segments over %d entries", got.Len(), got.Entries())
+	}
+}
+
+func TestSegCursorMonotonic(t *testing.T) {
+	var b Buffer
+	b.AppendInstr(1, 1)
+	b.AppendData(100, false)
+	b.AppendInstr(2, 1)
+	b.AppendInstr(3, 1)
+	b.AppendData(101, true)
+	tab := b.Segments()
+	sc := NewSegCursor(tab)
+	if _, ok := sc.AtStart(0); !ok {
+		t.Fatal("segment at 0 not found")
+	}
+	// Re-querying the same position must still succeed (yield/resume).
+	if _, ok := sc.AtStart(0); !ok {
+		t.Fatal("re-query of position 0 failed")
+	}
+	if _, ok := sc.AtStart(1); ok {
+		t.Fatal("position 1 is a data entry, not a segment start")
+	}
+	seg, ok := sc.AtStart(2)
+	if !ok || seg.Start != 2 || seg.End != 4 {
+		t.Fatalf("AtStart(2) = %+v,%v", seg, ok)
+	}
+	if _, ok := sc.AtStart(4); ok {
+		t.Fatal("position 4 is a data entry, not a segment start")
+	}
+}
+
+func TestZeroSegCursor(t *testing.T) {
+	var sc SegCursor
+	if sc.Tab() != nil {
+		t.Fatal("zero cursor has a table")
+	}
+	if _, ok := sc.AtStart(0); ok {
+		t.Fatal("zero cursor reported a segment")
+	}
+}
+
+// FuzzCompile decodes arbitrary bytes into a synthetic trace —
+// adversarial break-point placement included, since kind bytes come
+// straight from the fuzzer — and checks every compiler invariant plus
+// cursor agreement.
+func FuzzCompile(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 1, 1, 1, 100, 2, 0, 1})
+	f.Add([]byte{1, 5, 1, 5, 0, 5, 2, 5, 0, 5})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var entries []Entry
+		for i := 0; i+1 < len(data) && len(entries) < 4096; i += 2 {
+			kind := Kind(data[i] % 3)
+			block := uint32(data[i+1])
+			n := uint16(0)
+			if kind == KInstr {
+				n = uint16(data[i]) // arbitrary, including 0
+			}
+			entries = append(entries, Entry{Block: block, N: n, Kind: kind})
+		}
+		tab := Compile(entries)
+		checkTable(t, entries, tab)
+		checkCursor(t, tab)
+	})
+}

@@ -11,7 +11,10 @@
 // per-instruction PCs.
 package trace
 
-import "fmt"
+import (
+	"fmt"
+	"sync/atomic"
+)
 
 // Kind discriminates trace entries.
 type Kind uint8
@@ -52,6 +55,11 @@ type Buffer struct {
 	Instrs  uint64 // total instructions across all KInstr entries
 	Loads   uint64
 	Stores  uint64
+
+	// seg caches the compiled segment table (see Segments). It is not
+	// part of the trace content: clones and deserialized buffers start
+	// empty and compile their own on first use.
+	seg atomic.Pointer[SegTable]
 }
 
 // AppendInstr appends a run of n instructions in block. Adjacent runs in
@@ -92,10 +100,12 @@ func (b *Buffer) AppendData(block uint32, write bool) {
 // Len returns the number of entries.
 func (b *Buffer) Len() int { return len(b.Entries) }
 
-// Reset empties the buffer, retaining capacity.
+// Reset empties the buffer, retaining capacity, and drops any cached
+// segment table.
 func (b *Buffer) Reset() {
 	b.Entries = b.Entries[:0]
 	b.Instrs, b.Loads, b.Stores = 0, 0, 0
+	b.seg.Store(nil)
 }
 
 // UniqueIBlocks returns the number of distinct instruction blocks in the

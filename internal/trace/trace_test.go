@@ -173,7 +173,8 @@ func TestReset(t *testing.T) {
 	b.AppendData(2, true)
 	b.Reset()
 	if b.Len() != 0 || b.Instrs != 0 || b.Loads != 0 || b.Stores != 0 {
-		t.Fatalf("reset left state: %+v", b)
+		t.Fatalf("reset left state: len=%d instrs=%d loads=%d stores=%d",
+			b.Len(), b.Instrs, b.Loads, b.Stores)
 	}
 }
 

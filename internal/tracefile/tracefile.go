@@ -6,15 +6,15 @@
 // from disk (internal/runcache builds its content-addressed store on
 // top of it).
 //
-// File layout (format version 1, all integers little-endian except the
+// File layout (format version 2, all integers little-endian except the
 // varints):
 //
 //	offset 0  magic   [8]byte "strextrc"
 //	          version uint16
 //	          hdrLen  uint32
 //	          header  hdrLen bytes of JSON (Meta): workload name, seed,
-//	                  scale, type names, per-file entry/instr counts,
-//	                  code layout functions
+//	                  scale, type names, per-file entry/instr/segment
+//	                  counts, code layout functions
 //	          payload one record per transaction, in set order:
 //	                    uvarint id
 //	                    uvarint type
@@ -56,7 +56,11 @@ import (
 // writes. Bump it for any incompatible layout change; internal/runcache
 // folds it into every cache key, so old artifacts are simply never
 // consulted again.
-const Version = 1
+//
+// v2 added the segment-table summary (Meta.Segments) to the header, a
+// cross-check against the compiled tables the engine replays. v1 files
+// predate segment metadata and must be regenerated.
+const Version = 2
 
 // Ext is the conventional file extension.
 const Ext = ".strextrace"
@@ -115,8 +119,13 @@ type Meta struct {
 	Instrs        uint64     `json:"instrs"`
 	Loads         uint64     `json:"loads"`
 	Stores        uint64     `json:"stores"`
-	DataBlocks    int        `json:"data_blocks"`
-	Funcs         []FuncSpec `json:"funcs,omitempty"`
+	// Segments counts compiled trace segments across all transactions
+	// (format v2+). Like the other totals it is verified against what
+	// the payload actually compiles to, so replayers can trust it
+	// without a separate compile pass.
+	Segments   uint64     `json:"segments"`
+	DataBlocks int        `json:"data_blocks"`
+	Funcs      []FuncSpec `json:"funcs,omitempty"`
 }
 
 // metaOf summarizes a set into its header.
@@ -134,6 +143,7 @@ func metaOf(set *workload.Set, prov Provenance) Meta {
 		m.Instrs += tx.Trace.Instrs
 		m.Loads += tx.Trace.Loads
 		m.Stores += tx.Trace.Stores
+		m.Segments += uint64(tx.Trace.Segments().Len())
 	}
 	if set.Layout != nil {
 		for _, f := range set.Layout.Funcs() {
@@ -321,7 +331,7 @@ type Reader struct {
 	r     *crcByteReader
 	meta  Meta
 	n     int // transactions decoded so far
-	sums  struct{ entries, instrs, loads, stores uint64 }
+	sums  struct{ entries, instrs, loads, stores, segments uint64 }
 	close io.Closer
 }
 
@@ -337,6 +347,9 @@ func NewReader(r io.Reader) (*Reader, error) {
 		return nil, ErrBadMagic
 	}
 	if v := binary.LittleEndian.Uint16(fixed[8:10]); v != Version {
+		if v < Version {
+			return nil, fmt.Errorf("%w: file is v%d, which predates segment metadata (this build reads v%d)", ErrVersion, v, Version)
+		}
 		return nil, fmt.Errorf("%w: file is v%d, this build reads v%d", ErrVersion, v, Version)
 	}
 	hdrLen := binary.LittleEndian.Uint32(fixed[10:14])
@@ -465,6 +478,10 @@ func (r *Reader) Next() (*workload.Txn, error) {
 	r.sums.instrs += buf.Instrs
 	r.sums.loads += buf.Loads
 	r.sums.stores += buf.Stores
+	// Compiling here both checks the header's segment total and warms
+	// the buffer's lazy table cache, so the engine never recompiles a
+	// loaded trace.
+	r.sums.segments += uint64(buf.Segments().Len())
 	r.n++
 	return &workload.Txn{ID: int(id), Type: int(typ), Header: uint32(header), Trace: buf}, nil
 }
@@ -494,10 +511,11 @@ func (r *Reader) Verify() error {
 		return fmt.Errorf("%w: trailing byte(s) after trailer (first: %#x)", ErrCorrupt, extra)
 	}
 	if r.sums.entries != r.meta.Entries || r.sums.instrs != r.meta.Instrs ||
-		r.sums.loads != r.meta.Loads || r.sums.stores != r.meta.Stores {
-		return fmt.Errorf("%w: header totals (entries=%d instrs=%d loads=%d stores=%d) != decoded (%d/%d/%d/%d)",
-			ErrCorrupt, r.meta.Entries, r.meta.Instrs, r.meta.Loads, r.meta.Stores,
-			r.sums.entries, r.sums.instrs, r.sums.loads, r.sums.stores)
+		r.sums.loads != r.meta.Loads || r.sums.stores != r.meta.Stores ||
+		r.sums.segments != r.meta.Segments {
+		return fmt.Errorf("%w: header totals (entries=%d instrs=%d loads=%d stores=%d segments=%d) != decoded (%d/%d/%d/%d/%d)",
+			ErrCorrupt, r.meta.Entries, r.meta.Instrs, r.meta.Loads, r.meta.Stores, r.meta.Segments,
+			r.sums.entries, r.sums.instrs, r.sums.loads, r.sums.stores, r.sums.segments)
 	}
 	return nil
 }

@@ -16,15 +16,23 @@ type RNG struct {
 // New returns a generator seeded with seed. A zero seed is remapped to a
 // fixed non-zero constant because xorshift has an all-zero fixed point.
 func New(seed uint64) *RNG {
+	r := &RNG{}
+	r.Reseed(seed)
+	return r
+}
+
+// Reseed resets r in place to the exact state New(seed) produces —
+// allocation-free, for callers that recycle generator-bearing state
+// (cache replacement policies under engine pooling).
+func (r *RNG) Reseed(seed uint64) {
 	if seed == 0 {
 		seed = 0x9E3779B97F4A7C15
 	}
-	r := &RNG{state: seed}
+	r.state = seed
 	// Warm up so that close seeds diverge quickly.
 	for i := 0; i < 4; i++ {
 		r.Uint64()
 	}
-	return r
 }
 
 // Uint64 returns the next 64 pseudo-random bits.
