@@ -187,8 +187,8 @@ func main() {
 		fmt.Fprintf(os.Stderr, "experiments: workload generations: %d\n", bench.Generations())
 		if cache.Enabled() {
 			st := cache.Stats()
-			fmt.Fprintf(os.Stderr, "experiments: cache %s: traces %d hit / %d miss, results %d hit / %d miss\n",
-				cache.Dir(), st.TraceHits, st.TraceMisses, st.ResultHits, st.ResultMisses)
+			fmt.Fprintf(os.Stderr, "experiments: cache %s: traces %d hit / %d miss, results %d hit / %d miss, %d B read / %d B written\n",
+				cache.Dir(), st.TraceHits, st.TraceMisses, st.ResultHits, st.ResultMisses, st.BytesRead, st.BytesWritten)
 		}
 		if *jsonPath != "" {
 			report := metrics.BenchReport{TxnsPerCell: *txns, Seed: *seed, Seeds: *seeds, Records: suite.Records()}

@@ -1,0 +1,504 @@
+// Command strexload drives a running strexd with synthetic multi-tenant
+// traffic and checks the daemon's service-level claims.
+//
+// Two modes:
+//
+//	strexload -url http://HOST:PORT -smoke
+//	    One cold job end to end (submit, poll, result), then an
+//	    identical warm resubmission that must report generations: 0 and
+//	    a byte-identical result payload — the CI gate for singleflight +
+//	    shared-cache absorption.
+//
+//	strexload -url http://HOST:PORT [-qps 500] [-duration 60s] ...
+//	    Sustained open-loop load: -qps submissions per second for
+//	    -duration, drawn from -clients tenants, with a -hot fraction of
+//	    submissions drawn from a fixed -hotset of specs (the cacheable
+//	    working set) and the rest unique cold specs. Reports client-side
+//	    submit and status-poll latency percentiles, outcome counts, and
+//	    the hot absorption fraction; -assert turns the claims into exit
+//	    status. -json writes a BENCH_service.json artifact.
+//
+// The harness is a pure HTTP client: it measures the daemon exactly as
+// a tenant would see it.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+type jobSpec struct {
+	ClientID string `json:"client_id,omitempty"`
+	Workload string `json:"workload"`
+	Txns     int    `json:"txns,omitempty"`
+	Seed     uint64 `json:"seed,omitempty"`
+	Seeds    int    `json:"seeds,omitempty"`
+	Sched    string `json:"sched,omitempty"`
+	Cores    int    `json:"cores,omitempty"`
+}
+
+type jobStatus struct {
+	ID          string `json:"id"`
+	State       string `json:"state"`
+	Coalesced   bool   `json:"coalesced"`
+	QueuePos    int    `json:"queue_position"`
+	Generations *int   `json:"generations"`
+	Error       string `json:"error"`
+}
+
+func terminal(state string) bool {
+	return state == "done" || state == "failed" || state == "canceled"
+}
+
+func main() {
+	url := flag.String("url", "http://127.0.0.1:8461", "strexd base URL")
+	smoke := flag.Bool("smoke", false, "run the end-to-end smoke check and exit")
+	qps := flag.Float64("qps", 500, "target submissions per second")
+	duration := flag.Duration("duration", 60*time.Second, "load duration")
+	clients := flag.Int("clients", 8, "distinct tenant ids")
+	hot := flag.Float64("hot", 0.9, "fraction of submissions drawn from the hot set")
+	hotset := flag.Int("hotset", 32, "distinct specs in the hot set")
+	txns := flag.Int("txns", 8, "transactions per job (keep small: this is a service test, not a sim benchmark)")
+	assert := flag.Bool("assert", false, "exit nonzero unless the service-level claims hold")
+	minQPS := flag.Float64("min-qps", 0, "asserted sustained accepted QPS (default 0.95*qps)")
+	minAbsorb := flag.Float64("min-absorb", 0.9, "asserted hot absorption fraction")
+	maxPollP99 := flag.Duration("max-poll-p99", 50*time.Millisecond, "asserted status-poll p99")
+	jsonPath := flag.String("json", "", "write a BENCH_service.json artifact here")
+	seed := flag.Int64("seed", 1, "traffic-shape RNG seed")
+	flag.Parse()
+
+	if *smoke {
+		if err := runSmoke(*url); err != nil {
+			fmt.Fprintln(os.Stderr, "strexload: smoke FAIL:", err)
+			os.Exit(1)
+		}
+		fmt.Println("strexload: smoke OK")
+		return
+	}
+	if *minQPS == 0 {
+		*minQPS = 0.95 * *qps
+	}
+	rep, err := runLoad(loadConfig{
+		url: *url, qps: *qps, duration: *duration, clients: *clients,
+		hot: *hot, hotset: *hotset, txns: *txns, seed: *seed,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "strexload:", err)
+		os.Exit(1)
+	}
+	rep.print(os.Stdout)
+	if *jsonPath != "" {
+		if err := rep.writeJSON(*jsonPath); err != nil {
+			fmt.Fprintln(os.Stderr, "strexload:", err)
+			os.Exit(1)
+		}
+	}
+	if *assert {
+		var fails []string
+		if rep.AcceptedQPS < *minQPS {
+			fails = append(fails, fmt.Sprintf("accepted QPS %.1f < %.1f", rep.AcceptedQPS, *minQPS))
+		}
+		if rep.Dropped > 0 {
+			fails = append(fails, fmt.Sprintf("%d accepted jobs never completed", rep.Dropped))
+		}
+		if rep.Failed > 0 {
+			fails = append(fails, fmt.Sprintf("%d jobs failed", rep.Failed))
+		}
+		if rep.HotAbsorption < *minAbsorb {
+			fails = append(fails, fmt.Sprintf("hot absorption %.3f < %.3f", rep.HotAbsorption, *minAbsorb))
+		}
+		if rep.PollP99 > maxPollP99.Seconds()*1e3 {
+			fails = append(fails, fmt.Sprintf("status-poll p99 %.1fms > %v", rep.PollP99, *maxPollP99))
+		}
+		if len(fails) > 0 {
+			for _, f := range fails {
+				fmt.Fprintln(os.Stderr, "strexload: ASSERT FAIL:", f)
+			}
+			os.Exit(1)
+		}
+		fmt.Println("strexload: all service-level assertions hold")
+	}
+}
+
+// --- HTTP client helpers ---
+
+// One host gets all the traffic, so the transport must keep enough
+// idle connections to cover every concurrent submitter and poller —
+// the default of 2 per host would churn a TCP connection per request
+// at load, and the handshake cost would be billed to the daemon's
+// latency numbers.
+var httpClient = &http.Client{
+	Timeout: 30 * time.Second,
+	Transport: &http.Transport{
+		MaxIdleConns:        512,
+		MaxIdleConnsPerHost: 512,
+		IdleConnTimeout:     90 * time.Second,
+	},
+}
+
+func submit(url string, spec jobSpec) (jobStatus, int, error) {
+	body, _ := json.Marshal(spec)
+	resp, err := httpClient.Post(url+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return jobStatus{}, 0, err
+	}
+	defer resp.Body.Close()
+	var st jobStatus
+	if resp.StatusCode == http.StatusAccepted {
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			return jobStatus{}, resp.StatusCode, err
+		}
+	} else {
+		io.Copy(io.Discard, resp.Body)
+	}
+	return st, resp.StatusCode, nil
+}
+
+func status(url, id string) (jobStatus, error) {
+	resp, err := httpClient.Get(url + "/v1/jobs/" + id)
+	if err != nil {
+		return jobStatus{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return jobStatus{}, fmt.Errorf("status %s: HTTP %d", id, resp.StatusCode)
+	}
+	var st jobStatus
+	err = json.NewDecoder(resp.Body).Decode(&st)
+	return st, err
+}
+
+// resultBytes fetches the deterministic `result` member of the
+// envelope, for byte comparison.
+func resultBytes(url, id string) (string, int, error) {
+	resp, err := httpClient.Get(url + "/v1/jobs/" + id + "/result")
+	if err != nil {
+		return "", 0, err
+	}
+	defer resp.Body.Close()
+	var env map[string]json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+		return "", resp.StatusCode, err
+	}
+	return string(env["result"]), resp.StatusCode, nil
+}
+
+func waitDone(url, id string, timeout time.Duration) (jobStatus, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		st, err := status(url, id)
+		if err != nil {
+			return st, err
+		}
+		if terminal(st.State) {
+			return st, nil
+		}
+		if time.Now().After(deadline) {
+			return st, fmt.Errorf("job %s still %s after %v", id, st.State, timeout)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// --- smoke mode ---
+
+func runSmoke(url string) error {
+	resp, err := httpClient.Get(url + "/v1/healthz")
+	if err != nil {
+		return fmt.Errorf("healthz: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("healthz: HTTP %d", resp.StatusCode)
+	}
+
+	spec := jobSpec{ClientID: "smoke", Workload: "tatp", Txns: 24, Seed: 7, Seeds: 2, Cores: 2}
+	st, code, err := submit(url, spec)
+	if err != nil || code != http.StatusAccepted {
+		return fmt.Errorf("cold submit: HTTP %d, err %v", code, err)
+	}
+	fin, err := waitDone(url, st.ID, 60*time.Second)
+	if err != nil {
+		return err
+	}
+	if fin.State != "done" {
+		return fmt.Errorf("cold job state %s: %s", fin.State, fin.Error)
+	}
+	coldRes, code, err := resultBytes(url, st.ID)
+	if err != nil || code != http.StatusOK {
+		return fmt.Errorf("cold result: HTTP %d, err %v", code, err)
+	}
+	if coldRes == "" || coldRes == "null" {
+		return fmt.Errorf("cold result empty")
+	}
+
+	// The warm resubmission is the tentpole claim: same spec, any
+	// tenant, must be absorbed — zero fresh simulator executions,
+	// byte-identical result.
+	spec.ClientID = "smoke-warm"
+	st2, code, err := submit(url, spec)
+	if err != nil || code != http.StatusAccepted {
+		return fmt.Errorf("warm submit: HTTP %d, err %v", code, err)
+	}
+	fin2, err := waitDone(url, st2.ID, 60*time.Second)
+	if err != nil {
+		return err
+	}
+	if fin2.State != "done" {
+		return fmt.Errorf("warm job state %s: %s", fin2.State, fin2.Error)
+	}
+	if fin2.Generations == nil || *fin2.Generations != 0 {
+		return fmt.Errorf("warm resubmit generations = %v, want 0", fin2.Generations)
+	}
+	warmRes, code, err := resultBytes(url, st2.ID)
+	if err != nil || code != http.StatusOK {
+		return fmt.Errorf("warm result: HTTP %d, err %v", code, err)
+	}
+	if warmRes != coldRes {
+		return fmt.Errorf("warm result differs from cold:\n%s\nvs\n%s", warmRes, coldRes)
+	}
+
+	mresp, err := httpClient.Get(url + "/v1/metrics")
+	if err != nil {
+		return fmt.Errorf("metrics: %v", err)
+	}
+	defer mresp.Body.Close()
+	var m struct {
+		Counters struct {
+			Completed int64 `json:"completed"`
+			Absorbed  int64 `json:"absorbed"`
+		} `json:"counters"`
+	}
+	if err := json.NewDecoder(mresp.Body).Decode(&m); err != nil {
+		return fmt.Errorf("metrics: %v", err)
+	}
+	if m.Counters.Completed < 2 || m.Counters.Absorbed < 1 {
+		return fmt.Errorf("metrics counters implausible: %+v", m.Counters)
+	}
+	return nil
+}
+
+// --- load mode ---
+
+type loadConfig struct {
+	url      string
+	qps      float64
+	duration time.Duration
+	clients  int
+	hot      float64
+	hotset   int
+	txns     int
+	seed     int64
+}
+
+type outcome struct {
+	hot         bool
+	state       string
+	generations int
+}
+
+type report struct {
+	TargetQPS   float64 `json:"target_qps"`
+	DurationSec float64 `json:"duration_sec"`
+	Submitted   int64   `json:"submitted"`
+	Accepted    int64   `json:"accepted"`
+	Rejected    int64   `json:"rejected"` // 429 backpressure
+	Errors      int64   `json:"errors"`   // transport/protocol errors
+	Completed   int64   `json:"completed"`
+	Failed      int64   `json:"failed"`
+	Canceled    int64   `json:"canceled"`
+	Dropped     int64   `json:"dropped"` // accepted but never terminal
+
+	AcceptedQPS   float64 `json:"accepted_qps"`
+	HotCompleted  int64   `json:"hot_completed"`
+	HotAbsorbed   int64   `json:"hot_absorbed"`
+	HotAbsorption float64 `json:"hot_absorption"`
+
+	SubmitP50 float64 `json:"submit_p50_ms"`
+	SubmitP99 float64 `json:"submit_p99_ms"`
+	PollP50   float64 `json:"poll_p50_ms"`
+	PollP99   float64 `json:"poll_p99_ms"`
+}
+
+func runLoad(cfg loadConfig) (*report, error) {
+	if _, err := httpClient.Get(cfg.url + "/v1/healthz"); err != nil {
+		return nil, fmt.Errorf("daemon unreachable: %v", err)
+	}
+	rep := &report{TargetQPS: cfg.qps, DurationSec: cfg.duration.Seconds()}
+
+	var (
+		mu         sync.Mutex
+		submitLat  []float64
+		pollLat    []float64
+		outcomes   []outcome
+		coldSeed   atomic.Uint64
+		inflight   sync.WaitGroup
+		submitters sync.WaitGroup
+	)
+	coldSeed.Store(1 << 32) // disjoint from the hot set's seed space
+	record := func(dst *[]float64, d time.Duration) {
+		mu.Lock()
+		*dst = append(*dst, float64(d.Microseconds())/1e3)
+		mu.Unlock()
+	}
+
+	// One spec per hot slot; cold specs draw a never-repeating seed.
+	specFor := func(rng *rand.Rand) (jobSpec, bool) {
+		hot := rng.Float64() < cfg.hot
+		spec := jobSpec{
+			ClientID: fmt.Sprintf("tenant-%d", rng.Intn(cfg.clients)),
+			Workload: "tatp",
+			Txns:     cfg.txns,
+			Cores:    2,
+		}
+		if hot {
+			spec.Seed = uint64(rng.Intn(cfg.hotset)) + 1
+		} else {
+			spec.Seed = coldSeed.Add(1)
+		}
+		return spec, hot
+	}
+
+	// Open-loop arrivals: a ticker paces total submissions; a pool of
+	// submitter goroutines keeps slow responses from stalling the
+	// arrival process (that is what makes the target rate honest).
+	interval := time.Duration(float64(time.Second) / cfg.qps)
+	ticks := make(chan struct{}, 1024)
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		stop := time.After(cfg.duration)
+		for {
+			select {
+			case <-t.C:
+				select {
+				case ticks <- struct{}{}:
+				default: // submitters saturated; the tick is lost and shows up as missed QPS
+				}
+			case <-stop:
+				close(ticks)
+				return
+			}
+		}
+	}()
+
+	nSub := 64
+	for i := 0; i < nSub; i++ {
+		submitters.Add(1)
+		go func(i int) {
+			defer submitters.Done()
+			rng := rand.New(rand.NewSource(cfg.seed + int64(i)*7919))
+			for range ticks {
+				spec, isHot := specFor(rng)
+				atomic.AddInt64(&rep.Submitted, 1)
+				t0 := time.Now()
+				st, code, err := submit(cfg.url, spec)
+				record(&submitLat, time.Since(t0))
+				switch {
+				case err != nil:
+					atomic.AddInt64(&rep.Errors, 1)
+				case code == http.StatusAccepted:
+					atomic.AddInt64(&rep.Accepted, 1)
+					inflight.Add(1)
+					go func(id string, isHot bool) {
+						defer inflight.Done()
+						deadline := time.Now().Add(cfg.duration + 60*time.Second)
+						for {
+							t0 := time.Now()
+							st, err := status(cfg.url, id)
+							record(&pollLat, time.Since(t0))
+							if err == nil && terminal(st.State) {
+								gens := 0
+								if st.Generations != nil {
+									gens = *st.Generations
+								}
+								mu.Lock()
+								outcomes = append(outcomes, outcome{hot: isHot, state: st.State, generations: gens})
+								mu.Unlock()
+								return
+							}
+							if time.Now().After(deadline) {
+								atomic.AddInt64(&rep.Dropped, 1)
+								return
+							}
+							time.Sleep(25 * time.Millisecond)
+						}
+					}(st.ID, isHot)
+				case code == http.StatusTooManyRequests:
+					atomic.AddInt64(&rep.Rejected, 1)
+				default:
+					atomic.AddInt64(&rep.Errors, 1)
+				}
+			}
+		}(i)
+	}
+	submitters.Wait()
+	inflight.Wait()
+
+	for _, o := range outcomes {
+		switch o.state {
+		case "done":
+			rep.Completed++
+			if o.hot {
+				rep.HotCompleted++
+				if o.generations == 0 {
+					rep.HotAbsorbed++
+				}
+			}
+		case "failed":
+			rep.Failed++
+		case "canceled":
+			rep.Canceled++
+		}
+	}
+	rep.AcceptedQPS = float64(rep.Accepted) / cfg.duration.Seconds()
+	if rep.HotCompleted > 0 {
+		rep.HotAbsorption = float64(rep.HotAbsorbed) / float64(rep.HotCompleted)
+	}
+	rep.SubmitP50, rep.SubmitP99 = percentiles(submitLat)
+	rep.PollP50, rep.PollP99 = percentiles(pollLat)
+	return rep, nil
+}
+
+func percentiles(ms []float64) (p50, p99 float64) {
+	if len(ms) == 0 {
+		return 0, 0
+	}
+	sort.Float64s(ms)
+	at := func(q float64) float64 {
+		i := int(q * float64(len(ms)-1))
+		return ms[i]
+	}
+	return at(0.50), at(0.99)
+}
+
+func (r *report) print(w io.Writer) {
+	fmt.Fprintf(w, "strexload: %.0f QPS target for %.0fs\n", r.TargetQPS, r.DurationSec)
+	fmt.Fprintf(w, "  submitted %d  accepted %d (%.1f/s)  rejected %d  errors %d\n",
+		r.Submitted, r.Accepted, r.AcceptedQPS, r.Rejected, r.Errors)
+	fmt.Fprintf(w, "  completed %d  failed %d  canceled %d  dropped %d\n",
+		r.Completed, r.Failed, r.Canceled, r.Dropped)
+	fmt.Fprintf(w, "  hot absorption %d/%d = %.3f\n", r.HotAbsorbed, r.HotCompleted, r.HotAbsorption)
+	fmt.Fprintf(w, "  submit latency p50 %.2fms p99 %.2fms;  status poll p50 %.2fms p99 %.2fms\n",
+		r.SubmitP50, r.SubmitP99, r.PollP50, r.PollP99)
+}
+
+func (r *report) writeJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

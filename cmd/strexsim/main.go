@@ -283,7 +283,19 @@ func runReplicatedGrid(wl string, wopts strex.WorkloadOptions, cores []int, kind
 	if quiet || !stderrIsTerminal() {
 		progress = nil
 	}
-	results, err := strex.RunManyDraws(draws, specs, parallel, progress)
+	// A panicking replicate re-raises out of the batch after it drains
+	// fully, and deterministically: the lowest-index panic wins no
+	// matter the worker count or completion order (pinned by the
+	// runner's TestBatchPanicDrainDeterministic). Surface it as one
+	// clean, reproducible error line rather than a goroutine dump.
+	results, err := func() (rs []*strex.ReplicatedResult, err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("replicate run failed: %v", r)
+			}
+		}()
+		return strex.RunManyDraws(draws, specs, parallel, progress)
+	}()
 	if err != nil {
 		fail(err)
 	}

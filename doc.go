@@ -89,4 +89,14 @@
 // next to the classic seed-0 ones); docs/STATS.md covers the estimator
 // choices, the confidence-interval formula and how replicates are
 // addressed in the run cache.
+//
+// For long-lived use, cmd/strexd serves the whole stack over HTTP/JSON
+// (internal/service): jobs from every tenant share one bounded runner
+// pool (NewPool/Pool.RunDrawsCtx, the context-aware facade over
+// internal/runner) and one warm cache, identical in-flight submissions
+// coalesce into a single run, and admission is round-robin over
+// clients with 429 backpressure past the queue bound — all safe
+// because a run is a pure function of its spec. cmd/strexload drives
+// and verifies a running daemon; docs/SERVICE.md has the API
+// specification and operational notes.
 package strex

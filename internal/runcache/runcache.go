@@ -67,6 +67,11 @@ func DefaultDir() string {
 type Stats struct {
 	TraceHits, TraceMisses   int64
 	ResultHits, ResultMisses int64
+	// BytesRead is the artifact volume served by hits; BytesWritten the
+	// volume stored. Together with the hit counters they answer the
+	// operational question "is this cache earning its disk": a warm
+	// cache shows BytesRead ≫ BytesWritten.
+	BytesRead, BytesWritten int64
 }
 
 // Cache is a handle on one cache directory. The zero value and nil are
@@ -76,6 +81,7 @@ type Cache struct {
 
 	traceHits, traceMisses   atomic.Int64
 	resultHits, resultMisses atomic.Int64
+	bytesRead, bytesWritten  atomic.Int64
 }
 
 // Open returns a cache rooted at dir, creating it if needed.
@@ -112,6 +118,16 @@ func (c *Cache) Stats() Stats {
 		TraceMisses:  c.traceMisses.Load(),
 		ResultHits:   c.resultHits.Load(),
 		ResultMisses: c.resultMisses.Load(),
+		BytesRead:    c.bytesRead.Load(),
+		BytesWritten: c.bytesWritten.Load(),
+	}
+}
+
+// addFileSize attributes an artifact's on-disk size to a byte counter
+// (best-effort: a racing prune just loses the sample).
+func (c *Cache) addFileSize(counter *atomic.Int64, path string) {
+	if info, err := os.Stat(path); err == nil {
+		counter.Add(info.Size())
 	}
 }
 
@@ -176,12 +192,14 @@ func (c *Cache) GetSet(key SetKey) (*workload.Set, bool) {
 	if !c.Enabled() {
 		return nil, false
 	}
-	set, _, err := tracefile.Load(c.tracePath(key.Hash()))
+	path := c.tracePath(key.Hash())
+	set, _, err := tracefile.Load(path)
 	if err != nil {
 		c.traceMisses.Add(1)
 		return nil, false
 	}
 	c.traceHits.Add(1)
+	c.addFileSize(&c.bytesRead, path)
 	return set, true
 }
 
@@ -191,10 +209,15 @@ func (c *Cache) PutSet(key SetKey, set *workload.Set) error {
 	if !c.Enabled() {
 		return nil
 	}
-	return tracefile.Save(c.tracePath(key.Hash()), set, tracefile.Provenance{
+	path := c.tracePath(key.Hash())
+	if err := tracefile.Save(path, set, tracefile.Provenance{
 		Workload: key.Workload, Seed: key.Seed, Scale: key.Scale,
 		TypeID: key.TypeID, Extra: key.Extra,
-	})
+	}); err != nil {
+		return err
+	}
+	c.addFileSize(&c.bytesWritten, path)
+	return nil
 }
 
 // ThreadRecord preserves the per-thread values result consumers read
@@ -258,6 +281,7 @@ func (c *Cache) GetResult(key string) (Record, bool) {
 		return Record{}, false
 	}
 	c.resultHits.Add(1)
+	c.bytesRead.Add(int64(len(data)))
 	return rec, true
 }
 
@@ -271,10 +295,14 @@ func (c *Cache) PutResult(key string, rec Record) error {
 	if err != nil {
 		return err
 	}
-	return atomicfile.WriteFile(c.resultPath(key), func(w io.Writer) error {
+	if err := atomicfile.WriteFile(c.resultPath(key), func(w io.Writer) error {
 		_, werr := w.Write(data)
 		return werr
-	})
+	}); err != nil {
+		return err
+	}
+	c.bytesWritten.Add(int64(len(data)))
+	return nil
 }
 
 // Size returns the total bytes currently stored.

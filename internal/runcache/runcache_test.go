@@ -79,6 +79,11 @@ func TestSetRoundTripAndStats(t *testing.T) {
 	if st.TraceHits != 1 || st.TraceMisses != 2 {
 		t.Fatalf("stats = %+v, want 1 hit / 2 misses", st)
 	}
+	// One artifact written, the same artifact served once: the byte
+	// counters must agree with each other and be non-zero.
+	if st.BytesWritten == 0 || st.BytesRead != st.BytesWritten {
+		t.Fatalf("byte counters = %d read / %d written, want equal and non-zero", st.BytesRead, st.BytesWritten)
+	}
 }
 
 func TestKeysAreStableAndDiscriminating(t *testing.T) {

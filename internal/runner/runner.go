@@ -34,6 +34,7 @@
 package runner
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -71,6 +72,14 @@ type Spec struct {
 	// runcache.RunKey.Hash(). Cached results carry the same Stats and
 	// per-thread cycle stamps as a live run but no Txn pointers.
 	CacheKey string
+	// Ctx, when non-nil, cancels the run: a context cancelled before the
+	// run starts skips execution entirely, and one cancelled mid-run
+	// stops the engine at its next poll boundary (within a bounded number
+	// of scheduling quanta — see sim.Engine.SetStop). A cancelled run's
+	// future resolves with the context's error via Wait; its partial
+	// result is discarded, never cached, and its engine never returns to
+	// the pool. Nil means "never cancelled" (the batch-CLI behaviour).
+	Ctx context.Context
 	// SchedID, when non-empty, is the label-independent identity of the
 	// scheduler Sched constructs ("base", "strex/w30/t10", ...). Two
 	// specs with equal SchedID, Config and Set pointer must be
@@ -89,9 +98,12 @@ func dedupKey(spec *Spec) string {
 
 // Future is the pending result of a submitted run.
 type Future struct {
-	done chan struct{}
-	res  sim.Result
-	pan  interface{} // captured panic, re-raised in Result
+	done     chan struct{}
+	res      sim.Result
+	pan      interface{} // captured panic, re-raised in Result
+	err      error       // cancellation (Spec.Ctx) error
+	cached   bool        // served from the disk cache, not executed
+	executed bool        // actually simulated (not cached, not deduped)
 }
 
 // Result blocks until the run completes and returns its result. If the
@@ -105,9 +117,44 @@ func (f *Future) Result() sim.Result {
 	return f.res
 }
 
+// Wait blocks until the run completes and returns (result, error). A
+// cancelled run (Spec.Ctx) yields its context error; a panicked run
+// yields the panic wrapped as an error instead of re-raising — the form
+// long-lived callers (the service daemon) need, where one bad run must
+// become one failed job, never a crashed process.
+func (f *Future) Wait() (sim.Result, error) {
+	<-f.done
+	if f.pan != nil {
+		return sim.Result{}, fmt.Errorf("runner: run panicked: %v", f.pan)
+	}
+	if f.err != nil {
+		return sim.Result{}, f.err
+	}
+	return f.res, nil
+}
+
+// Executed reports whether the run actually simulated — false for
+// cache-served, dedup-derived, cancelled and panicked runs. Valid after
+// the future resolves; the service's per-job generation count sums it.
+func (f *Future) Executed() bool {
+	<-f.done
+	return f.executed
+}
+
+// FromCache reports whether the result was served from the disk cache.
+// Valid after the future resolves.
+func (f *Future) FromCache() bool {
+	<-f.done
+	return f.cached
+}
+
 // Executor runs simulations on a bounded pool of worker goroutines.
-// Submit may be called from one goroutine at a time (the coordinator);
-// workers never touch the coordinator's state. The zero value is not
+// Submit is safe for concurrent use — every piece of executor state is
+// independently synchronized (atomic counters, the inproc memo under
+// inprocMu, progress under mu, the engine pool under its own lock) —
+// so many coordinators (e.g. strexd's dispatchers) may share one
+// executor, which is what makes its worker bound a machine-wide
+// admission limit rather than a per-caller one. The zero value is not
 // usable; call New.
 type Executor struct {
 	sem   chan struct{}   // counting semaphore bounding concurrent runs
@@ -123,7 +170,7 @@ type Executor struct {
 	// Spec.SchedID. Each entry retains the set pointer both to pin the
 	// set (the key embeds its address — retention makes address reuse
 	// impossible while the entry lives) and to double-check identity on
-	// lookup. Guarded by inprocMu (Submit is coordinator-only, but the
+	// lookup. Guarded by inprocMu (Submit may run concurrently, and the
 	// map is also read by derived-future goroutines).
 	inprocMu sync.Mutex
 	inproc   map[string]inprocEntry
@@ -257,6 +304,10 @@ func (x *Executor) Submit(spec Spec) *Future {
 					f.pan = first.pan
 					return
 				}
+				if first.err != nil {
+					f.err = first.err
+					return
+				}
 				f.res = first.res
 				if spec.CacheKey != "" && x.cache.Enabled() {
 					_ = x.cache.PutResult(spec.CacheKey, runcache.RecordOf(f.res))
@@ -288,13 +339,25 @@ func (x *Executor) Submit(spec Spec) *Future {
 			x.mu.Unlock()
 			close(f.done)
 		}()
-		if spec.CacheKey != "" {
-			if rec, ok := x.cache.GetResult(spec.CacheKey); ok {
-				f.res = rec.Result()
+		if spec.Ctx != nil {
+			if err := spec.Ctx.Err(); err != nil {
+				f.err = err
 				return
 			}
 		}
-		f.res = x.execute(&spec)
+		if spec.CacheKey != "" {
+			if rec, ok := x.cache.GetResult(spec.CacheKey); ok {
+				f.res = rec.Result()
+				f.cached = true
+				return
+			}
+		}
+		f.res, f.err = x.execute(&spec)
+		if f.err != nil {
+			f.res = sim.Result{} // partial result of a cancelled run
+			return
+		}
+		f.executed = true
 		if spec.CacheKey != "" {
 			// Store errors are deliberately swallowed: a full disk must
 			// degrade to "slower", never to "failed run".
@@ -309,8 +372,9 @@ func (x *Executor) Submit(spec Spec) *Future {
 // detached before the engine returns to the pool, so it stays valid
 // after the engine's arenas are recycled. A panicking run abandons its
 // engine (it never reaches the pool), so a violated invariant cannot
-// contaminate later runs.
-func (x *Executor) execute(spec *Spec) sim.Result {
+// contaminate later runs; a cancelled run abandons its engine too (its
+// mid-run state is simply dropped) and returns the context's error.
+func (x *Executor) execute(spec *Spec) (sim.Result, error) {
 	geo := spec.Config.Geometry()
 	eng := x.pool.get(geo)
 	if eng == nil {
@@ -318,9 +382,16 @@ func (x *Executor) execute(spec *Spec) sim.Result {
 	} else {
 		eng.Reset(spec.Config, spec.Set, spec.Sched())
 	}
+	if spec.Ctx != nil {
+		eng.SetStop(spec.Ctx.Done())
+	}
 	res := eng.Run().Detach()
+	if eng.Stopped() {
+		return sim.Result{}, spec.Ctx.Err()
+	}
+	eng.SetStop(nil)
 	x.pool.put(geo, eng, cap(x.sem))
-	return res
+	return res, nil
 }
 
 // Run is the synchronous convenience form: Submit + Result.
@@ -409,6 +480,16 @@ func (b *Batch) Len() int { return len(b.futs) }
 // re-panicking if that replicate panicked.
 func (b *Batch) Rep(i int) sim.Result { return b.futs[i].Result() }
 
+// WaitRep blocks until replicate i completes and returns (result,
+// error) — the non-panicking form long-lived callers use (see
+// Future.Wait).
+func (b *Batch) WaitRep(i int) (sim.Result, error) { return b.futs[i].Wait() }
+
+// ExecutedRep reports whether replicate i actually simulated (false
+// for cache-served, dedup-derived, cancelled and panicked replicates).
+// Blocks until the replicate resolves.
+func (b *Batch) ExecutedRep(i int) bool { return b.futs[i].Executed() }
+
 // Results waits for every replicate and returns their results in
 // replicate order. If any replicate panicked, Results waits for the
 // whole batch to drain first — no replicate is left running — and then
@@ -428,7 +509,7 @@ func (b *Batch) Results() []sim.Result {
 // SubmitReplicates submits n seed-replicates of rs and returns the
 // batch. n <= 1 degenerates to a single verbatim submission, so callers
 // thread a user-facing -seeds knob through without branching. Like
-// Submit, it must be called from the coordinator goroutine only.
+// Submit, it is safe for concurrent use.
 func (x *Executor) SubmitReplicates(rs ReplicateSpec, n int) *Batch {
 	if n < 1 {
 		n = 1

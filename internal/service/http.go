@@ -1,0 +1,245 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// maxBody caps request bodies: a JobSpec is a few hundred bytes, so a
+// small bound ends pathological uploads early.
+const maxBody = 1 << 20
+
+// Handler returns the daemon's HTTP API:
+//
+//	POST   /v1/jobs             submit (202, 400, 429, 503)
+//	GET    /v1/jobs/{id}        status snapshot
+//	GET    /v1/jobs/{id}/result deterministic result payload
+//	GET    /v1/jobs/{id}/stream progress as chunked JSON lines
+//	DELETE /v1/jobs/{id}        cancel
+//	GET    /v1/metrics          counters, gauges, QPS, cache stats
+//	GET    /v1/healthz          liveness + draining flag
+//
+// Paths are routed by hand (not ServeMux patterns) to stay within the
+// module's go 1.21 language level.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/jobs", s.handleJobs)
+	mux.HandleFunc("/v1/jobs/", s.handleJob)
+	mux.HandleFunc("/v1/metrics", s.handleMetrics)
+	mux.HandleFunc("/v1/healthz", s.handleHealthz)
+	return mux
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+	State string `json:"state,omitempty"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, errorBody{Error: msg})
+}
+
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, http.StatusMethodNotAllowed, "POST /v1/jobs")
+		return
+	}
+	var spec JobSpec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, "bad job spec: "+err.Error())
+		return
+	}
+	if spec.ClientID == "" {
+		spec.ClientID = r.Header.Get("X-Client-ID")
+	}
+	st, err := s.Submit(spec)
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusAccepted, st)
+	case errors.Is(err, ErrQueueFull):
+		// Backpressure: the queue is the overload buffer, and it is
+		// full. Clients back off and retry; 1s is one dispatch's worth
+		// of drain at typical run lengths.
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, err.Error())
+	case errors.Is(err, ErrDraining):
+		writeError(w, http.StatusServiceUnavailable, err.Error())
+	default:
+		writeError(w, http.StatusBadRequest, err.Error())
+	}
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/v1/jobs/")
+	id, sub := rest, ""
+	if i := strings.IndexByte(rest, '/'); i >= 0 {
+		id, sub = rest[:i], rest[i+1:]
+	}
+	if id == "" || strings.Contains(sub, "/") {
+		http.NotFound(w, r)
+		return
+	}
+	switch {
+	case sub == "" && r.Method == http.MethodGet:
+		s.serveStatus(w, id)
+	case sub == "" && r.Method == http.MethodDelete:
+		s.serveCancel(w, id)
+	case sub == "result" && r.Method == http.MethodGet:
+		s.serveResult(w, id)
+	case sub == "stream" && r.Method == http.MethodGet:
+		s.serveStream(w, r, id)
+	case sub == "" || sub == "result" || sub == "stream":
+		writeError(w, http.StatusMethodNotAllowed, "unsupported method")
+	default:
+		http.NotFound(w, r)
+	}
+}
+
+func (s *Server) serveStatus(w http.ResponseWriter, id string) {
+	st, err := s.Status(id)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) serveCancel(w http.ResponseWriter, id string) {
+	st, err := s.Cancel(id)
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusOK, st)
+	case errors.Is(err, ErrNotFound):
+		writeError(w, http.StatusNotFound, err.Error())
+	case errors.Is(err, ErrConflict):
+		writeJSON(w, http.StatusConflict, errorBody{Error: err.Error(), State: st.State})
+	default:
+		writeError(w, http.StatusInternalServerError, err.Error())
+	}
+}
+
+// resultEnvelope wraps the deterministic result payload with the
+// volatile per-job facts, keeping the two strictly separate so clients
+// may byte-compare `result` across repeats.
+type resultEnvelope struct {
+	ID string `json:"id"`
+	// Generations: fresh simulator executions this job caused; 0 means
+	// fully absorbed by coalescing/cache.
+	Generations int   `json:"generations"`
+	RunMillis   int64 `json:"run_millis"`
+	// Result is deterministic: a pure function of the normalized spec.
+	Result *JobResult `json:"result"`
+}
+
+func (s *Server) serveResult(w http.ResponseWriter, id string) {
+	res, st, err := s.Result(id)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	switch st.State {
+	case StateDone:
+		gens := 0
+		if st.Generations != nil {
+			gens = *st.Generations
+		}
+		var runMillis int64
+		s.mu.Lock()
+		if j, ok := s.jobs[id]; ok { // may have been evicted since Result
+			runMillis = j.runMillis
+		}
+		s.mu.Unlock()
+		writeJSON(w, http.StatusOK, resultEnvelope{ID: id, Generations: gens, RunMillis: runMillis, Result: res})
+	case StateFailed:
+		writeJSON(w, http.StatusInternalServerError, errorBody{Error: st.Error, State: st.State})
+	case StateCanceled:
+		writeJSON(w, http.StatusGone, errorBody{Error: "job canceled", State: st.State})
+	default:
+		// Not terminal yet: 202 + the status snapshot, so pollers can
+		// use this endpoint alone.
+		writeJSON(w, http.StatusAccepted, st)
+	}
+}
+
+// serveStream writes the job's status as JSON lines (one object per
+// line, chunked transfer) until the job reaches a terminal state — a
+// poll-free progress feed for CLI clients.
+func (s *Server) serveStream(w http.ResponseWriter, r *http.Request, id string) {
+	st, err := s.Status(id)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusNotImplemented, "streaming unsupported")
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	write := func(st JobStatus) bool {
+		if err := enc.Encode(st); err != nil {
+			return false
+		}
+		flusher.Flush()
+		return true
+	}
+	if !write(st) || terminal(st.State) {
+		return
+	}
+	tick := time.NewTicker(100 * time.Millisecond)
+	defer tick.Stop()
+	last := st
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-tick.C:
+		}
+		st, err := s.Status(id)
+		if err != nil {
+			return // evicted mid-stream
+		}
+		// Emit on any observable change, and always emit the terminal
+		// line.
+		if st.State != last.State || st.Done != last.Done || st.QueuePosition != last.QueuePosition {
+			if !write(st) {
+				return
+			}
+			last = st
+		}
+		if terminal(st.State) {
+			return
+		}
+	}
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET /v1/metrics")
+		return
+	}
+	writeJSON(w, http.StatusOK, s.snapshotMetrics(time.Now()))
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"ok":       true,
+		"draining": s.draining.Load(),
+	})
+}

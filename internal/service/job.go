@@ -1,0 +1,171 @@
+package service
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+
+	"strex"
+)
+
+// Job states. A job is queued or running while its flight is, then
+// lands in exactly one terminal state.
+const (
+	StateQueued   = "queued"
+	StateRunning  = "running"
+	StateDone     = "done"
+	StateFailed   = "failed"
+	StateCanceled = "canceled"
+)
+
+var jobStates = []string{StateQueued, StateRunning, StateDone, StateFailed, StateCanceled}
+
+func terminal(state string) bool {
+	switch state {
+	case StateDone, StateFailed, StateCanceled:
+		return true
+	}
+	return false
+}
+
+// Job is one client submission. Several jobs with the same spec key
+// share a single flight (singleflight coalescing): the run happens
+// once, every attached job receives the identical result. All mutable
+// fields are guarded by the server mutex.
+type Job struct {
+	ID        string
+	ClientID  string
+	Spec      JobSpec // normalized
+	Coalesced bool    // attached to an already-existing flight
+
+	fl          *flight // retained after terminal for progress snapshots
+	state       string
+	err         string
+	result      *JobResult // shared with every job of the flight
+	generations int        // fresh simulator executions charged to this job
+	runMillis   int64
+	created     time.Time
+	started     time.Time
+	finished    time.Time
+}
+
+// flight is the singleflight unit: one deduplicated run serving every
+// job submitted with the same spec key while it was pending. Exactly
+// one flight per key exists at a time (the server's flights map), so
+// concurrent identical submissions cost one queue slot and one run.
+type flight struct {
+	key    string
+	client string  // leader's client id — the queueing identity
+	spec   JobSpec // leader's normalized spec
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	// jobs still attached (a cancelled job detaches). Guarded by the
+	// server mutex, like running.
+	jobs    []*Job
+	running bool
+
+	// Replicate completion progress, written by the run callback and
+	// read by status polls without the server lock.
+	done  atomic.Int64
+	total atomic.Int64
+}
+
+// JobStatus is the wire shape of GET /v1/jobs/{id} and of each
+// streamed progress line.
+type JobStatus struct {
+	ID       string `json:"id"`
+	State    string `json:"state"`
+	ClientID string `json:"client_id,omitempty"`
+	// Coalesced marks a job that attached to another submission's
+	// in-flight run instead of consuming a queue slot of its own.
+	Coalesced bool `json:"coalesced,omitempty"`
+	// QueuePosition is the 1-based dispatch position while queued
+	// (1 = next to run); 0 otherwise.
+	QueuePosition int `json:"queue_position,omitempty"`
+	// Replicate completion progress while running.
+	Done  int `json:"done,omitempty"`
+	Total int `json:"total,omitempty"`
+	// Generations is the number of fresh simulator executions this job
+	// caused (0 = fully absorbed by coalescing and the warm cache).
+	// Present only in terminal states.
+	Generations *int   `json:"generations,omitempty"`
+	Error       string `json:"error,omitempty"`
+
+	CreatedMs  int64 `json:"created_ms"`
+	StartedMs  int64 `json:"started_ms,omitempty"`
+	FinishedMs int64 `json:"finished_ms,omitempty"`
+}
+
+// JobResult is the deterministic payload of a completed job: a pure
+// function of the normalized spec, byte-identical across repeats,
+// coalesced followers and cache replays — the property the smoke
+// harness asserts. Volatile facts (timings, generation counts) live in
+// the envelope, never here.
+type JobResult struct {
+	Workload  string       `json:"workload"`
+	Scheduler string       `json:"scheduler"`
+	Seeds     []uint64     `json:"seeds"`
+	Reps      []RepMetrics `json:"replicates"`
+	// Aggregates over replicates (mean ±95% CI etc.); zero-width
+	// intervals for single-seed jobs.
+	IMPKI       strex.Summary `json:"impki"`
+	DMPKI       strex.Summary `json:"dmpki"`
+	Throughput  strex.Summary `json:"throughput_tpm"`
+	MeanLatency strex.Summary `json:"mean_latency"`
+}
+
+// RepMetrics is one replicate's headline metrics (the per-transaction
+// latency vector is deliberately omitted from the wire shape — it can
+// be millions of entries; clients wanting distributions run the CLIs).
+type RepMetrics struct {
+	Seed          uint64  `json:"seed"`
+	Cycles        uint64  `json:"cycles"`
+	BusyCycles    uint64  `json:"busy_cycles"`
+	Instrs        uint64  `json:"instrs"`
+	IMPKI         float64 `json:"impki"`
+	DMPKI         float64 `json:"dmpki"`
+	Switches      uint64  `json:"switches"`
+	Migrations    uint64  `json:"migrations"`
+	ThroughputTPM float64 `json:"throughput_tpm"`
+	MeanLatency   float64 `json:"mean_latency"`
+}
+
+// resultOf projects a facade ReplicatedResult into the wire shape.
+func resultOf(spec JobSpec, rr *strex.ReplicatedResult) *JobResult {
+	jr := &JobResult{
+		Workload:    spec.Workload,
+		Seeds:       rr.Seeds,
+		Reps:        make([]RepMetrics, len(rr.Results)),
+		IMPKI:       rr.IMPKI,
+		DMPKI:       rr.DMPKI,
+		Throughput:  rr.Throughput,
+		MeanLatency: rr.MeanLatency,
+	}
+	for i, r := range rr.Results {
+		if i == 0 {
+			jr.Scheduler = r.Scheduler
+		}
+		jr.Reps[i] = RepMetrics{
+			Seed:          rr.Seeds[i],
+			Cycles:        r.Cycles,
+			BusyCycles:    r.BusyCycles,
+			Instrs:        r.Instrs,
+			IMPKI:         r.IMPKI,
+			DMPKI:         r.DMPKI,
+			Switches:      r.Switches,
+			Migrations:    r.Migrations,
+			ThroughputTPM: r.ThroughputTPM,
+			MeanLatency:   r.MeanLatency,
+		}
+	}
+	return jr
+}
+
+func ms(t time.Time) int64 {
+	if t.IsZero() {
+		return 0
+	}
+	return t.UnixMilli()
+}

@@ -1,0 +1,79 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+)
+
+// resultMemo is the in-memory tier of the shared warm cache: completed
+// flight results keyed by spec key, LRU-bounded. A memo hit settles a
+// submission at admission time — no queue slot, no dispatcher, no disk
+// read — which is what keeps the hot-set path at memory speed under
+// sustained traffic. Correctness rides on the same invariant as every
+// other cache here: a result is a pure function of its normalized spec,
+// so a memoized entry can never be stale, only evicted.
+//
+// The disk runcache remains the durable tier underneath: it survives
+// restarts and holds per-replicate records; the memo holds whole-job
+// results for the live hot set.
+type resultMemo struct {
+	mu  sync.Mutex
+	cap int
+	m   map[string]*list.Element
+	l   *list.List // front = most recently used
+}
+
+type memoEntry struct {
+	key string
+	res *JobResult
+}
+
+func newResultMemo(capacity int) *resultMemo {
+	return &resultMemo{
+		cap: capacity,
+		m:   make(map[string]*list.Element, capacity),
+		l:   list.New(),
+	}
+}
+
+func (rm *resultMemo) get(key string) (*JobResult, bool) {
+	if rm == nil {
+		return nil, false
+	}
+	rm.mu.Lock()
+	defer rm.mu.Unlock()
+	el, ok := rm.m[key]
+	if !ok {
+		return nil, false
+	}
+	rm.l.MoveToFront(el)
+	return el.Value.(*memoEntry).res, true
+}
+
+func (rm *resultMemo) put(key string, res *JobResult) {
+	if rm == nil || res == nil {
+		return
+	}
+	rm.mu.Lock()
+	defer rm.mu.Unlock()
+	if el, ok := rm.m[key]; ok {
+		rm.l.MoveToFront(el)
+		el.Value.(*memoEntry).res = res
+		return
+	}
+	rm.m[key] = rm.l.PushFront(&memoEntry{key: key, res: res})
+	for rm.l.Len() > rm.cap {
+		last := rm.l.Back()
+		rm.l.Remove(last)
+		delete(rm.m, last.Value.(*memoEntry).key)
+	}
+}
+
+func (rm *resultMemo) len() int {
+	if rm == nil {
+		return 0
+	}
+	rm.mu.Lock()
+	defer rm.mu.Unlock()
+	return rm.l.Len()
+}

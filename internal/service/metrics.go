@@ -1,0 +1,163 @@
+package service
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"strex/internal/bench"
+	"strex/internal/runcache"
+)
+
+// counters are the daemon's monotone event counters. Gauges (queue
+// depth, per-state job counts) are computed at snapshot time instead.
+type counters struct {
+	submitted atomic.Int64 // POST /v1/jobs received (incl. rejected)
+	accepted  atomic.Int64 // jobs admitted (queued or coalesced)
+	rejected  atomic.Int64 // 429 backpressure rejections
+	coalesced atomic.Int64 // jobs attached to an existing flight
+
+	completed atomic.Int64 // jobs finished in state done
+	failed    atomic.Int64 // jobs finished in state failed
+	canceled  atomic.Int64 // jobs finished in state canceled
+
+	// absorbed counts done jobs that caused zero fresh simulator
+	// executions — served entirely by coalescing or the warm cache.
+	// absorbed/completed is the service-level hit rate the load harness
+	// asserts on.
+	absorbed atomic.Int64
+	// memoHits counts submissions settled at admission by the in-memory
+	// result memo (a subset of absorbed).
+	memoHits atomic.Int64
+	// generations counts fresh simulator executions (per replicate).
+	generations atomic.Int64
+}
+
+// rateWindow is a ring of per-second buckets for "events in the last N
+// seconds" rates without retaining per-event state.
+type rateWindow struct {
+	mu      sync.Mutex
+	buckets [61]int64 // one per second, keyed by unix-second % len
+	seconds [61]int64 // which unix second each bucket currently holds
+}
+
+func (r *rateWindow) tick(now time.Time) {
+	sec := now.Unix()
+	i := int(sec % int64(len(r.buckets)))
+	r.mu.Lock()
+	if r.seconds[i] != sec {
+		r.seconds[i] = sec
+		r.buckets[i] = 0
+	}
+	r.buckets[i]++
+	r.mu.Unlock()
+}
+
+// rate returns events/second averaged over the trailing `window` whole
+// seconds (excluding the current partial second, so a fresh burst does
+// not read as an inflated instantaneous rate).
+func (r *rateWindow) rate(now time.Time, window int) float64 {
+	if window < 1 {
+		window = 1
+	}
+	if window > len(r.buckets)-1 {
+		window = len(r.buckets) - 1
+	}
+	cur := now.Unix()
+	var sum int64
+	r.mu.Lock()
+	for s := cur - int64(window); s < cur; s++ {
+		i := int(s % int64(len(r.buckets)))
+		if r.seconds[i] == s {
+			sum += r.buckets[i]
+		}
+	}
+	r.mu.Unlock()
+	return float64(sum) / float64(window)
+}
+
+// Metrics is the wire shape of GET /v1/metrics.
+type Metrics struct {
+	UptimeSecs float64 `json:"uptime_secs"`
+	Draining   bool    `json:"draining"`
+	Workers    int     `json:"workers"`
+
+	Queue struct {
+		Depth    int `json:"depth"`
+		Capacity int `json:"capacity"`
+		Clients  int `json:"clients"`
+	} `json:"queue"`
+
+	// Jobs holds a gauge per state over jobs currently retained in the
+	// store (terminal jobs age out after the retention window).
+	Jobs map[string]int64 `json:"jobs"`
+
+	Counters struct {
+		Submitted   int64 `json:"submitted"`
+		Accepted    int64 `json:"accepted"`
+		Rejected    int64 `json:"rejected"`
+		Coalesced   int64 `json:"coalesced"`
+		Completed   int64 `json:"completed"`
+		Failed      int64 `json:"failed"`
+		Canceled    int64 `json:"canceled"`
+		Absorbed    int64 `json:"absorbed"`
+		MemoHits    int64 `json:"memo_hits"`
+		Generations int64 `json:"generations"`
+	} `json:"counters"`
+
+	// MemoEntries gauges the in-memory result memo's occupancy.
+	MemoEntries int `json:"memo_entries"`
+
+	// Submit QPS over trailing windows.
+	SubmitQPS1s  float64 `json:"submit_qps_1s"`
+	SubmitQPS10s float64 `json:"submit_qps_10s"`
+	SubmitQPS60s float64 `json:"submit_qps_60s"`
+
+	Cache struct {
+		Enabled bool `json:"enabled"`
+		runcache.Stats
+	} `json:"cache"`
+
+	// WorkloadGenerations counts trace generations process-wide (the
+	// bench registry's counter) — cold-set cost the trace cache absorbs.
+	WorkloadGenerations int64 `json:"workload_generations"`
+}
+
+func (s *Server) snapshotMetrics(now time.Time) Metrics {
+	var m Metrics
+	m.UptimeSecs = now.Sub(s.start).Seconds()
+	m.Draining = s.draining.Load()
+	m.Workers = s.pool.Workers()
+	m.Queue.Depth, m.Queue.Capacity, m.Queue.Clients = s.q.stats()
+
+	m.Jobs = make(map[string]int64, len(jobStates))
+	for _, st := range jobStates {
+		m.Jobs[st] = 0
+	}
+	s.mu.Lock()
+	for _, j := range s.jobs {
+		m.Jobs[j.state]++
+	}
+	s.mu.Unlock()
+
+	m.Counters.Submitted = s.met.submitted.Load()
+	m.Counters.Accepted = s.met.accepted.Load()
+	m.Counters.Rejected = s.met.rejected.Load()
+	m.Counters.Coalesced = s.met.coalesced.Load()
+	m.Counters.Completed = s.met.completed.Load()
+	m.Counters.Failed = s.met.failed.Load()
+	m.Counters.Canceled = s.met.canceled.Load()
+	m.Counters.Absorbed = s.met.absorbed.Load()
+	m.Counters.MemoHits = s.met.memoHits.Load()
+	m.Counters.Generations = s.met.generations.Load()
+	m.MemoEntries = s.memo.len()
+
+	m.SubmitQPS1s = s.submitRate.rate(now, 1)
+	m.SubmitQPS10s = s.submitRate.rate(now, 10)
+	m.SubmitQPS60s = s.submitRate.rate(now, 60)
+
+	m.Cache.Enabled = s.cache.Enabled()
+	m.Cache.Stats = s.cache.Stats()
+	m.WorkloadGenerations = bench.Generations()
+	return m
+}

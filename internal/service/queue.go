@@ -1,0 +1,205 @@
+package service
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrQueueFull is returned by enqueue when admitting one more flight
+// would exceed the configured depth — the signal the HTTP layer turns
+// into 429 + Retry-After. Bounding the queue is what makes overload
+// visible to clients instead of accumulating as unbounded memory and
+// latency inside the daemon.
+var ErrQueueFull = errors.New("service: admission queue full")
+
+var errQueueClosed = errors.New("service: admission queue closed")
+
+// queue is the bounded admission queue: flights (not jobs — coalesced
+// duplicates attach to an existing flight and consume no slot) wait
+// here until a dispatcher picks them up. Dispatch order is round-robin
+// over clients with FIFO order within a client, so one tenant
+// submitting a thousand jobs delays another tenant's first job by at
+// most one run, not a thousand.
+type queue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	depth  int
+	n      int
+	closed bool
+
+	fifos map[string][]*flight // per-client FIFO, keyed by client id
+	ring  []string             // clients with pending flights, in service order
+	next  int                  // ring cursor: the client served by the next dequeue
+}
+
+func newQueue(depth int) *queue {
+	q := &queue{depth: depth, fifos: make(map[string][]*flight)}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+func (q *queue) enqueue(fl *flight) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return errQueueClosed
+	}
+	if q.n >= q.depth {
+		return ErrQueueFull
+	}
+	if len(q.fifos[fl.client]) == 0 {
+		// New client enters the ring just before the cursor, i.e. at the
+		// back of the current round — it waits at most one full rotation.
+		q.ring = append(q.ring, "")
+		copy(q.ring[q.next+1:], q.ring[q.next:])
+		q.ring[q.next] = fl.client
+		q.next++
+		if q.next >= len(q.ring) {
+			q.next = 0
+		}
+	}
+	q.fifos[fl.client] = append(q.fifos[fl.client], fl)
+	q.n++
+	q.cond.Signal()
+	return nil
+}
+
+// dequeue blocks until a flight is available and returns it, or returns
+// false once the queue is closed and drained.
+func (q *queue) dequeue() (*flight, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for q.n == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if q.n == 0 {
+		return nil, false
+	}
+	c := q.ring[q.next]
+	fifo := q.fifos[c]
+	fl := fifo[0]
+	q.popLocked(c, 0, true)
+	return fl, true
+}
+
+// remove unlinks a specific flight (all its jobs were cancelled while
+// it waited). Returns false if the flight is no longer queued — the
+// caller lost the race with a dispatcher.
+func (q *queue) remove(fl *flight) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for i, f := range q.fifos[fl.client] {
+		if f == fl {
+			q.popLocked(fl.client, i, false)
+			return true
+		}
+	}
+	return false
+}
+
+// popLocked removes entry i of client c's FIFO, maintaining the ring
+// and cursor invariants. spentTurn is true for a dispatch (the client's
+// round-robin turn is consumed) and false for a cancellation (the
+// client keeps its place). Caller holds mu.
+func (q *queue) popLocked(c string, i int, spentTurn bool) {
+	fifo := q.fifos[c]
+	fifo = append(fifo[:i], fifo[i+1:]...)
+	ringIdx := -1
+	for j, rc := range q.ring {
+		if rc == c {
+			ringIdx = j
+			break
+		}
+	}
+	if len(fifo) == 0 {
+		delete(q.fifos, c)
+		q.ring = append(q.ring[:ringIdx], q.ring[ringIdx+1:]...)
+		if ringIdx < q.next {
+			q.next--
+		}
+	} else {
+		q.fifos[c] = fifo
+		if spentTurn && ringIdx == q.next {
+			// Head-of-line dequeue for the cursor's client: that client's
+			// turn is spent, advance to the next client in the ring.
+			q.next++
+		}
+	}
+	if len(q.ring) == 0 {
+		q.next = 0
+	} else if q.next >= len(q.ring) {
+		q.next = 0
+	}
+	q.n--
+}
+
+// position reports the flight's 1-based place in dispatch order (1 =
+// next to run), or 0 if it is not queued. It simulates the round-robin
+// drain, so the number is exactly how many dequeues precede this
+// flight's — O(queue depth), acceptable for a status poll.
+func (q *queue) position(fl *flight) int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	target := -1
+	for i, f := range q.fifos[fl.client] {
+		if f == fl {
+			target = i
+			break
+		}
+	}
+	if target < 0 {
+		return 0
+	}
+	left := make(map[string]int, len(q.fifos))
+	for c, fifo := range q.fifos {
+		left[c] = len(fifo)
+	}
+	ring := append([]string(nil), q.ring...)
+	cur := q.next
+	served := 0
+	for pos := 1; ; pos++ {
+		c := ring[cur]
+		if c == fl.client {
+			if served == target {
+				return pos
+			}
+			served++
+		}
+		left[c]--
+		if left[c] == 0 {
+			ring = append(ring[:cur], ring[cur+1:]...)
+			if cur >= len(ring) {
+				cur = 0
+			}
+		} else {
+			cur++
+			if cur >= len(ring) {
+				cur = 0
+			}
+		}
+	}
+}
+
+func (q *queue) stats() (depth, capacity, clients int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.n, q.depth, len(q.fifos)
+}
+
+// close stops admission and wakes all dispatchers; pending flights are
+// returned for the caller to fail or cancel.
+func (q *queue) close() []*flight {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.closed = true
+	var pending []*flight
+	for _, c := range q.ring {
+		pending = append(pending, q.fifos[c]...)
+	}
+	q.fifos = make(map[string][]*flight)
+	q.ring = nil
+	q.next = 0
+	q.n = 0
+	q.cond.Broadcast()
+	return pending
+}

@@ -1,0 +1,143 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func qf(client string) *flight { return &flight{client: client} }
+
+// drain dequeues everything currently queued without blocking (the
+// queue is non-empty throughout in these tests).
+func drainOrder(t *testing.T, q *queue, n int) []*flight {
+	t.Helper()
+	out := make([]*flight, 0, n)
+	for i := 0; i < n; i++ {
+		fl, ok := q.dequeue()
+		if !ok {
+			t.Fatalf("dequeue %d: queue closed early", i)
+		}
+		out = append(out, fl)
+	}
+	return out
+}
+
+// TestQueueRoundRobin pins the fairness property: a client that bursts
+// many flights is interleaved one-per-round with other clients' work,
+// FIFO within each client.
+func TestQueueRoundRobin(t *testing.T) {
+	q := newQueue(64)
+	var a1, a2, a3, b1, c1 = qf("a"), qf("a"), qf("a"), qf("b"), qf("c")
+	for _, fl := range []*flight{a1, a2, a3, b1, c1} {
+		if err := q.enqueue(fl); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := drainOrder(t, q, 5)
+	want := []*flight{a1, b1, c1, a2, a3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("dispatch order[%d] = %s#%p, want %s#%p", i, got[i].client, got[i], want[i].client, want[i])
+		}
+	}
+}
+
+// TestQueuePosition verifies position() predicts dispatch order exactly
+// (1-based), by comparing predictions against an actual drain.
+func TestQueuePosition(t *testing.T) {
+	q := newQueue(64)
+	var flights []*flight
+	for i := 0; i < 4; i++ {
+		flights = append(flights, qf("a"))
+	}
+	for i := 0; i < 2; i++ {
+		flights = append(flights, qf("b"))
+	}
+	flights = append(flights, qf("c"))
+	for _, fl := range flights {
+		if err := q.enqueue(fl); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pos := make(map[*flight]int)
+	for _, fl := range flights {
+		pos[fl] = q.position(fl)
+	}
+	got := drainOrder(t, q, len(flights))
+	for i, fl := range got {
+		if pos[fl] != i+1 {
+			t.Fatalf("flight dispatched %d-th had predicted position %d", i+1, pos[fl])
+		}
+	}
+	if q.position(flights[0]) != 0 {
+		t.Fatal("dequeued flight still reports a position")
+	}
+}
+
+func TestQueueBackpressureAndRemove(t *testing.T) {
+	q := newQueue(2)
+	f1, f2, f3 := qf("a"), qf("b"), qf("a")
+	if err := q.enqueue(f1); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.enqueue(f2); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.enqueue(f3); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("enqueue over depth: err = %v, want ErrQueueFull", err)
+	}
+	if !q.remove(f1) {
+		t.Fatal("remove of queued flight failed")
+	}
+	if q.remove(f1) {
+		t.Fatal("double remove succeeded")
+	}
+	if err := q.enqueue(f3); err != nil {
+		t.Fatalf("enqueue after remove: %v", err)
+	}
+	depth, capacity, clients := q.stats()
+	if depth != 2 || capacity != 2 || clients != 2 {
+		t.Fatalf("stats = (%d, %d, %d), want (2, 2, 2)", depth, capacity, clients)
+	}
+	got := drainOrder(t, q, 2)
+	if got[0] != f2 || got[1] != f3 {
+		t.Fatalf("drain order wrong after remove: got %v", got)
+	}
+}
+
+// TestQueueRemoveKeepsTurn: cancelling the head flight of the client
+// whose turn is next must not burn that client's round-robin turn.
+func TestQueueRemoveKeepsTurn(t *testing.T) {
+	q := newQueue(16)
+	a1, a2, b1 := qf("a"), qf("a"), qf("b")
+	for _, fl := range []*flight{a1, a2, b1} {
+		if err := q.enqueue(fl); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q.remove(a1) // a's turn is still first
+	got := drainOrder(t, q, 2)
+	if got[0] != a2 || got[1] != b1 {
+		t.Fatalf("drain after head-remove = [%s %s], want [a b]", got[0].client, got[1].client)
+	}
+}
+
+func TestQueueCloseDrains(t *testing.T) {
+	q := newQueue(16)
+	for i := 0; i < 3; i++ {
+		if err := q.enqueue(qf(fmt.Sprintf("c%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pending := q.close()
+	if len(pending) != 3 {
+		t.Fatalf("close returned %d pending, want 3", len(pending))
+	}
+	if _, ok := q.dequeue(); ok {
+		t.Fatal("dequeue after close returned a flight")
+	}
+	if err := q.enqueue(qf("x")); !errors.Is(err, errQueueClosed) {
+		t.Fatalf("enqueue after close: err = %v", err)
+	}
+}

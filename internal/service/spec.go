@@ -1,0 +1,197 @@
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+
+	"strex"
+	"strex/internal/bench"
+	"strex/internal/cache"
+)
+
+// JobSpec is the wire shape of one submission: a workload selection
+// plus a system configuration plus a scheduler — the same knobs
+// strexsim's flags expose, which is what makes the daemon a drop-in
+// service face for the existing CLI vocabulary. Zero values select the
+// same defaults the CLIs use.
+type JobSpec struct {
+	// ClientID names the submitting tenant for admission fairness; it
+	// participates in queueing, never in result identity. Empty falls
+	// back to the X-Client-ID header, then "anon".
+	ClientID string `json:"client_id,omitempty"`
+
+	// Workload is a registry name or alias (strexsim -list). Required.
+	Workload string `json:"workload"`
+	// Txns is the transaction count (default 120, capped by the
+	// server's MaxTxns admission limit).
+	Txns int `json:"txns,omitempty"`
+	// Seed seeds workload generation and simulator tie-breaking
+	// (default 1; 0 aliases to the default, as in strex.Config).
+	Seed uint64 `json:"seed,omitempty"`
+	// Scale is the benchmark-specific size knob (0 = workload default).
+	Scale int `json:"scale,omitempty"`
+	// Synth generator knobs (ignored by fixed benchmarks).
+	SynthUnits float64 `json:"synth_units,omitempty"`
+	SynthTypes int     `json:"synth_types,omitempty"`
+	SynthReuse float64 `json:"synth_reuse,omitempty"`
+	// Seeds is the replicate count (default 1, capped by MaxSeeds);
+	// N > 1 returns mean ±95% CI aggregates like strexsim -seeds.
+	Seeds int `json:"seeds,omitempty"`
+
+	// Sched selects the scheduler: base, strex, slicc, hybrid
+	// (default strex).
+	Sched string `json:"sched,omitempty"`
+	// System configuration (zero values = the paper's Table 2 defaults).
+	Cores      int    `json:"cores,omitempty"`
+	L1IKB      int    `json:"l1i_kb,omitempty"`
+	L1DKB      int    `json:"l1d_kb,omitempty"`
+	L1Ways     int    `json:"l1_ways,omitempty"`
+	Policy     string `json:"policy,omitempty"`
+	Prefetcher string `json:"prefetch,omitempty"`
+	TeamSize   int    `json:"team,omitempty"`
+	PoolWindow int    `json:"window,omitempty"`
+}
+
+// Limits bounds what a single job may ask of the shared machine — the
+// per-request half of admission control (the queue depth is the
+// aggregate half).
+type Limits struct {
+	MaxTxns  int // max transactions per replicate (default 4096)
+	MaxSeeds int // max replicates per job (default 16)
+	MaxCores int // max simulated cores (default 32)
+}
+
+func (l *Limits) fill() {
+	if l.MaxTxns <= 0 {
+		l.MaxTxns = 4096
+	}
+	if l.MaxSeeds <= 0 {
+		l.MaxSeeds = 16
+	}
+	if l.MaxCores <= 0 {
+		l.MaxCores = 32
+	}
+}
+
+// normalize resolves aliases and applies defaults in place, then
+// validates against the limits. After normalize, two specs that mean
+// the same run are field-identical — the property Key depends on.
+func (s *JobSpec) normalize(lim Limits) error {
+	lim.fill()
+	info, ok := bench.Lookup(s.Workload)
+	if !ok {
+		return fmt.Errorf("unknown workload %q (see strexsim -list)", s.Workload)
+	}
+	s.Workload = info.Name
+	if s.Txns == 0 {
+		s.Txns = 120
+	}
+	if s.Txns < 1 || s.Txns > lim.MaxTxns {
+		return fmt.Errorf("txns %d out of range [1, %d]", s.Txns, lim.MaxTxns)
+	}
+	if s.Seeds == 0 {
+		s.Seeds = 1
+	}
+	if s.Seeds < 1 || s.Seeds > lim.MaxSeeds {
+		return fmt.Errorf("seeds %d out of range [1, %d]", s.Seeds, lim.MaxSeeds)
+	}
+	if s.Sched == "" {
+		s.Sched = "strex"
+	}
+	kind, err := strex.ParseScheduler(s.Sched)
+	if err != nil {
+		return err
+	}
+	s.Sched = canonicalSched(kind)
+	if s.Cores == 0 {
+		s.Cores = 4
+	}
+	if s.Cores < 1 || s.Cores > lim.MaxCores {
+		return fmt.Errorf("cores %d out of range [1, %d]", s.Cores, lim.MaxCores)
+	}
+	if s.Scale < 0 || s.TeamSize < 0 || s.PoolWindow < 0 ||
+		s.L1IKB < 0 || s.L1DKB < 0 || s.L1Ways < 0 {
+		return fmt.Errorf("negative configuration value")
+	}
+	if s.Policy != "" {
+		if _, err := cache.ParsePolicy(s.Policy); err != nil {
+			return err
+		}
+	}
+	switch s.Prefetcher {
+	case "", "next-line", "pif":
+	default:
+		return fmt.Errorf("unknown prefetcher %q (next-line, pif)", s.Prefetcher)
+	}
+	return nil
+}
+
+func canonicalSched(kind strex.SchedulerKind) string {
+	switch kind {
+	case strex.SchedBaseline:
+		return "base"
+	case strex.SchedSTREX:
+		return "strex"
+	case strex.SchedSLICC:
+		return "slicc"
+	default:
+		return "hybrid"
+	}
+}
+
+// Key is the singleflight/coalescing identity: a stable digest over
+// every normalized field that determines the run's content — and
+// nothing else (ClientID deliberately excluded, so identical
+// submissions from different tenants coalesce). Two jobs with equal
+// keys produce byte-identical results, because a run is a pure function
+// of its spec (the runner's determinism contract); the per-replicate
+// runcache.RunKey addresses the same facts at disk-cache granularity.
+func (s *JobSpec) Key() string {
+	canon := fmt.Sprintf("wl=%s|txns=%d|seed=%d|scale=%d|synth=%g/%d/%g|seeds=%d|sched=%s|cores=%d|l1i=%d|l1d=%d|ways=%d|pol=%s|pf=%s|team=%d|win=%d",
+		s.Workload, s.Txns, s.Seed, s.Scale,
+		s.SynthUnits, s.SynthTypes, s.SynthReuse, s.Seeds,
+		s.Sched, s.Cores, s.L1IKB, s.L1DKB, s.L1Ways,
+		s.Policy, s.Prefetcher, s.TeamSize, s.PoolWindow)
+	h := sha256.Sum256([]byte("job\x00" + canon))
+	return hex.EncodeToString(h[:16])
+}
+
+// workloadOptions projects the spec into the facade's generation
+// options; cacheDir wires the shared trace cache through.
+func (s *JobSpec) workloadOptions(cacheDir string) strex.WorkloadOptions {
+	return strex.WorkloadOptions{
+		Txns:                s.Txns,
+		Seed:                s.Seed,
+		Scale:               s.Scale,
+		SynthFootprintUnits: s.SynthUnits,
+		SynthTypes:          s.SynthTypes,
+		SynthDataReuse:      s.SynthReuse,
+		CacheDir:            cacheDir,
+	}
+}
+
+// config projects the spec into the facade's system configuration.
+func (s *JobSpec) config() strex.Config {
+	return strex.Config{
+		Cores:      s.Cores,
+		L1IKB:      s.L1IKB,
+		L1DKB:      s.L1DKB,
+		L1Ways:     s.L1Ways,
+		Policy:     s.Policy,
+		Prefetcher: s.Prefetcher,
+		TeamSize:   s.TeamSize,
+		PoolWindow: s.PoolWindow,
+		Seed:       s.Seed,
+	}
+}
+
+// kind returns the scheduler selection (spec is normalized, so this
+// cannot fail).
+func (s *JobSpec) kind() strex.SchedulerKind {
+	k, err := strex.ParseScheduler(s.Sched)
+	if err != nil {
+		panic("service: unnormalized spec: " + err.Error())
+	}
+	return k
+}

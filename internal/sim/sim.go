@@ -313,6 +313,69 @@ type Engine struct {
 	// steady state performs no per-run allocation. Result.Threads alias
 	// the arena — Result.Detach copies them out before the next Reset.
 	threadArena []Thread
+
+	// stop, when non-nil, is polled by Run every stopStride scheduling
+	// steps (a step is at most one quantum, so a closed channel halts the
+	// run within a bounded number of quantum boundaries). A stopped run
+	// returns the partial result and reports Stopped() true; callers that
+	// honor cancellation must discard that result.
+	stop     <-chan struct{}
+	stopTick int
+	stopped  bool
+}
+
+// stopStride is how many scheduling steps Run executes between polls of
+// the stop channel. Large enough that the poll is invisible in the
+// entries/sec benchmarks, small enough that cancellation lands within
+// milliseconds of wall-clock at simulated speed.
+const stopStride = 1024
+
+// SetStop arms (ch non-nil) or disarms (nil) run interruption. Run and
+// runSolo poll ch periodically; once it is closed the engine abandons
+// the remaining threads and returns with Stopped() true. Callers that
+// reuse an engine (Reset) must disarm between runs — the channel is
+// deliberately not cleared by Reset so an executor can arm the engine
+// before Run without racing it.
+func (e *Engine) SetStop(ch <-chan struct{}) {
+	e.stop = ch
+	e.stopTick = 0
+}
+
+// Stopped reports whether the last Run was interrupted by the stop
+// channel (its result is partial: unfinished threads carry zero
+// FinishCycle stamps).
+func (e *Engine) Stopped() bool { return e.stopped }
+
+// stopRequested polls the stop channel at stopStride granularity — the
+// heap loop's steps are fine-grained (sub-quantum), so the common case
+// (no channel, or channel armed but open) must stay a nil check plus an
+// occasional non-blocking receive.
+func (e *Engine) stopRequested() bool {
+	if e.stop == nil {
+		return false
+	}
+	e.stopTick++
+	if e.stopTick < stopStride {
+		return false
+	}
+	e.stopTick = 0
+	return e.stopNow()
+}
+
+// stopNow polls the stop channel unconditionally. runSolo uses it every
+// iteration: a solo iteration replays an entire quantum (often a whole
+// transaction), so one non-blocking receive per iteration is invisible
+// yet bounds the cancellation delay by a single quantum.
+func (e *Engine) stopNow() bool {
+	if e.stop == nil {
+		return false
+	}
+	select {
+	case <-e.stop:
+		return true
+	default:
+		return false
+	}
 }
 
 // New builds an engine for the given workload set and scheduler.
@@ -548,6 +611,7 @@ func (e *Engine) dispatchIdle() {
 // event (hit runs collapse into one step), and only then re-enters the
 // heap. Output is byte-identical to RunReference at the same seed.
 func (e *Engine) Run() Result {
+	e.stopped = false
 	e.hooks = e.sched.Hooks()
 	e.pfPassive = e.pf.PassiveOnHit()
 	e.pfHides = e.pf.HidesMisses()
@@ -579,6 +643,10 @@ func (e *Engine) Run() Result {
 		return e.collect()
 	}
 	for e.live > 0 {
+		if e.stopRequested() {
+			e.stopped = true
+			break
+		}
 		if len(e.idle) > 0 {
 			e.dispatchIdle()
 		}
@@ -776,6 +844,10 @@ func (e *Engine) step(c *Core) {
 func (e *Engine) runSolo() {
 	c := e.cores[0]
 	for e.live > 0 {
+		if e.stopNow() {
+			e.stopped = true
+			return
+		}
 		if c.Cur == nil {
 			t := e.sched.Dispatch(c.ID)
 			if t == nil {

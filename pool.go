@@ -1,0 +1,184 @@
+package strex
+
+import (
+	"context"
+	"fmt"
+
+	"strex/internal/runcache"
+	"strex/internal/runner"
+	"strex/internal/sim"
+	"strex/internal/stats"
+	"strex/internal/workload"
+)
+
+// Pool is a long-lived shared run executor: one bounded worker pool and
+// one warm content-addressed cache serving many independent callers.
+// RunMany/RunManyDraws construct a fresh executor per call — right for
+// a batch CLI, wrong for a daemon, where every tenant must share the
+// same workers (so admission control actually bounds the machine) and
+// the same cache (so one tenant's run warms every tenant's repeats).
+// strexd runs all jobs on a single Pool.
+//
+// Pool methods are safe for concurrent use; results are deterministic
+// per spec exactly as in RunMany (runs are pure functions of their
+// inputs, the executor only adds isolation).
+type Pool struct {
+	x     *runner.Executor
+	cache *runcache.Cache
+}
+
+// NewPool creates a pool running at most parallel simulations
+// concurrently (<= 0 selects GOMAXPROCS) with an optional shared run
+// cache (nil = no memoization).
+func NewPool(parallel int, cache *runcache.Cache) *Pool {
+	x := runner.New(parallel)
+	x.SetCache(cache)
+	return &Pool{x: x, cache: cache}
+}
+
+// Workers returns the concurrency bound.
+func (p *Pool) Workers() int { return p.x.Workers() }
+
+// CacheStats returns a snapshot of the shared cache's traffic counters
+// (zero when the pool runs uncached).
+func (p *Pool) CacheStats() runcache.Stats { return p.cache.Stats() }
+
+// CacheEnabled reports whether the pool memoizes results on disk.
+func (p *Pool) CacheEnabled() bool { return p.cache.Enabled() }
+
+// schedulerID is the label-independent identity of a scheduler
+// selection — every knob that changes scheduling behaviour must appear
+// here, because it parameterizes run-cache keys (runcache.RunKey.Sched).
+func schedulerID(cfg Config, kind SchedulerKind) string {
+	switch kind {
+	case SchedBaseline:
+		return "base"
+	case SchedSTREX:
+		ts := cfg.TeamSize
+		if ts <= 0 {
+			ts = 10
+		}
+		win := cfg.PoolWindow
+		if win <= 0 {
+			win = 30
+		}
+		return fmt.Sprintf("strex/w%d/t%d", win, ts)
+	case SchedSLICC:
+		return "slicc"
+	case SchedHybrid:
+		return "hybrid/3"
+	}
+	return fmt.Sprintf("sched-%d", int(kind))
+}
+
+// runKey computes the content address of one replicate run: the full
+// simulator config, the scheduler identity, and the workload's own
+// SetKey hash reconstructed from its provenance. "" = uncached (no
+// cache attached).
+func (p *Pool) runKey(cfg sim.Config, schedID string, w *Workload) string {
+	if !p.cache.Enabled() || w.prov.Workload == "" {
+		return ""
+	}
+	setKey := runcache.SetKey{
+		Workload: w.prov.Workload,
+		Seed:     w.prov.Seed,
+		Scale:    w.prov.Scale,
+		Txns:     len(w.set.Txns),
+		TypeID:   w.prov.TypeID,
+		Extra:    w.prov.Extra,
+	}
+	return runcache.RunKey{Config: cfg, Sched: schedID, SetID: setKey.Hash()}.Hash()
+}
+
+// RunDrawsCtx runs one (config, scheduler) cell over pre-built
+// replicate draws (from ReplicateWorkloads) on the pool's shared
+// executor and aggregates the results — RunDraws with three daemon-
+// grade additions:
+//
+//   - ctx cancels the cell: queued replicates are skipped, running ones
+//     stop at the engine's next poll boundary, and the call returns the
+//     context's error (partial results are discarded, never cached).
+//   - every replicate is content-addressed in the pool's shared cache,
+//     so an identical later call — from any tenant — replays records
+//     instead of simulating. The returned generation count is the
+//     number of replicates that actually executed fresh: 0 means the
+//     cell was fully absorbed by the cache.
+//   - a panicking replicate surfaces as an error, never a panic — one
+//     bad run must fail one job, not the daemon.
+//
+// onProgress, if non-nil, observes monotone completion (done, total) as
+// replicates are collected in order.
+func (p *Pool) RunDrawsCtx(ctx context.Context, cfg Config, draws []*Workload, kind SchedulerKind, onProgress func(done, total int)) (*ReplicatedResult, int, error) {
+	if len(draws) == 0 {
+		return nil, 0, fmt.Errorf("strex: RunDrawsCtx needs at least one workload draw")
+	}
+	n := len(draws)
+	simCfg, err := cfg.build()
+	if err != nil {
+		return nil, 0, err
+	}
+	// Schedulers are built eagerly on this goroutine, like RunMany: it
+	// surfaces config errors before any run starts and keeps the
+	// hybrid's profiling pass off the worker pool.
+	scheds := make([]sim.Scheduler, n)
+	for rep, w := range draws {
+		s, err := cfg.scheduler(kind, w, simCfg.Cores)
+		if err != nil {
+			return nil, 0, err
+		}
+		scheds[rep] = s
+	}
+	schedID := schedulerID(cfg, kind)
+	rs := runner.ReplicateSpec{Spec: runner.Spec{
+		Label:  scheds[0].Name(),
+		Config: simCfg,
+		Set:    draws[0].set,
+		Sched:  func() sim.Scheduler { return scheds[0] },
+		Ctx:    ctx,
+	}}
+	rs.SetFor = func(rep int) *workload.Set { return draws[rep].set }
+	rs.SchedFor = func(rep int) func() sim.Scheduler {
+		s := scheds[rep]
+		return func() sim.Scheduler { return s }
+	}
+	rs.KeyFor = func(rep int, c sim.Config) string { return p.runKey(c, schedID, draws[rep]) }
+	batch := p.x.SubmitReplicates(rs, n)
+
+	rr := &ReplicatedResult{
+		Results: make([]Result, 0, n),
+		Seeds:   make([]uint64, n),
+	}
+	impki := make([]float64, n)
+	dmpki := make([]float64, n)
+	tpm := make([]float64, n)
+	lat := make([]float64, n)
+	generations := 0
+	var firstErr error
+	for rep := 0; rep < n; rep++ {
+		res, err := batch.WaitRep(rep)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue // drain the whole batch — no replicate left running
+		}
+		if batch.ExecutedRep(rep) {
+			generations++
+		}
+		rr.Seeds[rep] = draws[rep].prov.Seed
+		r := toResult(scheds[rep].Name(), res, len(draws[rep].set.Txns), simCfg.Cores)
+		rr.Results = append(rr.Results, r)
+		impki[rep], dmpki[rep], tpm[rep], lat[rep] = r.IMPKI, r.DMPKI, r.ThroughputTPM, r.MeanLatency
+		if onProgress != nil {
+			onProgress(rep+1, n)
+		}
+	}
+	if firstErr != nil {
+		return nil, generations, firstErr
+	}
+	rr.IMPKI = summaryOf(stats.Summarize(impki))
+	rr.DMPKI = summaryOf(stats.Summarize(dmpki))
+	rr.Throughput = summaryOf(stats.Summarize(tpm))
+	rr.MeanLatency = summaryOf(stats.Summarize(lat))
+	return rr, generations, nil
+}
