@@ -9,17 +9,27 @@
 //
 //	strexd [-addr HOST:PORT] [-parallel N] [-queue DEPTH]
 //	       [-cache-dir DIR] [-no-cache] [-retain DUR]
-//	       [-max-txns N] [-max-seeds N] [-max-cores N] [-quiet]
+//	       [-max-txns N] [-max-seeds N] [-max-cores N]
+//	       [-log-level LEVEL] [-log-format text|json]
+//	       [-debug-addr HOST:PORT] [-quiet]
 //
 // The API (see docs/SERVICE.md for the full specification):
 //
-//	POST   /v1/jobs             submit a job (202; 429 when overloaded)
-//	GET    /v1/jobs/{id}        status (incl. queue position, progress)
-//	GET    /v1/jobs/{id}/result deterministic result payload
-//	GET    /v1/jobs/{id}/stream progress as chunked JSON lines
-//	DELETE /v1/jobs/{id}        cancel
-//	GET    /v1/metrics          QPS, queue depth, cache + job counters
-//	GET    /v1/healthz          liveness
+//	POST   /v1/jobs               submit a job (202; 429 when overloaded)
+//	GET    /v1/jobs/{id}          status (incl. queue position, progress)
+//	GET    /v1/jobs/{id}/result   deterministic result payload
+//	GET    /v1/jobs/{id}/stream   progress as chunked JSON lines
+//	GET    /v1/jobs/{id}/timeline Chrome trace-event JSON (traced jobs)
+//	DELETE /v1/jobs/{id}          cancel
+//	GET    /v1/metrics            QPS, queue depth, latency, cache, jobs
+//	GET    /v1/version            build provenance
+//	GET    /v1/healthz            liveness
+//	GET    /metrics               Prometheus text exposition
+//
+// Structured logs (job lifecycle + HTTP access log) go to stderr;
+// -log-level/-log-format tune them and -quiet silences them entirely.
+// -debug-addr serves net/http/pprof and expvar on a second, typically
+// loopback-only, listener (see docs/OBSERVABILITY.md).
 //
 // SIGINT/SIGTERM drain gracefully: new submissions are refused, queued
 // jobs are settled as canceled, running jobs get -drain-timeout to
@@ -32,16 +42,19 @@ package main
 
 import (
 	"context"
+	_ "expvar" // registers /debug/vars on DefaultServeMux, served by -debug-addr only
 	"flag"
 	"fmt"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on DefaultServeMux, served by -debug-addr only
 	"os"
 	"os/signal"
 	"path/filepath"
 	"syscall"
 	"time"
 
+	"strex/internal/obs"
 	"strex/internal/runner"
 	"strex/internal/service"
 )
@@ -58,9 +71,17 @@ func main() {
 	maxSeeds := flag.Int("max-seeds", 16, "per-job replicate limit")
 	maxCores := flag.Int("max-cores", 32, "per-job simulated-core limit")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "grace for running jobs on shutdown")
-	quiet := flag.Bool("quiet", false, "suppress startup/shutdown log lines")
+	logLevel := flag.String("log-level", "info", "structured log level (debug, info, warn, error)")
+	logFormat := flag.String("log-format", "text", "structured log format (text, json)")
+	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof + expvar on this address (empty = off)")
+	timelineEvents := flag.Int("timeline-events", 1<<15, "run-timeline ring capacity for timeline:true jobs")
+	quiet := flag.Bool("quiet", false, "suppress all log output")
 	flag.Parse()
 
+	logger := obs.NewLogger(os.Stderr, *logFormat, *logLevel)
+	if *quiet {
+		logger = obs.NopLogger()
+	}
 	logf := func(format string, args ...interface{}) {
 		if !*quiet {
 			fmt.Fprintf(os.Stderr, "strexd: "+format+"\n", args...)
@@ -84,11 +105,13 @@ func main() {
 	}
 
 	srv, err := service.New(service.Config{
-		Parallel:   *parallel,
-		QueueDepth: *queueDepth,
-		CacheDir:   dir,
-		Retain:     *retain,
-		MemoSize:   *memo,
+		Parallel:       *parallel,
+		QueueDepth:     *queueDepth,
+		CacheDir:       dir,
+		Retain:         *retain,
+		MemoSize:       *memo,
+		Logger:         logger,
+		TimelineEvents: *timelineEvents,
 		Limits: service.Limits{
 			MaxTxns:  *maxTxns,
 			MaxSeeds: *maxSeeds,
@@ -97,6 +120,19 @@ func main() {
 	})
 	if err != nil {
 		fail(err)
+	}
+
+	if *debugAddr != "" {
+		// pprof and expvar register on http.DefaultServeMux; serving that
+		// mux only here keeps the profiling surface off the API listener.
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			fail(fmt.Errorf("debug listener: %w", err))
+		}
+		go func() {
+			logf("debug (pprof, expvar) on http://%s", dln.Addr())
+			_ = http.Serve(dln, http.DefaultServeMux)
+		}()
 	}
 
 	ln, err := net.Listen("tcp", *addr)

@@ -7,7 +7,10 @@
 //	    One cold job end to end (submit, poll, result), then an
 //	    identical warm resubmission that must report generations: 0 and
 //	    a byte-identical result payload — the CI gate for singleflight +
-//	    shared-cache absorption.
+//	    shared-cache absorption. Also scrapes GET /metrics through the
+//	    strict in-repo Prometheus parser, fetches one traced job's
+//	    timeline and validates it as Chrome trace-event JSON, and checks
+//	    GET /v1/version.
 //
 //	strexload -url http://HOST:PORT [-qps 500] [-duration 60s] ...
 //	    Sustained open-loop load: -qps submissions per second for
@@ -35,6 +38,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"strex/internal/obs"
 )
 
 type jobSpec struct {
@@ -43,6 +48,7 @@ type jobSpec struct {
 	Txns     int    `json:"txns,omitempty"`
 	Seed     uint64 `json:"seed,omitempty"`
 	Seeds    int    `json:"seeds,omitempty"`
+	Timeline bool   `json:"timeline,omitempty"`
 	Sched    string `json:"sched,omitempty"`
 	Cores    int    `json:"cores,omitempty"`
 }
@@ -119,6 +125,18 @@ func main() {
 		}
 		if rep.PollP99 > maxPollP99.Seconds()*1e3 {
 			fails = append(fails, fmt.Sprintf("status-poll p99 %.1fms > %v", rep.PollP99, *maxPollP99))
+		}
+		// Client- and server-side views of HTTP p99 must agree within 2x.
+		// At microsecond handler scale the client's tail is dominated by
+		// its own goroutine scheduling, not the daemon, so a 25ms
+		// absolute slack is allowed on top — the check still catches real
+		// disagreement (unit bugs, a broken histogram) by an order of
+		// magnitude.
+		if srv := rep.ServerLatency.HTTP; srv.Count > 0 {
+			client := rep.PollP99
+			if client > 2*srv.P99 && client-srv.P99 > 25 {
+				fails = append(fails, fmt.Sprintf("client HTTP p99 %.2fms vs server %.2fms: drift exceeds 2x + 25ms", client, srv.P99))
+			}
 		}
 		if len(fails) > 0 {
 			for _, f := range fails {
@@ -287,6 +305,102 @@ func runSmoke(url string) error {
 	if m.Counters.Completed < 2 || m.Counters.Absorbed < 1 {
 		return fmt.Errorf("metrics counters implausible: %+v", m.Counters)
 	}
+	if err := smokeProm(url); err != nil {
+		return err
+	}
+	if err := smokeTimeline(url); err != nil {
+		return err
+	}
+	return smokeVersion(url)
+}
+
+// smokeProm scrapes the Prometheus exposition and validates it with the
+// in-repo strict parser — the format claim in docs/OBSERVABILITY.md.
+func smokeProm(url string) error {
+	resp, err := httpClient.Get(url + "/metrics")
+	if err != nil {
+		return fmt.Errorf("prometheus: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("prometheus: HTTP %d", resp.StatusCode)
+	}
+	fams, err := obs.ParseProm(resp.Body)
+	if err != nil {
+		return fmt.Errorf("prometheus exposition invalid: %v", err)
+	}
+	for _, name := range []string{
+		"strexd_jobs_completed_total", "strexd_run_seconds", "strexd_http_request_seconds",
+	} {
+		if _, ok := fams[name]; !ok {
+			return fmt.Errorf("prometheus exposition missing family %s", name)
+		}
+	}
+	if v, err := fams["strexd_jobs_completed_total"].Value(); err != nil || v < 2 {
+		return fmt.Errorf("strexd_jobs_completed_total = %v (err %v), want >= 2", v, err)
+	}
+	return nil
+}
+
+// smokeTimeline submits a traced job and validates its timeline as
+// Chrome trace-event JSON with at least one complete span.
+func smokeTimeline(url string) error {
+	spec := jobSpec{ClientID: "smoke-trace", Workload: "tatp", Txns: 24, Seed: 11, Cores: 2, Timeline: true}
+	st, code, err := submit(url, spec)
+	if err != nil || code != http.StatusAccepted {
+		return fmt.Errorf("traced submit: HTTP %d, err %v", code, err)
+	}
+	fin, err := waitDone(url, st.ID, 60*time.Second)
+	if err != nil {
+		return err
+	}
+	if fin.State != "done" {
+		return fmt.Errorf("traced job state %s: %s", fin.State, fin.Error)
+	}
+	resp, err := httpClient.Get(url + "/v1/jobs/" + st.ID + "/timeline")
+	if err != nil {
+		return fmt.Errorf("timeline: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("timeline: HTTP %d", resp.StatusCode)
+	}
+	var trace struct {
+		TraceEvents []struct {
+			Ph string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&trace); err != nil {
+		return fmt.Errorf("timeline is not trace-event JSON: %v", err)
+	}
+	spans := 0
+	for _, ev := range trace.TraceEvents {
+		if ev.Ph == "X" {
+			spans++
+		}
+	}
+	if spans == 0 {
+		return fmt.Errorf("timeline has no complete spans (%d events)", len(trace.TraceEvents))
+	}
+	return nil
+}
+
+func smokeVersion(url string) error {
+	resp, err := httpClient.Get(url + "/v1/version")
+	if err != nil {
+		return fmt.Errorf("version: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("version: HTTP %d", resp.StatusCode)
+	}
+	var bi obs.BuildInfo
+	if err := json.NewDecoder(resp.Body).Decode(&bi); err != nil {
+		return fmt.Errorf("version: %v", err)
+	}
+	if bi.GoVersion == "" || bi.OS == "" || bi.Arch == "" {
+		return fmt.Errorf("version incomplete: %+v", bi)
+	}
 	return nil
 }
 
@@ -330,6 +444,46 @@ type report struct {
 	SubmitP99 float64 `json:"submit_p99_ms"`
 	PollP50   float64 `json:"poll_p50_ms"`
 	PollP99   float64 `json:"poll_p99_ms"`
+
+	// Server-side latency quantiles from the daemon's own histograms
+	// (GET /v1/metrics), reported next to the client-side numbers above:
+	// client-observed HTTP latency should track server_latency.http up to
+	// loopback overhead, which is the drift -assert checks.
+	ServerLatency struct {
+		QueueWait obs.QuantilesMs `json:"queue_wait"`
+		Run       obs.QuantilesMs `json:"run"`
+		Replicate obs.QuantilesMs `json:"replicate"`
+		HTTP      obs.QuantilesMs `json:"http"`
+	} `json:"server_latency"`
+
+	// ServerBuild is the daemon's build provenance (GET /v1/version).
+	ServerBuild obs.BuildInfo `json:"server_build"`
+}
+
+// fetchServerObs fills the report's server-side latency and build info;
+// best-effort (an old daemon without these endpoints leaves them zero).
+func (r *report) fetchServerObs(url string) {
+	if resp, err := httpClient.Get(url + "/v1/metrics"); err == nil {
+		var m struct {
+			Latency struct {
+				QueueWait obs.QuantilesMs `json:"queue_wait"`
+				Run       obs.QuantilesMs `json:"run"`
+				Replicate obs.QuantilesMs `json:"replicate"`
+				HTTP      obs.QuantilesMs `json:"http"`
+			} `json:"latency"`
+		}
+		if json.NewDecoder(resp.Body).Decode(&m) == nil {
+			r.ServerLatency.QueueWait = m.Latency.QueueWait
+			r.ServerLatency.Run = m.Latency.Run
+			r.ServerLatency.Replicate = m.Latency.Replicate
+			r.ServerLatency.HTTP = m.Latency.HTTP
+		}
+		resp.Body.Close()
+	}
+	if resp, err := httpClient.Get(url + "/v1/version"); err == nil {
+		_ = json.NewDecoder(resp.Body).Decode(&r.ServerBuild)
+		resp.Body.Close()
+	}
 }
 
 func runLoad(cfg loadConfig) (*report, error) {
@@ -469,6 +623,7 @@ func runLoad(cfg loadConfig) (*report, error) {
 	}
 	rep.SubmitP50, rep.SubmitP99 = percentiles(submitLat)
 	rep.PollP50, rep.PollP99 = percentiles(pollLat)
+	rep.fetchServerObs(cfg.url)
 	return rep, nil
 }
 
@@ -493,6 +648,11 @@ func (r *report) print(w io.Writer) {
 	fmt.Fprintf(w, "  hot absorption %d/%d = %.3f\n", r.HotAbsorbed, r.HotCompleted, r.HotAbsorption)
 	fmt.Fprintf(w, "  submit latency p50 %.2fms p99 %.2fms;  status poll p50 %.2fms p99 %.2fms\n",
 		r.SubmitP50, r.SubmitP99, r.PollP50, r.PollP99)
+	if r.ServerLatency.HTTP.Count > 0 {
+		fmt.Fprintf(w, "  server-side http p50 %.2fms p99 %.2fms;  run p50 %.2fms p99 %.2fms;  queue-wait p99 %.2fms\n",
+			r.ServerLatency.HTTP.P50, r.ServerLatency.HTTP.P99,
+			r.ServerLatency.Run.P50, r.ServerLatency.Run.P99, r.ServerLatency.QueueWait.P99)
+	}
 }
 
 func (r *report) writeJSON(path string) error {

@@ -23,6 +23,10 @@
 // docs/STATS.md). The N draws are generated once and shared by every
 // cell; -cache-dir additionally persists them across invocations.
 //
+// -timeline FILE records the run as a quantum-level Chrome trace-event
+// timeline loadable at https://ui.perfetto.dev (single cell, -seeds 1;
+// see docs/OBSERVABILITY.md for the event schema).
+//
 // Usage:
 //
 //	strexsim -workload tpcc10 -cores 8 -sched strex -team 10
@@ -31,6 +35,7 @@
 //	strexsim -workload synth -synth-units 8 -synth-types 2 -sched base,strex
 //	strexsim -workload tpcc10 -save-trace tpcc10.strextrace -sched base
 //	strexsim -load-trace tpcc10.strextrace -sched strex,slicc -cores 4,8
+//	strexsim -workload tatp -cores 4 -sched strex -timeline run.json
 package main
 
 import (
@@ -79,6 +84,8 @@ func main() {
 	loadTrace := flag.String("load-trace", "", "replay this .strextrace file instead of generating (-workload/-txns/-scale ignored)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write an end-of-run heap profile to this file")
+	timeline := flag.String("timeline", "", "write a Chrome trace-event run timeline to this file (single cell, -seeds 1; open in Perfetto)")
+	timelineEvents := flag.Int("timeline-events", 1<<15, "run-timeline ring capacity (earliest events kept on overflow)")
 	flag.Parse()
 
 	prof, profErr := profiling.Start(*cpuprofile, *memprofile)
@@ -111,6 +118,9 @@ func main() {
 		// Replicated mode: every grid cell is run at N derived seeds
 		// (fresh trace draws) and reported as mean ±95% CI. Fixed
 		// traces can't be redrawn, so the trace flags are refused.
+		if *timeline != "" {
+			fail(fmt.Errorf("-timeline records one engine run; use -seeds 1"))
+		}
 		if *loadTrace != "" {
 			fail(fmt.Errorf("-seeds needs generated workloads; it cannot replicate a fixed -load-trace"))
 		}
@@ -180,6 +190,40 @@ func main() {
 	}
 
 	workers := runner.ResolveWorkers(*parallel)
+
+	if *timeline != "" {
+		if len(cores) != 1 || len(kinds) != 1 {
+			fail(fmt.Errorf("-timeline records one engine run; pick a single -cores value and a single -sched"))
+		}
+		cfg := strex.DefaultConfig(cores[0])
+		cfg.TeamSize = *team
+		cfg.Policy = *policy
+		cfg.Prefetcher = *pf
+		cfg.Seed = *seed
+		res, tl, err := strex.RunTraced(cfg, w, kinds[0], *timelineEvents)
+		if err != nil {
+			fail(err)
+		}
+		f, err := os.Create(*timeline)
+		if err != nil {
+			fail(err)
+		}
+		if err := tl.WriteChrome(f); err != nil {
+			f.Close()
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		if dropped := tl.Dropped(); dropped > 0 {
+			fmt.Fprintf(os.Stderr, "strexsim: timeline ring full: kept the first %d events, dropped %d (raise -timeline-events)\n",
+				tl.Len(), dropped)
+		}
+		fmt.Fprintf(os.Stderr, "strexsim: wrote %d timeline events to %s (open at https://ui.perfetto.dev)\n",
+			tl.Len(), *timeline)
+		printDetail(w, strex.RunSpec{Config: cfg, Sched: kinds[0]}, res, *policy, *pf)
+		return
+	}
 
 	var specs []strex.RunSpec
 	for _, c := range cores {

@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"strex/internal/atomicfile"
+	"strex/internal/obs"
 	"strex/internal/sim"
 	"strex/internal/stats"
 )
@@ -124,21 +125,26 @@ func ReplicatedRecordOf(experiment, workload, sched string, cores int, seeds []u
 // parameters that make the records comparable across commits, plus the
 // records themselves. It deliberately carries no timestamp or host
 // information, so reruns of the same commit at the same parameters are
-// byte-identical (CI diffs them).
+// byte-identical (CI diffs them). Build provenance is allowed in: it is
+// a deterministic property of the binary (module version, toolchain,
+// VCS revision), identical across reruns of the same build.
 type BenchReport struct {
 	SchemaVersion int    `json:"schema_version"`
 	TxnsPerCell   int    `json:"txns_per_cell"`
 	Seed          uint64 `json:"seed"`
 	// Seeds is the replicate count per cell (1 = the classic
 	// single-seed report; records then carry no replicate blocks).
-	Seeds   int         `json:"seeds"`
-	Records []RunRecord `json:"records"`
+	Seeds int `json:"seeds"`
+	// Build records which binary produced the report (filled by Write).
+	Build   obs.BuildInfo `json:"build"`
+	Records []RunRecord   `json:"records"`
 }
 
 // BenchReportSchemaVersion identifies the report layout. Version 2
 // added the envelope's Seeds count and the optional per-record
-// replicate arrays and summary blocks.
-const BenchReportSchemaVersion = 2
+// replicate arrays and summary blocks. Version 3 added the build
+// provenance block.
+const BenchReportSchemaVersion = 3
 
 // Write renders the report as indented JSON.
 func (r BenchReport) Write(w io.Writer) error {
@@ -146,6 +152,7 @@ func (r BenchReport) Write(w io.Writer) error {
 	if r.Seeds <= 0 {
 		r.Seeds = 1 // a report is always at least the single-seed run
 	}
+	r.Build = obs.Build()
 	if r.Records == nil {
 		r.Records = []RunRecord{} // emit [], not null
 	}

@@ -77,4 +77,7 @@ func TestBenchReportSeedsDefault(t *testing.T) {
 	if back.SchemaVersion != BenchReportSchemaVersion {
 		t.Fatalf("schema = %d", back.SchemaVersion)
 	}
+	if back.Build.GoVersion == "" || back.Build.OS == "" || back.Build.Arch == "" {
+		t.Fatalf("build provenance incomplete: %+v", back.Build)
+	}
 }

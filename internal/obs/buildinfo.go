@@ -1,0 +1,62 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/debug"
+	"sync"
+)
+
+// BuildInfo identifies the running binary: module path and version, the
+// toolchain, the target platform, and — when the binary was built from
+// a VCS checkout with stamping enabled — the revision it was built at.
+// Everything here is a deterministic function of the build, never of
+// the run, so stamping it into BENCH_*.json envelopes preserves the
+// byte-identical-rerun property the CI cache-equivalence gates rely on.
+type BuildInfo struct {
+	Module    string `json:"module"`
+	Version   string `json:"version"`
+	GoVersion string `json:"go_version"`
+	OS        string `json:"os"`
+	Arch      string `json:"arch"`
+	Revision  string `json:"revision,omitempty"`
+	BuildTime string `json:"build_time,omitempty"` // commit time, not build wall time
+	Dirty     bool   `json:"dirty,omitempty"`      // uncommitted changes at build
+}
+
+var (
+	buildOnce sync.Once
+	buildInfo BuildInfo
+)
+
+// Build returns the binary's build provenance, read once from
+// runtime/debug.ReadBuildInfo. Fields absent from the embedded info
+// (e.g. VCS stamps in `go test` binaries) are left empty.
+func Build() BuildInfo {
+	buildOnce.Do(func() {
+		buildInfo = BuildInfo{
+			Version:   "(devel)",
+			GoVersion: runtime.Version(),
+			OS:        runtime.GOOS,
+			Arch:      runtime.GOARCH,
+		}
+		bi, ok := debug.ReadBuildInfo()
+		if !ok {
+			return
+		}
+		buildInfo.Module = bi.Main.Path
+		if bi.Main.Version != "" {
+			buildInfo.Version = bi.Main.Version
+		}
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				buildInfo.Revision = s.Value
+			case "vcs.time":
+				buildInfo.BuildTime = s.Value
+			case "vcs.modified":
+				buildInfo.Dirty = s.Value == "true"
+			}
+		}
+	})
+	return buildInfo
+}

@@ -1,0 +1,184 @@
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram bucket geometry. Values are bucketed log-linearly: the
+// octave is the position of the value's highest set bit, and each
+// octave is split into histSub equal-width sub-buckets. Reporting a
+// bucket's arithmetic midpoint therefore carries a relative error of at
+// most 1/(2*histSub) ≈ 1.6% — under the 2% quantile-error budget — at
+// a fixed cost of histOctaves*histSub counters (≈16 KiB per histogram).
+//
+// 63 octaves cover every positive int64, so the error bound holds over
+// the histogram's whole domain — no clamp range to footnote.
+const (
+	histSub      = 32 // sub-buckets per octave (power of two)
+	histSubShift = 5  // log2(histSub)
+	histOctaves  = 63
+	histBuckets  = histOctaves * histSub
+)
+
+// Hist is a lock-free latency histogram: exact counts in log-bucketed
+// bins, safe for concurrent Record from any number of goroutines, and
+// allocation-free after construction. A nil *Hist is inert: Record is
+// a no-op and Snapshot returns the empty distribution, so call sites
+// need no enable flag.
+//
+// Values are unit-agnostic int64s; the service records nanoseconds
+// (see RecordSince). Values below 1 clamp to 1 — the histogram tracks
+// magnitudes, and zero-duration events are still events.
+type Hist struct {
+	count   atomic.Uint64
+	sum     atomic.Int64
+	buckets [histBuckets]atomic.Uint64
+}
+
+// NewHist returns an empty histogram.
+func NewHist() *Hist { return &Hist{} }
+
+// histIndex maps a value to its bucket.
+func histIndex(v int64) int {
+	if v < 1 {
+		v = 1
+	}
+	u := uint64(v)
+	o := bits.Len64(u) - 1
+	if o >= histOctaves {
+		return histBuckets - 1
+	}
+	// Position within the octave, scaled to histSub sub-buckets. For
+	// high octaves the delta must be shifted down, not up — the naive
+	// (delta << histSubShift) >> o overflows above octave 58.
+	delta := u - 1<<o
+	var sub uint64
+	if o >= histSubShift {
+		sub = delta >> (o - histSubShift)
+	} else {
+		sub = delta << (histSubShift - o)
+	}
+	return o<<histSubShift | int(sub)
+}
+
+// histBounds returns bucket i's half-open value range [lo, hi).
+func histBounds(i int) (lo, hi float64) {
+	o := i >> histSubShift
+	sub := i & (histSub - 1)
+	base := math.Ldexp(1, o) // 2^o
+	w := base / histSub
+	lo = base + float64(sub)*w
+	return lo, lo + w
+}
+
+// Record adds one observation.
+func (h *Hist) Record(v int64) {
+	if h == nil {
+		return
+	}
+	h.buckets[histIndex(v)].Add(1)
+	h.count.Add(1)
+	if v < 1 {
+		v = 1
+	}
+	h.sum.Add(v)
+}
+
+// RecordSince records the elapsed nanoseconds from start to now — the
+// one-liner every latency site uses.
+func (h *Hist) RecordSince(start time.Time) {
+	if h == nil {
+		return
+	}
+	h.Record(time.Since(start).Nanoseconds())
+}
+
+// HistSnapshot is a point-in-time copy of a histogram, safe to read at
+// leisure. Concurrent Records during the copy may land on either side;
+// each observation is counted exactly once overall (monotone counters),
+// which is the consistency monitoring needs.
+type HistSnapshot struct {
+	Count   uint64
+	Sum     int64
+	Buckets []uint64 // len histBuckets; Buckets[i] counts values in histBounds(i)
+}
+
+// Snapshot copies the current counts. A nil histogram snapshots as the
+// empty distribution (Count 0, nil Buckets).
+func (h *Hist) Snapshot() HistSnapshot {
+	if h == nil {
+		return HistSnapshot{}
+	}
+	s := HistSnapshot{
+		Count:   h.count.Load(),
+		Sum:     h.sum.Load(),
+		Buckets: make([]uint64, histBuckets),
+	}
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	return s
+}
+
+// Quantile returns the q-quantile (q in [0,1]) as the midpoint of the
+// bucket holding the rank-⌈q·count⌉ observation — within 1/(2·histSub)
+// ≈ 1.6% of the exact order statistic. Returns 0 for an empty
+// distribution; q outside [0,1] clamps.
+func (s HistSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || len(s.Buckets) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(math.Ceil(q * float64(s.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum uint64
+	for i, c := range s.Buckets {
+		cum += c
+		if cum >= rank {
+			lo, hi := histBounds(i)
+			return (lo + hi) / 2
+		}
+	}
+	lo, hi := histBounds(histBuckets - 1)
+	return (lo + hi) / 2
+}
+
+// Mean returns the arithmetic mean of the recorded values (exact, from
+// the running sum), or 0 when empty.
+func (s HistSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// QuantilesMs is the /v1/metrics convenience projection: count plus
+// p50/p99/p999 of a nanosecond-valued histogram, in milliseconds.
+type QuantilesMs struct {
+	Count uint64  `json:"count"`
+	P50   float64 `json:"p50_ms"`
+	P99   float64 `json:"p99_ms"`
+	P999  float64 `json:"p999_ms"`
+}
+
+// QuantilesMsOf summarizes a nanosecond histogram for the JSON metrics
+// snapshot.
+func QuantilesMsOf(h *Hist) QuantilesMs {
+	s := h.Snapshot()
+	return QuantilesMs{
+		Count: s.Count,
+		P50:   s.Quantile(0.50) / 1e6,
+		P99:   s.Quantile(0.99) / 1e6,
+		P999:  s.Quantile(0.999) / 1e6,
+	}
+}

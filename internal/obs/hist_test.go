@@ -1,0 +1,235 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+// exactQuantile is the reference implementation: the rank-⌈q·n⌉ order
+// statistic of the sorted sample.
+func exactQuantile(sorted []int64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(math.Ceil(q * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	return float64(sorted[rank-1])
+}
+
+// checkQuantiles records a sample set and asserts every tested quantile
+// is within the bucket-midpoint error bound of the exact reference.
+// The bound: the midpoint of the bucket containing the exact value is
+// off by at most half the bucket width, i.e. a relative error of
+// 1/(2·histSub) ≈ 1.6% — comfortably inside the 2% budget the issue
+// sets.
+func checkQuantiles(t *testing.T, name string, values []int64) {
+	t.Helper()
+	h := NewHist()
+	for _, v := range values {
+		h.Record(v)
+	}
+	sorted := append([]int64(nil), values...)
+	for i, v := range sorted {
+		if v < 1 {
+			sorted[i] = 1 // Record clamps; the reference must too
+		}
+	}
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	s := h.Snapshot()
+	if s.Count != uint64(len(values)) {
+		t.Fatalf("%s: count %d, want %d", name, s.Count, len(values))
+	}
+	for _, q := range []float64{0, 0.01, 0.25, 0.50, 0.75, 0.90, 0.99, 0.999, 1} {
+		got := s.Quantile(q)
+		want := exactQuantile(sorted, q)
+		// The estimate must land in (or at the midpoint of) the bucket
+		// holding the exact order statistic: |got-want| ≤ half the
+		// width of want's bucket.
+		lo, hi := histBounds(histIndex(int64(want)))
+		tol := (hi - lo) / 2
+		if math.Abs(got-want) > tol+1e-9 {
+			t.Errorf("%s: q=%v got %v want %v (±%v)", name, q, got, want, tol)
+		}
+		if want > 0 {
+			rel := math.Abs(got-want) / want
+			if rel > 0.02 {
+				t.Errorf("%s: q=%v relative error %.4f > 2%% (got %v want %v)", name, q, rel, got, want)
+			}
+		}
+	}
+}
+
+func TestHistQuantileUniform(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	values := make([]int64, 10000)
+	for i := range values {
+		values[i] = 1 + rng.Int63n(1e9)
+	}
+	checkQuantiles(t, "uniform", values)
+}
+
+func TestHistQuantileLogNormalish(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	values := make([]int64, 10000)
+	for i := range values {
+		values[i] = int64(math.Exp(10 + 3*rng.NormFloat64()))
+	}
+	checkQuantiles(t, "lognormal", values)
+}
+
+func TestHistQuantileSpike(t *testing.T) {
+	// Adversarial: 99.9% of mass on one value, a thin tail far away.
+	values := make([]int64, 0, 10000)
+	for i := 0; i < 9990; i++ {
+		values = append(values, 1_000_000)
+	}
+	for i := 0; i < 10; i++ {
+		values = append(values, 5_000_000_000)
+	}
+	checkQuantiles(t, "spike", values)
+}
+
+func TestHistQuantileBimodal(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	values := make([]int64, 0, 10000)
+	for i := 0; i < 5000; i++ {
+		values = append(values, 50_000+rng.Int63n(1000))       // fast mode ~50µs
+		values = append(values, 80_000_000+rng.Int63n(100000)) // slow mode ~80ms
+	}
+	checkQuantiles(t, "bimodal", values)
+}
+
+func TestHistQuantileSingleSample(t *testing.T) {
+	checkQuantiles(t, "single", []int64{12345})
+}
+
+func TestHistQuantileSmallAndClamped(t *testing.T) {
+	checkQuantiles(t, "small", []int64{0, -5, 1, 2, 3})
+}
+
+func TestHistQuantileRandomized(t *testing.T) {
+	// Property sweep: many random distributions with random shapes.
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 25; trial++ {
+		n := 1 + rng.Intn(2000)
+		scale := math.Exp(float64(rng.Intn(30)))
+		values := make([]int64, n)
+		for i := range values {
+			values[i] = 1 + int64(rng.ExpFloat64()*scale)
+		}
+		checkQuantiles(t, "random", values)
+	}
+}
+
+func TestHistEmptyAndNil(t *testing.T) {
+	var nilH *Hist
+	nilH.Record(5) // must not panic
+	nilH.RecordSince(time.Now())
+	s := nilH.Snapshot()
+	if s.Count != 0 || s.Quantile(0.5) != 0 || s.Mean() != 0 {
+		t.Fatalf("nil hist not empty: %+v", s)
+	}
+	if got := NewHist().Snapshot().Quantile(0.99); got != 0 {
+		t.Fatalf("empty hist quantile = %v, want 0", got)
+	}
+}
+
+func TestHistHugeValue(t *testing.T) {
+	h := NewHist()
+	h.Record(math.MaxInt64) // top of the domain: last octave, last sub-bucket
+	s := h.Snapshot()
+	if s.Count != 1 {
+		t.Fatalf("count %d", s.Count)
+	}
+	if s.Buckets[histBuckets-1] != 1 {
+		t.Fatalf("MaxInt64 not in last bucket")
+	}
+	got := s.Quantile(1)
+	if rel := math.Abs(got-math.MaxInt64) / math.MaxInt64; rel > 0.02 {
+		t.Fatalf("MaxInt64 quantile off by %.4f", rel)
+	}
+}
+
+func TestHistIndexBoundsAgree(t *testing.T) {
+	// Every representable small value must land in a bucket whose
+	// bounds contain it.
+	for v := int64(1); v < 1<<20; v += 37 {
+		i := histIndex(v)
+		lo, hi := histBounds(i)
+		if float64(v) < lo || float64(v) >= hi {
+			t.Fatalf("v=%d in bucket %d [%v,%v)", v, i, lo, hi)
+		}
+	}
+	// Octave boundaries exactly.
+	for o := 0; o < 39; o++ {
+		v := int64(1) << o
+		i := histIndex(v)
+		lo, _ := histBounds(i)
+		if lo != float64(v) {
+			t.Fatalf("octave start %d: bucket %d lo=%v", v, i, lo)
+		}
+	}
+}
+
+func TestHistConcurrentRecord(t *testing.T) {
+	// Race-clean and count-exact under concurrent Record (run with
+	// -race in CI).
+	h := NewHist()
+	const workers = 8
+	const per = 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < per; i++ {
+				h.Record(1 + rng.Int63n(1e6))
+			}
+		}(int64(w))
+	}
+	// Concurrent snapshots must observe monotone counts.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		var last uint64
+		for i := 0; i < 100; i++ {
+			c := h.Snapshot().Count
+			if c < last {
+				t.Errorf("snapshot count went backwards: %d < %d", c, last)
+				return
+			}
+			last = c
+		}
+	}()
+	wg.Wait()
+	<-done
+	if got := h.Snapshot().Count; got != workers*per {
+		t.Fatalf("count %d, want %d", got, workers*per)
+	}
+}
+
+func TestQuantilesMsOf(t *testing.T) {
+	h := NewHist()
+	for i := 0; i < 1000; i++ {
+		h.Record(2_000_000) // 2ms
+	}
+	q := QuantilesMsOf(h)
+	if q.Count != 1000 {
+		t.Fatalf("count %d", q.Count)
+	}
+	for _, v := range []float64{q.P50, q.P99, q.P999} {
+		if v < 2*0.98 || v > 2*1.02 {
+			t.Fatalf("quantile %vms, want ≈2ms", v)
+		}
+	}
+	if q := QuantilesMsOf(nil); q.Count != 0 {
+		t.Fatalf("nil hist quantiles: %+v", q)
+	}
+}

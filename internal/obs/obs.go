@@ -1,0 +1,76 @@
+// Package obs is the repository's zero-dependency observability layer:
+// structured-logging helpers on log/slog, lock-free log-bucketed latency
+// histograms, a Prometheus text-exposition writer (plus an in-repo
+// parser used as the CI validation oracle), a sliding-window event-rate
+// counter, build provenance, and a preallocated run-timeline tracer that
+// exports Chrome trace-event JSON loadable in Perfetto.
+//
+// Everything here follows one discipline: instrumentation must be inert
+// when disabled. Histograms and timelines are nil-receiver no-ops, the
+// nop logger's handler reports every level disabled, and no type in
+// this package allocates on its hot path once constructed — the engine's
+// zero-allocation steady state (docs/ENGINE.md, the CI gate on
+// BenchmarkStepEntrySec) holds with this package compiled in.
+//
+// See docs/OBSERVABILITY.md for the metric inventory, the histogram
+// bucket scheme and the timeline event schema.
+package obs
+
+import (
+	"context"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// nopHandler is an slog handler with every level disabled: the logger
+// built on it short-circuits before formatting attributes, so passing
+// it instead of a nil *slog.Logger makes call sites unconditional.
+type nopHandler struct{}
+
+func (nopHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (nopHandler) Handle(context.Context, slog.Record) error { return nil }
+func (h nopHandler) WithAttrs([]slog.Attr) slog.Handler      { return h }
+func (h nopHandler) WithGroup(string) slog.Handler           { return h }
+
+// NopLogger returns a logger that discards everything without
+// formatting it. Components take a *slog.Logger and substitute this for
+// nil, so their logging sites never branch.
+func NopLogger() *slog.Logger { return slog.New(nopHandler{}) }
+
+// Or returns l, or the nop logger when l is nil — the one-line guard
+// every component applies to its configured logger.
+func Or(l *slog.Logger) *slog.Logger {
+	if l == nil {
+		return NopLogger()
+	}
+	return l
+}
+
+// NewLogger builds a structured logger writing to w. format is "text"
+// or "json" (anything else falls back to text); level is parsed by
+// ParseLevel. The strexd daemon and tests build their loggers here so
+// the flag vocabulary stays in one place.
+func NewLogger(w io.Writer, format, level string) *slog.Logger {
+	opts := &slog.HandlerOptions{Level: ParseLevel(level)}
+	if strings.EqualFold(format, "json") {
+		return slog.New(slog.NewJSONHandler(w, opts))
+	}
+	return slog.New(slog.NewTextHandler(w, opts))
+}
+
+// ParseLevel maps a flag spelling to a slog level: debug, info, warn,
+// error (case-insensitive). Unknown spellings select info — a logging
+// knob must never be the reason a daemon refuses to start.
+func ParseLevel(s string) slog.Level {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return slog.LevelDebug
+	case "warn", "warning":
+		return slog.LevelWarn
+	case "error":
+		return slog.LevelError
+	default:
+		return slog.LevelInfo
+	}
+}

@@ -1,0 +1,134 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// PromWriter renders the Prometheus text exposition format (version
+// 0.0.4): one HELP/TYPE comment pair per metric family followed by its
+// samples. It is a plain serializer — no registry, no background state;
+// the caller walks its own metrics snapshot and emits each family in
+// order. Errors are sticky: check Err once at the end.
+type PromWriter struct {
+	w   io.Writer
+	err error
+}
+
+// NewPromWriter wraps w.
+func NewPromWriter(w io.Writer) *PromWriter { return &PromWriter{w: w} }
+
+// Err returns the first write error, if any.
+func (p *PromWriter) Err() error { return p.err }
+
+func (p *PromWriter) printf(format string, args ...interface{}) {
+	if p.err != nil {
+		return
+	}
+	_, p.err = fmt.Fprintf(p.w, format, args...)
+}
+
+// escapeHelp escapes a HELP string per the exposition format.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}
+
+// formatValue renders a sample value (Prometheus accepts Go's shortest
+// float form, plus +Inf/-Inf/NaN spellings).
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// family emits the HELP/TYPE header for a metric family.
+func (p *PromWriter) family(name, help, typ string) {
+	p.printf("# HELP %s %s\n", name, escapeHelp(help))
+	p.printf("# TYPE %s %s\n", name, typ)
+}
+
+// sample emits one sample line. labels are alternating key, value
+// pairs.
+func (p *PromWriter) sample(name string, labels []string, v float64) {
+	if len(labels) == 0 {
+		p.printf("%s %s\n", name, formatValue(v))
+		return
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i := 0; i+1 < len(labels); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s="%s"`, labels[i], escapeLabel(labels[i+1]))
+	}
+	b.WriteByte('}')
+	p.printf("%s %s\n", b.String(), formatValue(v))
+}
+
+// Counter emits a single-sample counter family.
+func (p *PromWriter) Counter(name, help string, v float64) {
+	p.family(name, help, "counter")
+	p.sample(name, nil, v)
+}
+
+// Gauge emits a single-sample gauge family.
+func (p *PromWriter) Gauge(name, help string, v float64) {
+	p.family(name, help, "gauge")
+	p.sample(name, nil, v)
+}
+
+// GaugeVec emits a gauge family with one sample per label value, in
+// sorted label order so the exposition is deterministic.
+func (p *PromWriter) GaugeVec(name, help, label string, values map[string]float64) {
+	p.family(name, help, "gauge")
+	keys := make([]string, 0, len(values))
+	for k := range values {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		p.sample(name, []string{label, k}, values[k])
+	}
+}
+
+// Histogram emits a histogram family from a snapshot: cumulative
+// le-bounded buckets (only buckets that contain observations get a
+// line — with 1280 log-linear bins, emitting empties would dwarf the
+// payload — plus the mandatory +Inf), then _sum and _count. scale
+// multiplies recorded values into the exposed unit (1e-9 converts the
+// service's nanosecond recordings to Prometheus-convention seconds).
+func (p *PromWriter) Histogram(name, help string, s HistSnapshot, scale float64) {
+	p.family(name, help, "histogram")
+	var cum uint64
+	for i, c := range s.Buckets {
+		if c == 0 {
+			continue
+		}
+		cum += c
+		_, hi := histBounds(i)
+		p.sample(name+"_bucket", []string{"le", formatValue(hi * scale)}, float64(cum))
+	}
+	p.sample(name+"_bucket", []string{"le", "+Inf"}, float64(s.Count))
+	p.sample(name+"_sum", nil, float64(s.Sum)*scale)
+	p.sample(name+"_count", nil, float64(s.Count))
+}

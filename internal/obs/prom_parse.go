@@ -1,0 +1,372 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ParseProm is the in-repo validation oracle for the /metrics endpoint:
+// a strict reader of the Prometheus text exposition format used by CI
+// and the smoke tests to prove the scrape is well formed without
+// pulling in a Prometheus dependency. It enforces the invariants a real
+// scraper relies on:
+//
+//   - every sample belongs to a family introduced by # HELP/# TYPE
+//     lines (histogram samples may use the _bucket/_sum/_count
+//     suffixes of their family);
+//   - metric names are legal, TYPE values are known, values parse;
+//   - histogram le bounds are floats in strictly increasing order with
+//     non-decreasing cumulative counts, a +Inf bucket is present, and
+//     it equals the family's _count.
+//
+// It returns the families keyed by name so tests can also assert on
+// specific values.
+
+// PromSample is one parsed sample line.
+type PromSample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// PromFamily is one metric family: its metadata and samples in
+// exposition order.
+type PromFamily struct {
+	Name    string
+	Help    string
+	Type    string
+	Samples []PromSample
+}
+
+// Value returns the value of the family's single unlabeled sample, or
+// an error if there is not exactly one such sample.
+func (f *PromFamily) Value() (float64, error) {
+	var found []float64
+	for _, s := range f.Samples {
+		if len(s.Labels) == 0 && s.Name == f.Name {
+			found = append(found, s.Value)
+		}
+	}
+	if len(found) != 1 {
+		return 0, fmt.Errorf("family %s: %d unlabeled samples, want 1", f.Name, len(found))
+	}
+	return found[0], nil
+}
+
+var promTypes = map[string]bool{
+	"counter": true, "gauge": true, "histogram": true,
+	"summary": true, "untyped": true,
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(i > 0 && r >= '0' && r <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// ParseProm reads a text exposition and validates it. See the package
+// comment above for the rules enforced.
+func ParseProm(r io.Reader) (map[string]*PromFamily, error) {
+	fams := map[string]*PromFamily{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimRight(sc.Text(), " \t")
+		if text == "" {
+			continue
+		}
+		if strings.HasPrefix(text, "#") {
+			kind, name, rest, err := parseComment(text)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %w", line, err)
+			}
+			if kind == "" { // plain comment
+				continue
+			}
+			if !validMetricName(name) {
+				return nil, fmt.Errorf("line %d: invalid metric name %q", line, name)
+			}
+			f := fams[name]
+			if f == nil {
+				f = &PromFamily{Name: name}
+				fams[name] = f
+			}
+			switch kind {
+			case "HELP":
+				if f.Help != "" {
+					return nil, fmt.Errorf("line %d: duplicate HELP for %s", line, name)
+				}
+				f.Help = rest
+			case "TYPE":
+				if f.Type != "" {
+					return nil, fmt.Errorf("line %d: duplicate TYPE for %s", line, name)
+				}
+				if len(f.Samples) > 0 {
+					return nil, fmt.Errorf("line %d: TYPE for %s after its samples", line, name)
+				}
+				if !promTypes[rest] {
+					return nil, fmt.Errorf("line %d: unknown TYPE %q for %s", line, rest, name)
+				}
+				f.Type = rest
+			}
+			continue
+		}
+		s, err := parseSample(text)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", line, err)
+		}
+		f := familyFor(fams, s.Name)
+		if f == nil {
+			return nil, fmt.Errorf("line %d: sample %s has no declared family", line, s.Name)
+		}
+		f.Samples = append(f.Samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for _, f := range fams {
+		if f.Type == "" {
+			return nil, fmt.Errorf("family %s: missing TYPE", f.Name)
+		}
+		if f.Type == "histogram" {
+			if err := validateHistogram(f); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return fams, nil
+}
+
+// parseComment splits a # line into (HELP|TYPE, name, remainder). A
+// comment that is neither HELP nor TYPE returns kind "".
+func parseComment(text string) (kind, name, rest string, err error) {
+	body := strings.TrimPrefix(text, "#")
+	body = strings.TrimLeft(body, " ")
+	switch {
+	case strings.HasPrefix(body, "HELP "):
+		kind = "HELP"
+		body = strings.TrimPrefix(body, "HELP ")
+	case strings.HasPrefix(body, "TYPE "):
+		kind = "TYPE"
+		body = strings.TrimPrefix(body, "TYPE ")
+	default:
+		return "", "", "", nil
+	}
+	parts := strings.SplitN(body, " ", 2)
+	if parts[0] == "" {
+		return "", "", "", fmt.Errorf("malformed %s line", kind)
+	}
+	name = parts[0]
+	if len(parts) == 2 {
+		rest = parts[1]
+	}
+	if kind == "TYPE" && rest == "" {
+		return "", "", "", fmt.Errorf("TYPE line for %s missing type", name)
+	}
+	return kind, name, rest, nil
+}
+
+// parseSample parses `name{label="value",...} value`.
+func parseSample(text string) (PromSample, error) {
+	s := PromSample{}
+	i := strings.IndexAny(text, "{ ")
+	if i < 0 {
+		return s, fmt.Errorf("malformed sample %q", text)
+	}
+	s.Name = text[:i]
+	if !validMetricName(s.Name) {
+		return s, fmt.Errorf("invalid metric name %q", s.Name)
+	}
+	rest := text[i:]
+	if rest[0] == '{' {
+		labels, tail, err := parseLabels(rest)
+		if err != nil {
+			return s, fmt.Errorf("sample %s: %w", s.Name, err)
+		}
+		s.Labels = labels
+		rest = tail
+	}
+	rest = strings.TrimLeft(rest, " ")
+	// A timestamp may follow the value; the repo never emits one, but
+	// tolerate it for strictness-of-the-right-things.
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return s, fmt.Errorf("sample %s: malformed value %q", s.Name, rest)
+	}
+	v, err := parsePromValue(fields[0])
+	if err != nil {
+		return s, fmt.Errorf("sample %s: bad value %q", s.Name, fields[0])
+	}
+	s.Value = v
+	return s, nil
+}
+
+func parsePromValue(s string) (float64, error) {
+	switch s {
+	case "+Inf", "Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// parseLabels parses a `{k="v",...}` block, returning the remainder
+// after the closing brace. Escapes \\, \", \n inside values.
+func parseLabels(s string) (map[string]string, string, error) {
+	labels := map[string]string{}
+	i := 1 // past '{'
+	for {
+		for i < len(s) && (s[i] == ' ' || s[i] == ',') {
+			i++
+		}
+		if i < len(s) && s[i] == '}' {
+			return labels, s[i+1:], nil
+		}
+		j := i
+		for j < len(s) && s[j] != '=' {
+			j++
+		}
+		if j >= len(s) {
+			return nil, "", fmt.Errorf("unterminated label block")
+		}
+		key := strings.TrimSpace(s[i:j])
+		if key == "" {
+			return nil, "", fmt.Errorf("empty label name")
+		}
+		i = j + 1
+		if i >= len(s) || s[i] != '"' {
+			return nil, "", fmt.Errorf("label %s: unquoted value", key)
+		}
+		i++
+		var b strings.Builder
+		for {
+			if i >= len(s) {
+				return nil, "", fmt.Errorf("label %s: unterminated value", key)
+			}
+			c := s[i]
+			if c == '"' {
+				i++
+				break
+			}
+			if c == '\\' {
+				i++
+				if i >= len(s) {
+					return nil, "", fmt.Errorf("label %s: dangling escape", key)
+				}
+				switch s[i] {
+				case '\\':
+					b.WriteByte('\\')
+				case '"':
+					b.WriteByte('"')
+				case 'n':
+					b.WriteByte('\n')
+				default:
+					return nil, "", fmt.Errorf("label %s: bad escape \\%c", key, s[i])
+				}
+				i++
+				continue
+			}
+			b.WriteByte(c)
+			i++
+		}
+		if _, dup := labels[key]; dup {
+			return nil, "", fmt.Errorf("duplicate label %s", key)
+		}
+		labels[key] = b.String()
+	}
+}
+
+// familyFor resolves the family a sample belongs to: the
+// _bucket/_sum/_count suffixes of a histogram (or summary) family
+// resolve to that family, anything else requires an exact name match.
+func familyFor(fams map[string]*PromFamily, name string) *PromFamily {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if strings.HasSuffix(name, suf) {
+			base := strings.TrimSuffix(name, suf)
+			if f := fams[base]; f != nil && (f.Type == "histogram" || f.Type == "summary") {
+				return f
+			}
+		}
+	}
+	return fams[name]
+}
+
+// validateHistogram checks the le-bucket invariants of one histogram
+// family.
+func validateHistogram(f *PromFamily) error {
+	type bucket struct {
+		le  float64
+		cum float64
+	}
+	var buckets []bucket
+	var count float64
+	var haveCount, haveSum bool
+	for _, s := range f.Samples {
+		switch s.Name {
+		case f.Name + "_bucket":
+			leStr, ok := s.Labels["le"]
+			if !ok {
+				return fmt.Errorf("histogram %s: bucket without le label", f.Name)
+			}
+			le, err := parsePromValue(leStr)
+			if err != nil {
+				return fmt.Errorf("histogram %s: bad le %q", f.Name, leStr)
+			}
+			buckets = append(buckets, bucket{le: le, cum: s.Value})
+		case f.Name + "_count":
+			count = s.Value
+			haveCount = true
+		case f.Name + "_sum":
+			haveSum = true
+		default:
+			return fmt.Errorf("histogram %s: unexpected sample %s", f.Name, s.Name)
+		}
+	}
+	if len(buckets) == 0 {
+		return fmt.Errorf("histogram %s: no buckets", f.Name)
+	}
+	if !haveCount || !haveSum {
+		return fmt.Errorf("histogram %s: missing _sum or _count", f.Name)
+	}
+	sorted := sort.SliceIsSorted(buckets, func(i, j int) bool {
+		return buckets[i].le < buckets[j].le
+	})
+	if !sorted {
+		return fmt.Errorf("histogram %s: le bounds not increasing", f.Name)
+	}
+	for i := 1; i < len(buckets); i++ {
+		if buckets[i].le == buckets[i-1].le {
+			return fmt.Errorf("histogram %s: duplicate le %v", f.Name, buckets[i].le)
+		}
+		if buckets[i].cum < buckets[i-1].cum {
+			return fmt.Errorf("histogram %s: cumulative counts decrease at le %v", f.Name, buckets[i].le)
+		}
+	}
+	last := buckets[len(buckets)-1]
+	if !math.IsInf(last.le, 1) {
+		return fmt.Errorf("histogram %s: missing +Inf bucket", f.Name)
+	}
+	if last.cum != count {
+		return fmt.Errorf("histogram %s: +Inf bucket %v != count %v", f.Name, last.cum, count)
+	}
+	return nil
+}

@@ -1,0 +1,132 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestPromWriterRoundTrip(t *testing.T) {
+	h := NewHist()
+	for i := int64(1); i <= 1000; i++ {
+		h.Record(i * 1000)
+	}
+	var b strings.Builder
+	pw := NewPromWriter(&b)
+	pw.Counter("strexd_jobs_submitted_total", "Jobs submitted.", 42)
+	pw.Gauge("strexd_queue_depth", "Queued jobs.", 7)
+	pw.GaugeVec("strexd_jobs", "Jobs by state.", "state", map[string]float64{
+		"queued": 1, "running": 2, "done": 3,
+	})
+	pw.Histogram("strexd_run_seconds", "Run duration.", h.Snapshot(), 1e-9)
+	if pw.Err() != nil {
+		t.Fatalf("write: %v", pw.Err())
+	}
+
+	fams, err := ParseProm(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("ParseProm rejected own output:\n%s\nerr: %v", b.String(), err)
+	}
+	if v, err := fams["strexd_jobs_submitted_total"].Value(); err != nil || v != 42 {
+		t.Fatalf("counter = %v, %v", v, err)
+	}
+	if fams["strexd_jobs_submitted_total"].Type != "counter" {
+		t.Fatalf("counter type %q", fams["strexd_jobs_submitted_total"].Type)
+	}
+	jobs := fams["strexd_jobs"]
+	if len(jobs.Samples) != 3 {
+		t.Fatalf("gauge vec samples %d", len(jobs.Samples))
+	}
+	// Deterministic (sorted) label order.
+	if jobs.Samples[0].Labels["state"] != "done" {
+		t.Fatalf("gauge vec not sorted: %+v", jobs.Samples[0])
+	}
+	run := fams["strexd_run_seconds"]
+	if run.Type != "histogram" {
+		t.Fatalf("histogram type %q", run.Type)
+	}
+	var infCum, count float64
+	for _, s := range run.Samples {
+		if s.Name == "strexd_run_seconds_bucket" && s.Labels["le"] == "+Inf" {
+			infCum = s.Value
+		}
+		if s.Name == "strexd_run_seconds_count" {
+			count = s.Value
+		}
+	}
+	if infCum != 1000 || count != 1000 {
+		t.Fatalf("+Inf=%v count=%v, want 1000", infCum, count)
+	}
+}
+
+func TestPromWriterEscaping(t *testing.T) {
+	var b strings.Builder
+	pw := NewPromWriter(&b)
+	pw.family("m", "help with \\ backslash\nand newline", "gauge")
+	pw.sample("m", []string{"l", `va"l\ue` + "\n"}, 1)
+	if pw.Err() != nil {
+		t.Fatal(pw.Err())
+	}
+	fams, err := ParseProm(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("parse: %v\n%s", err, b.String())
+	}
+	if got := fams["m"].Samples[0].Labels["l"]; got != `va"l\ue`+"\n" {
+		t.Fatalf("label round-trip: %q", got)
+	}
+}
+
+func TestParsePromRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"undeclared family": "foo 1\n",
+		"bad type":          "# HELP m x\n# TYPE m widget\nm 1\n",
+		"bad value":         "# HELP m x\n# TYPE m gauge\nm banana\n",
+		"bad name":          "# HELP 9m x\n# TYPE 9m gauge\n9m 1\n",
+		"missing type":      "# HELP m x\nm 1\n",
+		"histogram no +Inf": "# TYPE h histogram\n" +
+			`h_bucket{le="1"} 1` + "\nh_sum 1\nh_count 1\n",
+		"histogram inf mismatch": "# TYPE h histogram\n" +
+			`h_bucket{le="+Inf"} 3` + "\nh_sum 1\nh_count 5\n",
+		"histogram decreasing": "# TYPE h histogram\n" +
+			`h_bucket{le="1"} 5` + "\n" + `h_bucket{le="2"} 3` + "\n" +
+			`h_bucket{le="+Inf"} 5` + "\nh_sum 1\nh_count 5\n",
+		"histogram unsorted le": "# TYPE h histogram\n" +
+			`h_bucket{le="2"} 1` + "\n" + `h_bucket{le="1"} 2` + "\n" +
+			`h_bucket{le="+Inf"} 2` + "\nh_sum 1\nh_count 2\n",
+		"unterminated label": "# TYPE m gauge\n" + `m{l="x` + "\n",
+		"duplicate label":    "# TYPE m gauge\n" + `m{l="x",l="y"} 1` + "\n",
+	}
+	for name, text := range cases {
+		if _, err := ParseProm(strings.NewReader(text)); err == nil {
+			t.Errorf("%s: accepted\n%s", name, text)
+		}
+	}
+}
+
+func TestParsePromValueSpellings(t *testing.T) {
+	for s, want := range map[string]float64{
+		"+Inf": math.Inf(1), "-Inf": math.Inf(-1), "1.5e3": 1500,
+	} {
+		got, err := parsePromValue(s)
+		if err != nil || got != want {
+			t.Errorf("%s: %v, %v", s, got, err)
+		}
+	}
+	if v, err := parsePromValue("NaN"); err != nil || !math.IsNaN(v) {
+		t.Errorf("NaN: %v, %v", v, err)
+	}
+}
+
+func TestPromHistogramEmpty(t *testing.T) {
+	var b strings.Builder
+	pw := NewPromWriter(&b)
+	pw.Histogram("h", "empty.", NewHist().Snapshot(), 1e-9)
+	if pw.Err() != nil {
+		t.Fatal(pw.Err())
+	}
+	// An empty histogram still exposes +Inf, _sum, _count and must
+	// validate.
+	if _, err := ParseProm(strings.NewReader(b.String())); err != nil {
+		t.Fatalf("empty histogram invalid: %v\n%s", err, b.String())
+	}
+}

@@ -1,0 +1,78 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// RateWindow counts events in a ring of per-second buckets to answer
+// "events per second over the trailing N seconds" without retaining
+// per-event state. It grew up inside the service daemon (submit QPS);
+// it lives here so the clock is injectable — both Tick and Rate take
+// the observation time explicitly, which is what lets tests replay
+// arbitrary schedules, including idle gaps far longer than the ring.
+//
+// Staleness rule: every bucket remembers the absolute unix second it
+// was last written for. A bucket only contributes to Rate when that
+// second falls inside the queried window, so after an idle gap — of any
+// length, including exact multiples of the ring size, where the index
+// arithmetic would otherwise alias an old bucket onto a current second
+// — stale buckets read as zero, never as their old counts.
+type RateWindow struct {
+	mu      sync.Mutex
+	buckets []int64 // one per second, keyed by unix-second % len
+	seconds []int64 // which unix second each bucket currently holds
+}
+
+// NewRateWindow returns a window able to answer Rate over up to span
+// trailing whole seconds (span+1 buckets: the current partial second
+// occupies one). span < 1 selects 60.
+func NewRateWindow(span int) *RateWindow {
+	if span < 1 {
+		span = 60
+	}
+	return &RateWindow{
+		buckets: make([]int64, span+1),
+		seconds: make([]int64, span+1),
+	}
+}
+
+// Span returns the maximum queryable window in seconds.
+func (r *RateWindow) Span() int { return len(r.buckets) - 1 }
+
+// Tick records one event at the given time.
+func (r *RateWindow) Tick(now time.Time) {
+	sec := now.Unix()
+	i := int(sec % int64(len(r.buckets)))
+	r.mu.Lock()
+	if r.seconds[i] != sec {
+		r.seconds[i] = sec
+		r.buckets[i] = 0
+	}
+	r.buckets[i]++
+	r.mu.Unlock()
+}
+
+// Rate returns events/second averaged over the trailing `window` whole
+// seconds before now (excluding the current partial second, so a fresh
+// burst does not read as an inflated instantaneous rate). window clamps
+// to [1, Span].
+func (r *RateWindow) Rate(now time.Time, window int) float64 {
+	if window < 1 {
+		window = 1
+	}
+	if window > len(r.buckets)-1 {
+		window = len(r.buckets) - 1
+	}
+	cur := now.Unix()
+	var sum int64
+	r.mu.Lock()
+	for s := cur - int64(window); s < cur; s++ {
+		i := int(s % int64(len(r.buckets)))
+		if r.seconds[i] == s {
+			sum += r.buckets[i]
+		}
+	}
+	r.mu.Unlock()
+	return float64(sum) / float64(window)
+}

@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func at(sec int64) time.Time { return time.Unix(sec, 0) }
+
+func TestRateWindowBasic(t *testing.T) {
+	r := NewRateWindow(60)
+	if r.Span() != 60 {
+		t.Fatalf("span %d", r.Span())
+	}
+	base := int64(1_000_000)
+	// 5 events/sec for 10 seconds.
+	for s := base; s < base+10; s++ {
+		for i := 0; i < 5; i++ {
+			r.Tick(at(s))
+		}
+	}
+	now := at(base + 10)
+	if got := r.Rate(now, 10); got != 5 {
+		t.Fatalf("rate over 10s = %v, want 5", got)
+	}
+	// Over 60s the same 50 events average down.
+	if got := r.Rate(now, 60); got != 50.0/60 {
+		t.Fatalf("rate over 60s = %v, want %v", got, 50.0/60)
+	}
+}
+
+func TestRateWindowExcludesCurrentSecond(t *testing.T) {
+	r := NewRateWindow(10)
+	base := int64(2_000_000)
+	// A burst within the current (partial) second must not register
+	// until that second completes.
+	for i := 0; i < 100; i++ {
+		r.Tick(at(base))
+	}
+	if got := r.Rate(at(base), 10); got != 0 {
+		t.Fatalf("current-second burst leaked into rate: %v", got)
+	}
+	if got := r.Rate(at(base+1), 1); got != 100 {
+		t.Fatalf("completed second rate = %v, want 100", got)
+	}
+}
+
+func TestRateWindowIdleGapLongerThanRing(t *testing.T) {
+	r := NewRateWindow(60)
+	base := int64(3_000_000)
+	for s := base; s < base+61; s++ { // fill every bucket
+		r.Tick(at(s))
+	}
+	if got := r.Rate(at(base+61), 60); got != 1 {
+		t.Fatalf("pre-gap rate = %v, want 1", got)
+	}
+	// Idle for far longer than the ring: every bucket is stale and
+	// must read zero, not its old count.
+	long := base + 61 + 10*61
+	if got := r.Rate(at(long), 60); got != 0 {
+		t.Fatalf("rate after long idle gap = %v, want 0", got)
+	}
+}
+
+func TestRateWindowIdleGapExactRingMultiple(t *testing.T) {
+	// The adversarial alias: a gap of exactly k·len(buckets) seconds
+	// maps every old bucket index onto a current second. The absolute
+	// second stamps must still report those buckets stale.
+	r := NewRateWindow(10) // 11 buckets
+	base := int64(4_000_000)
+	for s := base; s < base+11; s++ {
+		r.Tick(at(s))
+	}
+	for _, k := range []int64{1, 2, 7} {
+		gap := k * 11
+		if got := r.Rate(at(base+11+gap), 10); got != 0 {
+			t.Fatalf("gap of %d (exact ring multiple): rate = %v, want 0", gap, got)
+		}
+	}
+}
+
+func TestRateWindowRecoversAfterGap(t *testing.T) {
+	r := NewRateWindow(10)
+	base := int64(5_000_000)
+	r.Tick(at(base))
+	after := base + 1000
+	for i := 0; i < 3; i++ {
+		r.Tick(at(after))
+	}
+	if got := r.Rate(at(after+1), 1); got != 3 {
+		t.Fatalf("post-gap rate = %v, want 3", got)
+	}
+	// The ancient event must not have survived anywhere in the window.
+	if got := r.Rate(at(after+1), 10); got != 0.3 {
+		t.Fatalf("post-gap 10s rate = %v, want 0.3", got)
+	}
+}
+
+func TestRateWindowClamps(t *testing.T) {
+	r := NewRateWindow(0) // spans default to 60
+	if r.Span() != 60 {
+		t.Fatalf("default span %d", r.Span())
+	}
+	base := int64(6_000_000)
+	r.Tick(at(base))
+	// window larger than span clamps; window < 1 clamps to 1.
+	if got := r.Rate(at(base+1), 1000); got != 1.0/60 {
+		t.Fatalf("clamped rate = %v", got)
+	}
+	if got := r.Rate(at(base+1), 0); got != 1 {
+		t.Fatalf("min-window rate = %v", got)
+	}
+}

@@ -39,7 +39,9 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"strex/internal/obs"
 	"strex/internal/runcache"
 	"strex/internal/sim"
 	"strex/internal/workload"
@@ -89,6 +91,12 @@ type Spec struct {
 	// scheduler) cells under different per-figure labels, and a run is a
 	// pure function of that triple (the determinism contract above).
 	SchedID string
+	// Trace, when non-nil, attaches a run-timeline tracer to this run's
+	// engine (sim.Engine.SetTimeline). A traced spec is exempt from
+	// in-process dedup — a memo-served result has no engine and would
+	// leave the tracer empty — and the tracer is detached before the
+	// engine returns to the pool. Tracing never changes results.
+	Trace *obs.Timeline
 }
 
 // dedupKey is the in-process memo key for a spec with a SchedID.
@@ -165,6 +173,13 @@ type Executor struct {
 
 	mu         sync.Mutex
 	onProgress func(done, submitted int, label string)
+
+	// onRun observes the wall-clock duration of every actually-executed
+	// simulation (cache hits and dedup-derived runs excluded). Set once
+	// before the first Submit (SetRunObserver); invoked from worker
+	// goroutines, so it must be concurrency-safe — recording into an
+	// obs.Hist qualifies.
+	onRun func(d time.Duration)
 
 	// inproc memoizes in-flight and completed runs by dedupKey; see
 	// Spec.SchedID. Each entry retains the set pointer both to pin the
@@ -250,6 +265,12 @@ func (x *Executor) Workers() int { return cap(x.sem) }
 // concurrently, which runcache's atomic artifact discipline permits.
 func (x *Executor) SetCache(c *runcache.Cache) { x.cache = c }
 
+// SetRunObserver registers a callback invoked with the wall-clock
+// duration of every actually-executed run. Call it before the first
+// Submit; the callback runs on worker goroutines and must be
+// concurrency-safe (the service records into a lock-free histogram).
+func (x *Executor) SetRunObserver(fn func(d time.Duration)) { x.onRun = fn }
+
 // OnProgress registers a callback invoked after every completed run with
 // (completed, submitted, label). It is called from worker goroutines
 // under a lock, so the callback itself needs no synchronization but must
@@ -282,8 +303,9 @@ func (x *Executor) Submit(spec Spec) *Future {
 	// In-process dedup: identical (Config, scheduler identity, set)
 	// triples execute once; later submissions derive their future from
 	// the first. The derived run still stores under its own disk cache
-	// key so a warm rerun finds every label it expects.
-	if spec.SchedID != "" {
+	// key so a warm rerun finds every label it expects. Traced specs are
+	// exempt: their whole point is the execution itself.
+	if spec.SchedID != "" && spec.Trace == nil {
 		key := dedupKey(&spec)
 		x.inprocMu.Lock()
 		if ent, ok := x.inproc[key]; ok && ent.set == spec.Set {
@@ -385,11 +407,18 @@ func (x *Executor) execute(spec *Spec) (sim.Result, error) {
 	if spec.Ctx != nil {
 		eng.SetStop(spec.Ctx.Done())
 	}
+	eng.SetTimeline(spec.Trace)
+	start := time.Now()
 	res := eng.Run().Detach()
+	elapsed := time.Since(start)
 	if eng.Stopped() {
 		return sim.Result{}, spec.Ctx.Err()
 	}
+	if x.onRun != nil {
+		x.onRun(elapsed)
+	}
 	eng.SetStop(nil)
+	eng.SetTimeline(nil)
 	x.pool.put(geo, eng, cap(x.sem))
 	return res, nil
 }
@@ -509,7 +538,9 @@ func (b *Batch) Results() []sim.Result {
 // SubmitReplicates submits n seed-replicates of rs and returns the
 // batch. n <= 1 degenerates to a single verbatim submission, so callers
 // thread a user-facing -seeds knob through without branching. Like
-// Submit, it is safe for concurrent use.
+// Submit, it is safe for concurrent use. Spec.Trace, when set, applies
+// to replicate 0 only — a tracer records one engine's run; sharing it
+// across concurrent replicates would interleave their spans.
 func (x *Executor) SubmitReplicates(rs ReplicateSpec, n int) *Batch {
 	if n < 1 {
 		n = 1
@@ -518,6 +549,9 @@ func (x *Executor) SubmitReplicates(rs ReplicateSpec, n int) *Batch {
 	for rep := 0; rep < n; rep++ {
 		spec := rs.Spec
 		spec.Config.Seed = ReplicateSeed(rs.Spec.Config.Seed, rep)
+		if rep > 0 {
+			spec.Trace = nil
+		}
 		if rs.SetFor != nil {
 			if set := rs.SetFor(rep); set != nil {
 				spec.Set = set

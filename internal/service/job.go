@@ -47,6 +47,11 @@ type Job struct {
 	created     time.Time
 	started     time.Time
 	finished    time.Time
+
+	// timeline is the rendered Chrome trace-event JSON of a Timeline
+	// job's run, produced once at flight completion and shared by every
+	// attached job (it is immutable after settle). Nil for untraced jobs.
+	timeline []byte
 }
 
 // flight is the singleflight unit: one deduplicated run serving every
@@ -65,6 +70,10 @@ type flight struct {
 	// server mutex, like running.
 	jobs    []*Job
 	running bool
+
+	// enqueued stamps admission, so the dispatcher can histogram queue
+	// wait (dequeue time minus this) without touching the job store.
+	enqueued time.Time
 
 	// Replicate completion progress, written by the run callback and
 	// read by status polls without the server lock.

@@ -1,11 +1,11 @@
 package service
 
 import (
-	"sync"
 	"sync/atomic"
 	"time"
 
 	"strex/internal/bench"
+	"strex/internal/obs"
 	"strex/internal/runcache"
 )
 
@@ -33,47 +33,14 @@ type counters struct {
 	generations atomic.Int64
 }
 
-// rateWindow is a ring of per-second buckets for "events in the last N
-// seconds" rates without retaining per-event state.
-type rateWindow struct {
-	mu      sync.Mutex
-	buckets [61]int64 // one per second, keyed by unix-second % len
-	seconds [61]int64 // which unix second each bucket currently holds
-}
-
-func (r *rateWindow) tick(now time.Time) {
-	sec := now.Unix()
-	i := int(sec % int64(len(r.buckets)))
-	r.mu.Lock()
-	if r.seconds[i] != sec {
-		r.seconds[i] = sec
-		r.buckets[i] = 0
-	}
-	r.buckets[i]++
-	r.mu.Unlock()
-}
-
-// rate returns events/second averaged over the trailing `window` whole
-// seconds (excluding the current partial second, so a fresh burst does
-// not read as an inflated instantaneous rate).
-func (r *rateWindow) rate(now time.Time, window int) float64 {
-	if window < 1 {
-		window = 1
-	}
-	if window > len(r.buckets)-1 {
-		window = len(r.buckets) - 1
-	}
-	cur := now.Unix()
-	var sum int64
-	r.mu.Lock()
-	for s := cur - int64(window); s < cur; s++ {
-		i := int(s % int64(len(r.buckets)))
-		if r.seconds[i] == s {
-			sum += r.buckets[i]
-		}
-	}
-	r.mu.Unlock()
-	return float64(sum) / float64(window)
+// latencyHists are the daemon's four wall-clock latency distributions,
+// recorded lock-free (obs.Hist) and surfaced as quantiles in both
+// /v1/metrics and the Prometheus exposition.
+type latencyHists struct {
+	queueWait obs.Hist // flight admission -> dispatch
+	run       obs.Hist // flight dispatch -> settle (whole cell)
+	replicate obs.Hist // one engine execution (cache-served excluded)
+	http      obs.Hist // HTTP handler latency, all endpoints
 }
 
 // Metrics is the wire shape of GET /v1/metrics.
@@ -112,6 +79,15 @@ type Metrics struct {
 	SubmitQPS1s  float64 `json:"submit_qps_1s"`
 	SubmitQPS10s float64 `json:"submit_qps_10s"`
 	SubmitQPS60s float64 `json:"submit_qps_60s"`
+
+	// Latency quantiles (milliseconds) from the daemon's lock-free
+	// histograms; counts are lifetime totals.
+	Latency struct {
+		QueueWait obs.QuantilesMs `json:"queue_wait"`
+		Run       obs.QuantilesMs `json:"run"`
+		Replicate obs.QuantilesMs `json:"replicate"`
+		HTTP      obs.QuantilesMs `json:"http"`
+	} `json:"latency"`
 
 	Cache struct {
 		Enabled bool `json:"enabled"`
@@ -152,9 +128,14 @@ func (s *Server) snapshotMetrics(now time.Time) Metrics {
 	m.Counters.Generations = s.met.generations.Load()
 	m.MemoEntries = s.memo.len()
 
-	m.SubmitQPS1s = s.submitRate.rate(now, 1)
-	m.SubmitQPS10s = s.submitRate.rate(now, 10)
-	m.SubmitQPS60s = s.submitRate.rate(now, 60)
+	m.SubmitQPS1s = s.submitRate.Rate(now, 1)
+	m.SubmitQPS10s = s.submitRate.Rate(now, 10)
+	m.SubmitQPS60s = s.submitRate.Rate(now, 60)
+
+	m.Latency.QueueWait = obs.QuantilesMsOf(&s.lat.queueWait)
+	m.Latency.Run = obs.QuantilesMsOf(&s.lat.run)
+	m.Latency.Replicate = obs.QuantilesMsOf(&s.lat.replicate)
+	m.Latency.HTTP = obs.QuantilesMsOf(&s.lat.http)
 
 	m.Cache.Enabled = s.cache.Enabled()
 	m.Cache.Stats = s.cache.Stats()

@@ -1,0 +1,242 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"strex/internal/obs"
+)
+
+// TestPrometheusExposition scrapes /metrics after real traffic and
+// validates it with the strict in-repo parser — the same oracle CI uses.
+func TestPrometheusExposition(t *testing.T) {
+	s, hs := newTestServer(t, Config{Parallel: 2})
+	st, code := postJob(t, hs, tinySpec(1))
+	if code != http.StatusAccepted {
+		t.Fatalf("submit status = %d", code)
+	}
+	waitState(t, s, st.ID, StateDone)
+
+	resp, err := http.Get(hs.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type = %q", ct)
+	}
+	fams, err := obs.ParseProm(resp.Body)
+	if err != nil {
+		t.Fatalf("exposition does not parse: %v", err)
+	}
+
+	for _, name := range []string{
+		"strexd_jobs_submitted_total", "strexd_jobs_accepted_total",
+		"strexd_jobs_rejected_total", "strexd_jobs_coalesced_total",
+		"strexd_jobs_completed_total", "strexd_jobs_failed_total",
+		"strexd_jobs_canceled_total", "strexd_jobs_absorbed_total",
+		"strexd_memo_hits_total", "strexd_generations_total",
+		"strexd_workload_generations_total",
+		"strexd_uptime_seconds", "strexd_draining", "strexd_workers",
+		"strexd_queue_depth", "strexd_queue_capacity", "strexd_queue_clients",
+		"strexd_memo_entries", "strexd_jobs", "strexd_submit_qps",
+		"strexd_cache_enabled",
+		"strexd_cache_trace_hits_total", "strexd_cache_result_misses_total",
+		"strexd_queue_wait_seconds", "strexd_run_seconds",
+		"strexd_replicate_seconds", "strexd_http_request_seconds",
+	} {
+		if _, ok := fams[name]; !ok {
+			t.Errorf("family %s missing from exposition", name)
+		}
+	}
+	if v, err := fams["strexd_jobs_completed_total"].Value(); err != nil || v < 1 {
+		t.Errorf("strexd_jobs_completed_total = %v, %v; want >= 1", v, err)
+	}
+	// One flight ran fresh, so the run histogram must have observations.
+	var runCount float64
+	for _, smp := range fams["strexd_run_seconds"].Samples {
+		if strings.HasSuffix(smp.Name, "_count") {
+			runCount = smp.Value
+		}
+	}
+	if runCount < 1 {
+		t.Errorf("strexd_run_seconds_count = %v, want >= 1", runCount)
+	}
+}
+
+// TestLatencyQuantilesInMetrics asserts /v1/metrics carries the latency
+// block with non-zero counts after a completed job.
+func TestLatencyQuantilesInMetrics(t *testing.T) {
+	s, hs := newTestServer(t, Config{Parallel: 1})
+	st, _ := postJob(t, hs, tinySpec(3))
+	waitState(t, s, st.ID, StateDone)
+	m := getMetrics(t, hs)
+	if m.Latency.QueueWait.Count < 1 {
+		t.Errorf("queue_wait count = %d, want >= 1", m.Latency.QueueWait.Count)
+	}
+	if m.Latency.Run.Count < 1 || m.Latency.Run.P99 <= 0 {
+		t.Errorf("run quantiles = %+v, want count >= 1 and positive p99", m.Latency.Run)
+	}
+	if m.Latency.Replicate.Count < 1 {
+		t.Errorf("replicate count = %d, want >= 1", m.Latency.Replicate.Count)
+	}
+	if m.Latency.HTTP.Count < 1 {
+		t.Errorf("http count = %d, want >= 1", m.Latency.HTTP.Count)
+	}
+}
+
+// TestTimelineEndpoint runs a traced job end to end: submit with
+// timeline:true, fetch the timeline, and decode it as Chrome trace-event
+// JSON with at least one complete ("X") quantum span.
+func TestTimelineEndpoint(t *testing.T) {
+	s, hs := newTestServer(t, Config{Parallel: 2})
+	spec := tinySpec(5)
+	spec.Timeline = true
+	st, code := postJob(t, hs, spec)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit status = %d", code)
+	}
+	waitState(t, s, st.ID, StateDone)
+
+	resp, err := http.Get(hs.URL + "/v1/jobs/" + st.ID + "/timeline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("GET timeline = %d: %s", resp.StatusCode, body)
+	}
+	var trace struct {
+		TraceEvents []struct {
+			Ph   string `json:"ph"`
+			Name string `json:"name"`
+		} `json:"traceEvents"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&trace); err != nil {
+		t.Fatalf("timeline is not valid trace-event JSON: %v", err)
+	}
+	spans := 0
+	for _, ev := range trace.TraceEvents {
+		if ev.Ph == "X" {
+			spans++
+		}
+	}
+	if spans == 0 {
+		t.Fatalf("timeline has no complete spans (events: %d)", len(trace.TraceEvents))
+	}
+
+	// An untraced job has no timeline: 404.
+	st2, _ := postJob(t, hs, tinySpec(5))
+	waitState(t, s, st2.ID, StateDone)
+	resp2, err := http.Get(hs.URL + "/v1/jobs/" + st2.ID + "/timeline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusNotFound {
+		t.Fatalf("untraced timeline = %d, want 404", resp2.StatusCode)
+	}
+}
+
+// TestTimelineBypassesMemo: a traced twin of a memoized spec must still
+// execute (a memo hit carries no timeline), and traced results must not
+// poison the memo for untraced repeats.
+func TestTimelineBypassesMemo(t *testing.T) {
+	s, hs := newTestServer(t, Config{Parallel: 1})
+	plain := tinySpec(9)
+	st1, _ := postJob(t, hs, plain)
+	waitState(t, s, st1.ID, StateDone)
+
+	traced := plain
+	traced.Timeline = true
+	st2, _ := postJob(t, hs, traced)
+	if st2.Coalesced {
+		t.Fatalf("traced job coalesced with untraced twin")
+	}
+	fin := waitState(t, s, st2.ID, StateDone)
+	if fin.Generations == nil {
+		t.Fatal("no generations on terminal traced job")
+	}
+	tl, _, err := s.Timeline(st2.ID)
+	if err != nil || tl == nil {
+		t.Fatalf("Timeline(%s) = %v bytes, err %v", st2.ID, len(tl), err)
+	}
+
+	m := getMetrics(t, hs)
+	// The traced run must not have been a memo hit.
+	if m.Counters.MemoHits != 0 {
+		t.Errorf("memo hits = %d, want 0 (traced spec must not consult memo)", m.Counters.MemoHits)
+	}
+}
+
+// TestVersionEndpoint checks build provenance is served and carries the
+// running toolchain.
+func TestVersionEndpoint(t *testing.T) {
+	_, hs := newTestServer(t, Config{Parallel: 1})
+	resp, err := http.Get(hs.URL + "/v1/version")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/version = %d", resp.StatusCode)
+	}
+	var bi obs.BuildInfo
+	if err := json.NewDecoder(resp.Body).Decode(&bi); err != nil {
+		t.Fatal(err)
+	}
+	if bi.GoVersion == "" || bi.OS == "" || bi.Arch == "" {
+		t.Fatalf("incomplete build info: %+v", bi)
+	}
+}
+
+// TestStructuredLogCorrelation runs one job with a capturing logger and
+// asserts the lifecycle lines share the job id.
+func TestStructuredLogCorrelation(t *testing.T) {
+	sw := &syncWriter{w: &bytes.Buffer{}}
+	logger := slog.New(slog.NewJSONHandler(sw, nil))
+	s, hs := newTestServer(t, Config{Parallel: 1, Logger: logger})
+	st, _ := postJob(t, hs, tinySpec(11))
+	waitState(t, s, st.ID, StateDone)
+	// Give the access-log line of the status poll a moment to land.
+	time.Sleep(20 * time.Millisecond)
+
+	out := sw.String()
+	for _, want := range []string{"job queued", "flight started", "flight done", `"method":"POST"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("log output missing %q", want)
+		}
+	}
+	if !strings.Contains(out, st.ID) {
+		t.Errorf("log output never mentions job id %s", st.ID)
+	}
+}
+
+// syncWriter serializes concurrent handler writes in tests.
+type syncWriter struct {
+	mu sync.Mutex
+	w  *bytes.Buffer
+}
+
+func (s *syncWriter) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.Write(p)
+}
+
+func (s *syncWriter) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.String()
+}

@@ -17,14 +17,17 @@
 package service
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"strex"
+	"strex/internal/obs"
 	"strex/internal/runcache"
 )
 
@@ -54,6 +57,15 @@ type Config struct {
 	// spec key, LRU). 0 selects the default 1024; negative disables the
 	// memo, forcing every repeat through the queue and the disk cache.
 	MemoSize int
+	// Logger receives the daemon's structured event log (admissions,
+	// state transitions, drain events). Nil logs nothing: every call
+	// routes through a no-op handler, so instrumentation sites never
+	// need nil checks.
+	Logger *slog.Logger
+	// TimelineEvents caps the run-timeline ring recorded for jobs
+	// submitted with Timeline: true (default 32768 events; the ring
+	// keeps the earliest events and counts drops on overflow).
+	TimelineEvents int
 }
 
 func (c *Config) fill() {
@@ -68,6 +80,9 @@ func (c *Config) fill() {
 	}
 	if c.MemoSize == 0 {
 		c.MemoSize = 1024
+	}
+	if c.TimelineEvents <= 0 {
+		c.TimelineEvents = 1 << 15
 	}
 	c.Limits.fill()
 }
@@ -94,8 +109,10 @@ type Server struct {
 	jobs    map[string]*Job
 	flights map[string]*flight // pending/running flight per spec key
 
+	log        *slog.Logger
 	met        counters
-	submitRate rateWindow
+	lat        latencyHists
+	submitRate *obs.RateWindow
 	start      time.Time
 	seq        atomic.Int64
 	draining   atomic.Bool
@@ -119,18 +136,23 @@ func New(cfg Config) (*Server, error) {
 		}
 	}
 	s := &Server{
-		cfg:      cfg,
-		pool:     strex.NewPool(cfg.Parallel, cache),
-		cache:    cache,
-		q:        newQueue(cfg.QueueDepth),
-		jobs:     make(map[string]*Job),
-		flights:  make(map[string]*flight),
-		start:    time.Now(),
-		stopJani: make(chan struct{}),
+		cfg:        cfg,
+		pool:       strex.NewPool(cfg.Parallel, cache),
+		cache:      cache,
+		q:          newQueue(cfg.QueueDepth),
+		jobs:       make(map[string]*Job),
+		flights:    make(map[string]*flight),
+		log:        obs.Or(cfg.Logger),
+		submitRate: obs.NewRateWindow(60),
+		start:      time.Now(),
+		stopJani:   make(chan struct{}),
 	}
 	if cfg.MemoSize > 0 {
 		s.memo = newResultMemo(cfg.MemoSize)
 	}
+	// Every replicate that actually simulates (cache-served ones have no
+	// engine run to time) lands in the replicate latency histogram.
+	s.pool.SetRunObserver(func(d time.Duration) { s.lat.replicate.Record(d.Nanoseconds()) })
 	for i := 0; i < s.pool.Workers(); i++ {
 		s.wg.Add(1)
 		go s.dispatch()
@@ -147,11 +169,12 @@ func New(cfg Config) (*Server, error) {
 func (s *Server) Submit(spec JobSpec) (JobStatus, error) {
 	now := time.Now()
 	s.met.submitted.Add(1)
-	s.submitRate.tick(now)
+	s.submitRate.Tick(now)
 	if s.draining.Load() {
 		return JobStatus{}, ErrDraining
 	}
 	if err := spec.normalize(s.cfg.Limits); err != nil {
+		s.log.Info("job rejected", "client", spec.ClientID, "reason", "invalid spec", "err", err.Error())
 		return JobStatus{}, err
 	}
 	client := spec.ClientID
@@ -169,16 +192,21 @@ func (s *Server) Submit(spec JobSpec) (JobStatus, error) {
 		Spec:     spec,
 		created:  now,
 	}
-	if res, ok := s.memo.get(key); ok {
-		// Memory-tier hit: an identical job already completed, and its
-		// result is a pure function of the spec — settle at admission,
-		// bypassing queue and dispatcher entirely.
-		job.started = now
-		s.finishJobLocked(job, StateDone, "", res, 0, 0, now)
-		s.met.memoHits.Add(1)
-		s.met.accepted.Add(1)
-		s.jobs[job.ID] = job
-		return s.statusLocked(job), nil
+	if !spec.Timeline {
+		// A traced job must execute — a memoized result carries no
+		// timeline — so only untraced specs consult the memory tier.
+		if res, ok := s.memo.get(key); ok {
+			// Memory-tier hit: an identical job already completed, and its
+			// result is a pure function of the spec — settle at admission,
+			// bypassing queue and dispatcher entirely.
+			job.started = now
+			s.finishJobLocked(job, StateDone, "", res, 0, 0, now)
+			s.met.memoHits.Add(1)
+			s.met.accepted.Add(1)
+			s.jobs[job.ID] = job
+			s.log.Info("job settled by memo", "job", job.ID, "key", key, "client", client, "workload", spec.Workload)
+			return s.statusLocked(job), nil
+		}
 	}
 	if fl, ok := s.flights[key]; ok {
 		// Singleflight: attach to the pending run instead of queueing a
@@ -194,9 +222,10 @@ func (s *Server) Submit(spec JobSpec) (JobStatus, error) {
 			job.state = StateQueued
 		}
 		s.met.coalesced.Add(1)
+		s.log.Info("job coalesced", "job", job.ID, "key", key, "client", client, "state", job.state)
 	} else {
 		ctx, cancel := context.WithCancel(context.Background())
-		fl = &flight{key: key, client: client, spec: spec, ctx: ctx, cancel: cancel}
+		fl = &flight{key: key, client: client, spec: spec, ctx: ctx, cancel: cancel, enqueued: now}
 		fl.total.Store(int64(spec.Seeds))
 		fl.jobs = []*Job{job}
 		if err := s.q.enqueue(fl); err != nil {
@@ -207,11 +236,14 @@ func (s *Server) Submit(spec JobSpec) (JobStatus, error) {
 			if errors.Is(err, ErrQueueFull) {
 				s.met.rejected.Add(1)
 			}
+			s.log.Info("job rejected", "job", job.ID, "key", key, "client", client, "reason", err.Error())
 			return JobStatus{}, err
 		}
 		job.fl = fl
 		job.state = StateQueued
 		s.flights[key] = fl
+		s.log.Info("job queued", "job", job.ID, "key", key, "client", client,
+			"workload", spec.Workload, "sched", spec.Sched, "seeds", spec.Seeds, "timeline", spec.Timeline)
 	}
 	s.met.accepted.Add(1)
 	s.jobs[job.ID] = job
@@ -242,6 +274,19 @@ func (s *Server) Result(id string) (*JobResult, JobStatus, error) {
 	return job.result, s.statusLocked(job), nil
 }
 
+// Timeline returns a terminal traced job's rendered Chrome trace-event
+// JSON. The bool reports whether the job is terminal; a nil slice on a
+// terminal job means it was not traced (or did not complete).
+func (s *Server) Timeline(id string) ([]byte, JobStatus, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	job, ok := s.jobs[id]
+	if !ok {
+		return nil, JobStatus{}, ErrNotFound
+	}
+	return job.timeline, s.statusLocked(job), nil
+}
+
 // Cancel detaches the job from its flight and marks it canceled. The
 // underlying run is cancelled only when no other job remains attached —
 // coalesced peers keep it alive; context propagation stops a lone
@@ -264,6 +309,7 @@ func (s *Server) Cancel(id string) (JobStatus, error) {
 		}
 	}
 	s.finishJobLocked(job, StateCanceled, "canceled by client", nil, 0, 0, time.Now())
+	s.log.Info("job canceled", "job", job.ID, "key", fl.key, "client", job.ClientID, "last", len(fl.jobs) == 0)
 	if len(fl.jobs) == 0 {
 		// Last interested party left: stop the work. A queued flight is
 		// unlinked (it may already have been grabbed by a dispatcher —
@@ -324,6 +370,7 @@ func (s *Server) dispatch() {
 // jobs. Never panics: replicate panics surface as errors from the pool.
 func (s *Server) runFlight(fl *flight) {
 	now := time.Now()
+	s.lat.queueWait.Record(now.Sub(fl.enqueued).Nanoseconds())
 	s.mu.Lock()
 	if len(fl.jobs) == 0 {
 		// Every submitter cancelled while the flight was queued (and the
@@ -340,21 +387,43 @@ func (s *Server) runFlight(fl *flight) {
 		j.started = now
 	}
 	s.mu.Unlock()
+	s.log.Info("flight started", "key", fl.key, "client", fl.client,
+		"workload", fl.spec.Workload, "jobs", len(fl.jobs), "wait_ms", now.Sub(fl.enqueued).Milliseconds())
 
 	spec := fl.spec
+	var tl *obs.Timeline
+	if spec.Timeline {
+		tl = obs.NewTimeline(s.cfg.TimelineEvents)
+	}
 	started := time.Now()
 	draws, err := strex.ReplicateWorkloads(spec.Workload, spec.workloadOptions(s.cfg.CacheDir), spec.Seeds)
 	var rr *strex.ReplicatedResult
 	gens := 0
 	if err == nil {
-		rr, gens, err = s.pool.RunDrawsCtx(fl.ctx, spec.config(), draws, spec.kind(),
-			func(done, total int) {
-				fl.done.Store(int64(done))
-				fl.total.Store(int64(total))
-			})
+		onProgress := func(done, total int) {
+			fl.done.Store(int64(done))
+			fl.total.Store(int64(total))
+		}
+		if tl != nil {
+			rr, gens, err = s.pool.RunDrawsTracedCtx(fl.ctx, spec.config(), draws, spec.kind(), tl, onProgress)
+		} else {
+			rr, gens, err = s.pool.RunDrawsCtx(fl.ctx, spec.config(), draws, spec.kind(), onProgress)
+		}
 	}
-	runMillis := time.Since(started).Milliseconds()
+	elapsed := time.Since(started)
+	runMillis := elapsed.Milliseconds()
+	s.lat.run.Record(elapsed.Nanoseconds())
 	fl.cancel() // release the context's resources; the run is over
+
+	var timeline []byte
+	if tl != nil && err == nil {
+		// Render once outside the lock; every attached job shares the
+		// immutable bytes.
+		var buf bytes.Buffer
+		if werr := tl.WriteChrome(&buf); werr == nil {
+			timeline = buf.Bytes()
+		}
+	}
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -366,9 +435,21 @@ func (s *Server) runFlight(fl *flight) {
 	var result *JobResult
 	if err == nil {
 		result = resultOf(spec, rr)
-		s.memo.put(fl.key, result)
+		if !spec.Timeline {
+			s.memo.put(fl.key, result)
+		}
+	}
+	switch {
+	case err == nil:
+		s.log.Info("flight done", "key", fl.key, "client", fl.client,
+			"jobs", len(fl.jobs), "generations", gens, "run_ms", runMillis, "timeline_events", tl.Len())
+	case errors.Is(err, context.Canceled):
+		s.log.Info("flight canceled", "key", fl.key, "client", fl.client, "run_ms", runMillis)
+	default:
+		s.log.Warn("flight failed", "key", fl.key, "client", fl.client, "run_ms", runMillis, "err", err.Error())
 	}
 	for _, j := range fl.jobs {
+		j.timeline = timeline
 		switch {
 		case err == nil:
 			// Generations are charged to the leader; followers rode along
@@ -469,6 +550,7 @@ func (s *Server) evict(now time.Time) {
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining.Store(true)
 	pending := s.q.close()
+	s.log.Info("draining", "queued_flights_canceled", len(pending))
 	now := time.Now()
 	s.mu.Lock()
 	for _, fl := range pending {
@@ -494,14 +576,17 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	case <-ctx.Done():
 		err = ctx.Err()
 		s.mu.Lock()
+		n := len(s.flights)
 		for _, fl := range s.flights {
 			fl.cancel()
 		}
 		s.mu.Unlock()
+		s.log.Warn("drain deadline exceeded", "running_flights_canceled", n)
 		<-done // cancellation stops runs at the next poll boundary
 	}
 	s.stopOnce.Do(func() { close(s.stopJani) })
 	s.janiWG.Wait()
+	s.log.Info("drained")
 	return err
 }
 

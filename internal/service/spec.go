@@ -39,6 +39,14 @@ type JobSpec struct {
 	// N > 1 returns mean ±95% CI aggregates like strexsim -seeds.
 	Seeds int `json:"seeds,omitempty"`
 
+	// Timeline, when true, records a quantum-level run timeline of
+	// replicate 0's engine, retrievable as Chrome trace-event JSON from
+	// GET /v1/jobs/{id}/timeline once the job is done. A traced job is
+	// never served from the result memo or the disk cache (the trace is
+	// a record of an actual execution), and it participates in Key — so
+	// it never coalesces with an untraced twin.
+	Timeline bool `json:"timeline,omitempty"`
+
 	// Sched selects the scheduler: base, strex, slicc, hybrid
 	// (default strex).
 	Sched string `json:"sched,omitempty"`
@@ -148,11 +156,11 @@ func canonicalSched(kind strex.SchedulerKind) string {
 // of its spec (the runner's determinism contract); the per-replicate
 // runcache.RunKey addresses the same facts at disk-cache granularity.
 func (s *JobSpec) Key() string {
-	canon := fmt.Sprintf("wl=%s|txns=%d|seed=%d|scale=%d|synth=%g/%d/%g|seeds=%d|sched=%s|cores=%d|l1i=%d|l1d=%d|ways=%d|pol=%s|pf=%s|team=%d|win=%d",
+	canon := fmt.Sprintf("wl=%s|txns=%d|seed=%d|scale=%d|synth=%g/%d/%g|seeds=%d|sched=%s|cores=%d|l1i=%d|l1d=%d|ways=%d|pol=%s|pf=%s|team=%d|win=%d|tl=%t",
 		s.Workload, s.Txns, s.Seed, s.Scale,
 		s.SynthUnits, s.SynthTypes, s.SynthReuse, s.Seeds,
 		s.Sched, s.Cores, s.L1IKB, s.L1DKB, s.L1Ways,
-		s.Policy, s.Prefetcher, s.TeamSize, s.PoolWindow)
+		s.Policy, s.Prefetcher, s.TeamSize, s.PoolWindow, s.Timeline)
 	h := sha256.Sum256([]byte("job\x00" + canon))
 	return hex.EncodeToString(h[:16])
 }

@@ -24,6 +24,7 @@ import (
 	"strex/internal/cache"
 	"strex/internal/codegen"
 	"strex/internal/memsys"
+	"strex/internal/obs"
 	"strex/internal/prefetch"
 	"strex/internal/trace"
 	"strex/internal/workload"
@@ -105,6 +106,10 @@ type Core struct {
 	// Phase contract: a core's phase only changes between quanta).
 	phase  uint8
 	tagged bool
+
+	// qStart stamps the cycle the current quantum began (set by install;
+	// read only when a timeline tracer is attached).
+	qStart uint64
 }
 
 // Event describes the outcome of one executed trace entry; schedulers
@@ -322,6 +327,12 @@ type Engine struct {
 	stop     <-chan struct{}
 	stopTick int
 	stopped  bool
+
+	// tl, when non-nil, receives quantum and absorption spans as the run
+	// executes (see SetTimeline). Every recording site is guarded by a
+	// nil check, so the untraced hot path pays one predictable branch
+	// and no allocation — the zero-alloc steady state holds.
+	tl *obs.Timeline
 }
 
 // stopStride is how many scheduling steps Run executes between polls of
@@ -345,6 +356,14 @@ func (e *Engine) SetStop(ch <-chan struct{}) {
 // channel (its result is partial: unfinished threads carry zero
 // FinishCycle stamps).
 func (e *Engine) Stopped() bool { return e.stopped }
+
+// SetTimeline attaches (non-nil) or detaches (nil) a run-timeline
+// tracer. The engine records one span per scheduling quantum (with the
+// reason it ended) and one span per hit-run/seg-run absorption stretch.
+// Tracing is strictly observational: it never changes execution order,
+// clocks, or results. Callers that pool engines must detach before
+// returning one to the pool.
+func (e *Engine) SetTimeline(tl *obs.Timeline) { e.tl = tl }
 
 // stopRequested polls the stop channel at stopStride granularity — the
 // heap loop's steps are fine-grained (sub-quantum), so the common case
@@ -664,6 +683,14 @@ func (e *Engine) Run() Result {
 			e.idleAdd(c)
 		}
 	}
+	if e.stopped && e.tl != nil {
+		// Close the open quanta so an interrupted trace still renders.
+		for _, c := range e.heap {
+			if t := c.Cur; t != nil {
+				e.tl.Quantum(c.ID, t.Txn.ID, t.Txn.Type, c.qStart, c.Clock, obs.ReasonStop, c.QInstrs)
+			}
+		}
+	}
 	return e.collect()
 }
 
@@ -677,11 +704,15 @@ func (e *Engine) install(c *Core, t *Thread) {
 	}
 	c.Cur = t
 	c.QInstrs = 0
+	c.qStart = c.Clock
 	c.phase, c.tagged = e.sched.Phase(c.ID)
 }
 
 // finish retires t on c (the cursor is exhausted).
 func (e *Engine) finish(c *Core, t *Thread) {
+	if e.tl != nil {
+		e.tl.Quantum(c.ID, t.Txn.ID, t.Txn.Type, c.qStart, c.Clock, obs.ReasonComplete, c.QInstrs)
+	}
 	t.FinishCycle = c.Clock
 	c.Cur = nil
 	e.live--
@@ -712,6 +743,14 @@ func (e *Engine) step(c *Core) {
 			n, entries = c.SegRun(&t.Cursor, &t.seg, c.phase, c.tagged)
 		}
 		hn, hentries := c.HitRun(&t.Cursor, c.phase, c.tagged, e.runPF)
+		if e.tl != nil {
+			if entries > 0 {
+				e.tl.Absorb(obs.KindSegRun, c.ID, t.Txn.ID, c.Clock, c.Clock+n, uint64(entries))
+			}
+			if hentries > 0 {
+				e.tl.Absorb(obs.KindHitRun, c.ID, t.Txn.ID, c.Clock+n, c.Clock+n+hn, uint64(hentries))
+			}
+		}
 		n += hn
 		entries += hentries
 		if entries > 0 {
@@ -733,6 +772,9 @@ func (e *Engine) step(c *Core) {
 	if c.tagged && e.hooks&HookWouldEvict != 0 && entry.Kind == trace.KInstr {
 		if victimPhase, would := c.L1I.WouldEvict(entry.Block); would {
 			if e.sched.OnWouldEvict(c.ID, victimPhase) {
+				if e.tl != nil {
+					e.tl.Quantum(c.ID, t.Txn.ID, t.Txn.Type, c.qStart, c.Clock, obs.ReasonPreempt, c.QInstrs)
+				}
 				c.Clock += uint64(e.lat.SwitchCost)
 				c.Switches++
 				t.ReadyAt = c.Clock
@@ -814,6 +856,9 @@ func (e *Engine) step(c *Core) {
 	switch act {
 	case Continue:
 	case Yield:
+		if e.tl != nil {
+			e.tl.Quantum(c.ID, t.Txn.ID, t.Txn.Type, c.qStart, c.Clock, obs.ReasonYield, c.QInstrs)
+		}
 		c.Clock += uint64(e.lat.SwitchCost)
 		c.Switches++
 		t.ReadyAt = c.Clock
@@ -822,6 +867,9 @@ func (e *Engine) step(c *Core) {
 	case Migrate:
 		if target == c.ID || target < 0 || target >= len(e.cores) {
 			panic(fmt.Sprintf("sim: bad migration target %d", target))
+		}
+		if e.tl != nil {
+			e.tl.Quantum(c.ID, t.Txn.ID, t.Txn.Type, c.qStart, c.Clock, obs.ReasonMigrate, c.QInstrs)
 		}
 		c.Clock += uint64(e.lat.MigrateCost) / 2 // send half
 		c.Migrations++
@@ -899,6 +947,9 @@ func (e *Engine) replaySolo(c *Core) {
 				blocks := t.seg.Tab().Footprint(seg)
 				if l1i.ResidentRun(blocks) {
 					l1i.ApplyHitRun(blocks, int(seg.End-seg.Start), phase, tagged)
+					if e.tl != nil {
+						e.tl.Absorb(obs.KindSegRun, c.ID, t.Txn.ID, clock, clock+seg.Instrs, uint64(seg.End-seg.Start))
+					}
 					instrs += seg.Instrs
 					clock += seg.Instrs
 					i = int(seg.End) - base

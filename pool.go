@@ -3,7 +3,9 @@ package strex
 import (
 	"context"
 	"fmt"
+	"time"
 
+	"strex/internal/obs"
 	"strex/internal/runcache"
 	"strex/internal/runner"
 	"strex/internal/sim"
@@ -45,6 +47,12 @@ func (p *Pool) CacheStats() runcache.Stats { return p.cache.Stats() }
 
 // CacheEnabled reports whether the pool memoizes results on disk.
 func (p *Pool) CacheEnabled() bool { return p.cache.Enabled() }
+
+// SetRunObserver registers a callback observing the wall-clock duration
+// of every replicate that actually simulates on this pool (cache-served
+// replicates excluded). Call before the first run; the callback must be
+// concurrency-safe. See runner.Executor.SetRunObserver.
+func (p *Pool) SetRunObserver(fn func(d time.Duration)) { p.x.SetRunObserver(fn) }
 
 // schedulerID is the label-independent identity of a scheduler
 // selection — every knob that changes scheduling behaviour must appear
@@ -109,6 +117,20 @@ func (p *Pool) runKey(cfg sim.Config, schedID string, w *Workload) string {
 // onProgress, if non-nil, observes monotone completion (done, total) as
 // replicates are collected in order.
 func (p *Pool) RunDrawsCtx(ctx context.Context, cfg Config, draws []*Workload, kind SchedulerKind, onProgress func(done, total int)) (*ReplicatedResult, int, error) {
+	return p.runDrawsCtx(ctx, cfg, draws, kind, nil, onProgress)
+}
+
+// RunDrawsTracedCtx is RunDrawsCtx with a run-timeline tracer attached
+// to replicate 0's engine. The traced replicate bypasses the disk cache
+// on both read and write — a cache-served result has no engine, so it
+// could never fill the tracer, and a traced run's purpose is the
+// execution itself. Replicates beyond the first behave exactly as in
+// RunDrawsCtx. The tracer is filled by the time the call returns.
+func (p *Pool) RunDrawsTracedCtx(ctx context.Context, cfg Config, draws []*Workload, kind SchedulerKind, tl *obs.Timeline, onProgress func(done, total int)) (*ReplicatedResult, int, error) {
+	return p.runDrawsCtx(ctx, cfg, draws, kind, tl, onProgress)
+}
+
+func (p *Pool) runDrawsCtx(ctx context.Context, cfg Config, draws []*Workload, kind SchedulerKind, tl *obs.Timeline, onProgress func(done, total int)) (*ReplicatedResult, int, error) {
 	if len(draws) == 0 {
 		return nil, 0, fmt.Errorf("strex: RunDrawsCtx needs at least one workload draw")
 	}
@@ -142,6 +164,17 @@ func (p *Pool) RunDrawsCtx(ctx context.Context, cfg Config, draws []*Workload, k
 		return func() sim.Scheduler { return s }
 	}
 	rs.KeyFor = func(rep int, c sim.Config) string { return p.runKey(c, schedID, draws[rep]) }
+	if tl != nil {
+		tl.SetMeta(draws[0].prov.Workload, schedID, simCfg.Cores)
+		rs.Trace = tl // replicate 0 only (SubmitReplicates clears the rest)
+		keyFor := rs.KeyFor
+		rs.KeyFor = func(rep int, c sim.Config) string {
+			if rep == 0 {
+				return "" // must execute, not replay from cache
+			}
+			return keyFor(rep, c)
+		}
+	}
 	batch := p.x.SubmitReplicates(rs, n)
 
 	rr := &ReplicatedResult{

@@ -7,6 +7,7 @@ import (
 	"strex/internal/bench"
 	"strex/internal/cache"
 	"strex/internal/core"
+	"strex/internal/obs"
 	"strex/internal/prefetch"
 	"strex/internal/runcache"
 	"strex/internal/runner"
@@ -435,6 +436,37 @@ func Run(cfg Config, w *Workload, kind SchedulerKind) (Result, error) {
 	}
 	return results[0], nil
 }
+
+// RunTraced is Run with a run-timeline tracer attached: the engine
+// records one span per scheduling quantum and per hit-run/seg-run
+// absorption stretch into a tracer holding up to events entries (<= 0
+// selects the default capacity). The tracer is returned alongside the
+// result; export it with Timeline.WriteChrome (Chrome trace-event JSON,
+// loadable in Perfetto — see docs/OBSERVABILITY.md). Tracing is purely
+// observational: the Result is identical to Run's.
+func RunTraced(cfg Config, w *Workload, kind SchedulerKind, events int) (Result, *obs.Timeline, error) {
+	if w == nil || w.set == nil || len(w.set.Txns) == 0 {
+		return Result{}, nil, fmt.Errorf("strex: RunTraced needs a non-empty workload")
+	}
+	simCfg, err := cfg.build()
+	if err != nil {
+		return Result{}, nil, err
+	}
+	s, err := cfg.scheduler(kind, w, simCfg.Cores)
+	if err != nil {
+		return Result{}, nil, err
+	}
+	tl := obs.NewTimeline(events)
+	tl.SetMeta(w.prov.Workload, s.Name(), simCfg.Cores)
+	eng := sim.New(simCfg, w.set, s)
+	eng.SetTimeline(tl)
+	res := eng.Run().Detach()
+	return toResult(s.Name(), res, len(w.set.Txns), simCfg.Cores), tl, nil
+}
+
+// Timeline re-exports the obs tracer type so facade callers need not
+// import the internal package.
+type Timeline = obs.Timeline
 
 // RunSpec pairs a system configuration with a scheduler selection for
 // batch execution.
