@@ -34,21 +34,35 @@
 // cores, cycles, L1-I MPKI, throughput) for the experiments that record
 // them (fig5, fig6, sweep, smoke) — CI publishes BENCH_suite.json this
 // way.
+//
+// -worker turns the binary into a sharding worker: it serves simulation
+// runs over HTTP for a coordinator and announces "listening on
+// http://..." on stderr. -workers host:port,... runs the suite as that
+// coordinator, fanning runs across the fleet; stdout and -json output
+// stay byte-identical to an in-process run (see docs/SHARDING.md).
+// -shard-json additionally writes the merged report with per-worker
+// dispatch counters and wall-clock timing.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"strings"
+	"syscall"
 	"time"
 
 	"strex/internal/bench"
 	"strex/internal/experiments"
 	"strex/internal/metrics"
+	"strex/internal/obs"
 	"strex/internal/profiling"
 	"strex/internal/runcache"
+	"strex/internal/service"
+	"strex/internal/shard"
 )
 
 // stderrIsTerminal reports whether stderr is a character device (a
@@ -71,7 +85,17 @@ func main() {
 	jsonPath := flag.String("json", "", "write machine-readable run summaries (BENCH_*.json) to this path")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write an end-of-run heap profile to this file")
+	workerMode := flag.Bool("worker", false, "serve simulation runs for a sharding coordinator instead of running the suite (see docs/SHARDING.md)")
+	listen := flag.String("listen", "127.0.0.1:0", "worker mode: listen address (port 0 picks an ephemeral port)")
+	workersList := flag.String("workers", "", "comma-separated worker base URLs to shard the suite across (host:port, from each worker's 'listening on' line)")
+	shardJSON := flag.String("shard-json", "", "write the sharded-run report (records + per-worker timing) to this path")
+	logLevel := flag.String("log-level", "warn", "worker/coordinator log level: debug, info, warn, error")
 	flag.Parse()
+
+	// SIGINT/SIGTERM cancel the run context: in-flight simulations stop
+	// at the engine's next poll boundary, worker mode drains and exits.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
 
 	prof, profErr := profiling.Start(*cpuprofile, *memprofile)
 	if profErr != nil {
@@ -102,12 +126,45 @@ func main() {
 		}
 	}
 
+	if *workerMode {
+		log := obs.NewLogger(os.Stderr, "text", *logLevel)
+		err := service.ServeWorker(ctx, *listen, service.WorkerConfig{
+			Parallel: *parallel, Cache: cache, Log: log,
+		}, func(url string) {
+			// Plain line, greppable: the CI harness parses the URL out of
+			// it to hand to the coordinator's -workers flag.
+			fmt.Fprintf(os.Stderr, "experiments: worker listening on %s\n", url)
+		})
+		if err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	var coord *shard.Coordinator
+	if *workersList != "" {
+		var err error
+		coord, err = shard.New(strings.Split(*workersList, ","), shard.Options{
+			Log: obs.NewLogger(os.Stderr, "text", *logLevel),
+		})
+		if err != nil {
+			fatal(err)
+		}
+		defer coord.Close()
+	}
+
 	// Progress uses \r-overwrite escapes, so it is suppressed when stderr
 	// is not a terminal (redirected logs would fill with control bytes).
 	showProgress := !*quiet && stderrIsTerminal()
-	suite := experiments.NewSuite(experiments.Options{
-		Txns: *txns, Seed: *seed, Seeds: *seeds, Parallel: *parallel, Cache: cache,
-	})
+	sopts := experiments.Options{
+		Txns: *txns, Seed: *seed, Seeds: *seeds, Parallel: *parallel, Cache: cache, Ctx: ctx,
+	}
+	if coord != nil {
+		// Assigned only when non-nil: a typed-nil RemoteRunner interface
+		// would defeat the executor's remote == nil fast path.
+		sopts.Remote = coord
+	}
+	suite := experiments.NewSuite(sopts)
 	if showProgress {
 		suite.Runner().OnProgress(func(done, submitted int, label string) {
 			fmt.Fprintf(os.Stderr, "\r\x1b[K  %d/%d runs  %s", done, submitted, label)
@@ -164,8 +221,21 @@ func main() {
 			return fmt.Errorf("unknown experiment %q (have %s)", name, strings.Join(order, ", "))
 		}
 		start := time.Now()
-		tab := drv()
+		// Drivers panic on failed runs (a cancelled context surfaces its
+		// ctx.Err through the future's Result); recover it into one clean
+		// error line instead of a goroutine dump.
+		tab, err := func() (t *metrics.Table, err error) {
+			defer func() {
+				if r := recover(); r != nil {
+					err = fmt.Errorf("%s failed: %v", name, r)
+				}
+			}()
+			return drv(), nil
+		}()
 		clearProgress()
+		if err != nil {
+			return err
+		}
 		if err := render(tab); err != nil {
 			return err
 		}
@@ -181,10 +251,51 @@ func main() {
 		return nil
 	}
 
+	wallStart := time.Now()
 	finish := func() {
 		// The generation count is the cache's observable contract (a warm
 		// rerun must report 0); CI greps this line.
 		fmt.Fprintf(os.Stderr, "experiments: workload generations: %d\n", bench.Generations())
+		if coord != nil {
+			wm := coord.Metrics()
+			var dispatched, completed int64
+			for _, m := range wm {
+				fmt.Fprintf(os.Stderr, "experiments: shard %s: slots %d alive %v dispatched %d completed %d stolen %d speculated %d retried %d failures %d busy %v\n",
+					m.URL, m.Slots, m.Alive, m.Dispatched, m.Completed, m.Stolen, m.Speculated, m.Retried, m.Failures,
+					time.Duration(m.RunMillis)*time.Millisecond)
+				dispatched += m.Dispatched
+				completed += m.Completed
+			}
+			snap := coord.RPCLatency()
+			fmt.Fprintf(os.Stderr, "experiments: shard totals: %d dispatched, %d completed, %d local fallbacks, rpc p50 %.1fms p99 %.1fms\n",
+				dispatched, completed, coord.LocalFallbacks(), snap.Quantile(0.5)/1e6, snap.Quantile(0.99)/1e6)
+			if *shardJSON != "" {
+				workers := make([]metrics.WorkerTiming, len(wm))
+				for i, m := range wm {
+					workers[i] = metrics.WorkerTiming{
+						URL: m.URL, Slots: m.Slots, Alive: m.Alive,
+						Dispatched: m.Dispatched, Completed: m.Completed,
+						Stolen: m.Stolen, Speculated: m.Speculated,
+						Retried: m.Retried, Failures: m.Failures, RunMillis: m.RunMillis,
+					}
+				}
+				report := metrics.BenchReport{
+					TxnsPerCell: *txns, Seed: *seed, Seeds: *seeds, Records: suite.Records(),
+					Shard: &metrics.ShardSummary{
+						Workers:        workers,
+						WallMillis:     time.Since(wallStart).Milliseconds(),
+						LocalFallbacks: coord.LocalFallbacks(),
+						RPCP50Ms:       snap.Quantile(0.5) / 1e6,
+						RPCP99Ms:       snap.Quantile(0.99) / 1e6,
+					},
+				}
+				if err := report.Save(*shardJSON); err != nil {
+					fatal(err)
+				}
+				fmt.Fprintf(os.Stderr, "experiments: wrote sharded report (%d records, %d workers) to %s\n",
+					len(report.Records), len(workers), *shardJSON)
+			}
+		}
 		if cache.Enabled() {
 			st := cache.Stats()
 			fmt.Fprintf(os.Stderr, "experiments: cache %s: traces %d hit / %d miss, results %d hit / %d miss, %d B read / %d B written\n",

@@ -27,6 +27,12 @@
 // timeline loadable at https://ui.perfetto.dev (single cell, -seeds 1;
 // see docs/OBSERVABILITY.md for the event schema).
 //
+// -worker turns the binary into a sharding worker serving runs over
+// HTTP (it announces "listening on http://..." on stderr); -workers
+// host:port,... fans a grid out across such workers. Results are
+// byte-identical to local execution at any fleet size (see
+// docs/SHARDING.md).
+//
 // Usage:
 //
 //	strexsim -workload tpcc10 -cores 8 -sched strex -team 10
@@ -39,18 +45,24 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"sort"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"strex"
+	"strex/internal/obs"
 	"strex/internal/profiling"
+	"strex/internal/runcache"
 	"strex/internal/runner"
+	"strex/internal/service"
 	"strex/internal/tracefile"
 )
 
@@ -86,7 +98,17 @@ func main() {
 	memprofile := flag.String("memprofile", "", "write an end-of-run heap profile to this file")
 	timeline := flag.String("timeline", "", "write a Chrome trace-event run timeline to this file (single cell, -seeds 1; open in Perfetto)")
 	timelineEvents := flag.Int("timeline-events", 1<<15, "run-timeline ring capacity (earliest events kept on overflow)")
+	workerMode := flag.Bool("worker", false, "serve simulation runs for a sharding coordinator instead of running a grid (see docs/SHARDING.md)")
+	listen := flag.String("listen", "127.0.0.1:0", "worker mode: listen address (port 0 picks an ephemeral port)")
+	workersList := flag.String("workers", "", "comma-separated worker base URLs to shard grids across (host:port, from each worker's 'listening on' line)")
+	logLevel := flag.String("log-level", "warn", "worker/coordinator log level: debug, info, warn, error")
 	flag.Parse()
+
+	// SIGINT/SIGTERM cancel the run context: queued runs are skipped,
+	// in-flight ones stop at the engine's next poll boundary, and worker
+	// mode drains and exits.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
 
 	prof, profErr := profiling.Start(*cpuprofile, *memprofile)
 	if profErr != nil {
@@ -112,6 +134,37 @@ func main() {
 	if *list {
 		printWorkloads()
 		return
+	}
+
+	if *workerMode {
+		var cache *runcache.Cache
+		if *cacheDir != "" && !*noCache {
+			var err error
+			if cache, err = runcache.Open(*cacheDir); err != nil {
+				fail(err)
+			}
+		}
+		err := service.ServeWorker(ctx, *listen, service.WorkerConfig{
+			Parallel: *parallel, Cache: cache, Log: obs.NewLogger(os.Stderr, "text", *logLevel),
+		}, func(url string) {
+			// Plain line, greppable: harnesses parse the URL out of it to
+			// hand to a coordinator's -workers flag.
+			fmt.Fprintf(os.Stderr, "strexsim: worker listening on %s\n", url)
+		})
+		if err != nil {
+			fail(err)
+		}
+		return
+	}
+
+	var fleet *strex.Fleet
+	if *workersList != "" {
+		var err error
+		fleet, err = strex.ConnectFleet(strings.Split(*workersList, ","), obs.NewLogger(os.Stderr, "text", *logLevel))
+		if err != nil {
+			fail(err)
+		}
+		defer fleet.Close()
 	}
 
 	if *seedsN > 1 {
@@ -145,7 +198,7 @@ func main() {
 			CacheDir:            *cacheDir,
 			NoCache:             *noCache,
 		}
-		runReplicatedGrid(*wl, wopts, cores, kinds, *seedsN, *team, *policy, *pf, *seed, *parallel, *quiet, fail)
+		runReplicatedGrid(ctx, fleet, *wl, wopts, cores, kinds, *seedsN, *team, *policy, *pf, *seed, *parallel, *quiet, fail)
 		return
 	}
 
@@ -243,7 +296,9 @@ func main() {
 	if len(specs) == 1 || *quiet || !stderrIsTerminal() {
 		progress = nil
 	}
-	results, err := strex.RunMany(w, specs, workers, progress)
+	results, err := strex.RunManySharded(w, specs, strex.GridOptions{
+		Parallel: *parallel, Ctx: ctx, Fleet: fleet, OnProgress: progress,
+	})
 	if err != nil {
 		fail(err)
 	}
@@ -303,7 +358,8 @@ func parseScheds(list string) ([]strex.SchedulerKind, error) {
 // once (strex.ReplicateWorkloads) and the whole grid — every cell's
 // every replicate — fans out over one worker pool (strex.RunManyDraws),
 // keeping the non-replicated grid's cross-cell parallelism.
-func runReplicatedGrid(wl string, wopts strex.WorkloadOptions, cores []int, kinds []strex.SchedulerKind,
+func runReplicatedGrid(ctx context.Context, fleet *strex.Fleet, wl string, wopts strex.WorkloadOptions,
+	cores []int, kinds []strex.SchedulerKind,
 	n, team int, policy, pf string, seed uint64, parallel int, quiet bool, fail func(error)) {
 	workers := runner.ResolveWorkers(parallel)
 	draws, err := strex.ReplicateWorkloads(wl, wopts, n)
@@ -338,7 +394,9 @@ func runReplicatedGrid(wl string, wopts strex.WorkloadOptions, cores []int, kind
 				err = fmt.Errorf("replicate run failed: %v", r)
 			}
 		}()
-		return strex.RunManyDraws(draws, specs, parallel, progress)
+		return strex.RunManyDrawsSharded(draws, specs, strex.GridOptions{
+			Parallel: parallel, Ctx: ctx, Fleet: fleet, OnProgress: progress,
+		})
 	}()
 	if err != nil {
 		fail(err)

@@ -99,4 +99,13 @@
 // because a run is a pure function of its spec. cmd/strexload drives
 // and verifies a running daemon; docs/SERVICE.md has the API
 // specification and operational notes.
+//
+// Grids also shard across processes and machines: the same purity
+// argument lets a coordinator (internal/shard, ConnectFleet +
+// RunManySharded/RunManyDrawsSharded here) partition a grid by cache
+// key over HTTP workers (-worker mode of cmd/experiments and
+// cmd/strexsim), work-steal stragglers, and resubmit after worker
+// death, with stdout and BENCH output byte-identical to the serial
+// run at any fleet size — docs/SHARDING.md has the topology, wire
+// surface and failure model.
 package strex

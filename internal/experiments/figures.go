@@ -62,19 +62,11 @@ func (s *Suite) runHybridReps(label string, sets []*workload.Set, cores int) *Re
 // instances is replicated `times` times (sharing the identical trace),
 // interleaved so replicas of the same instance arrive together. Callers
 // holding a cacheable parent register the result via Suite.derivedSet.
+// It delegates to workload.ReplicateIdentical — the same function
+// sharding workers apply — so the "+replicateN" content address means
+// the same bytes in every process.
 func replicate(set *workload.Set, times int) *workload.Set {
-	out := &workload.Set{Name: set.Name + "-identical", Types: set.Types, Layout: set.Layout}
-	id := 0
-	for _, tx := range set.Txns {
-		for r := 0; r < times; r++ {
-			out.Txns = append(out.Txns, &workload.Txn{
-				ID: id, Type: tx.Type, Header: tx.Header, Trace: tx.Trace,
-			})
-			id++
-		}
-	}
-	out.DataBlocks = set.DataBlocks
-	return out
+	return workload.ReplicateIdentical(set, times)
 }
 
 // Figure4 reproduces the identical-transaction potential study: ten

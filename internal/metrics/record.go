@@ -138,6 +138,44 @@ type BenchReport struct {
 	// Build records which binary produced the report (filled by Write).
 	Build   obs.BuildInfo `json:"build"`
 	Records []RunRecord   `json:"records"`
+	// Shard summarizes a sharded (coordinator/worker) execution:
+	// per-worker dispatch accounting and timing. Nil — and therefore
+	// absent from the JSON — for in-process runs, which is what keeps a
+	// serial report byte-identical to the pre-sharding format. Unlike
+	// everything above, the summary contains wall-clock timing, so the
+	// sharded CI pipeline publishes it in a separate BENCH_shard.json
+	// artifact rather than the byte-compared report.
+	Shard *ShardSummary `json:"shard,omitempty"`
+}
+
+// ShardSummary records how a sharded run distributed its work.
+type ShardSummary struct {
+	Workers []WorkerTiming `json:"workers"`
+	// WallMillis is the coordinator-observed wall time of the whole
+	// sharded phase.
+	WallMillis int64 `json:"wall_millis"`
+	// LocalFallbacks counts runs executed locally because the fleet was
+	// unreachable (0 in a healthy run).
+	LocalFallbacks int64 `json:"local_fallbacks"`
+	// RPC latency of run dispatches, in milliseconds.
+	RPCP50Ms float64 `json:"rpc_p50_ms"`
+	RPCP99Ms float64 `json:"rpc_p99_ms"`
+}
+
+// WorkerTiming is one worker's share of a sharded run (mirrors
+// shard.WorkerMetrics; duplicated here so the metrics schema does not
+// depend on the execution machinery).
+type WorkerTiming struct {
+	URL        string `json:"url"`
+	Slots      int    `json:"slots"`
+	Alive      bool   `json:"alive"`
+	Dispatched int64  `json:"dispatched"`
+	Completed  int64  `json:"completed"`
+	Stolen     int64  `json:"stolen"`
+	Speculated int64  `json:"speculated"`
+	Retried    int64  `json:"retried"`
+	Failures   int64  `json:"failures"`
+	RunMillis  int64  `json:"run_millis"`
 }
 
 // BenchReportSchemaVersion identifies the report layout. Version 2

@@ -97,6 +97,20 @@ func (p *PromWriter) Gauge(name, help string, v float64) {
 	p.sample(name, nil, v)
 }
 
+// CounterVec emits a counter family with one sample per label value, in
+// sorted label order so the exposition is deterministic.
+func (p *PromWriter) CounterVec(name, help, label string, values map[string]float64) {
+	p.family(name, help, "counter")
+	keys := make([]string, 0, len(values))
+	for k := range values {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		p.sample(name, []string{label, k}, values[k])
+	}
+}
+
 // GaugeVec emits a gauge family with one sample per label value, in
 // sorted label order so the exposition is deterministic.
 func (p *PromWriter) GaugeVec(name, help, label string, values map[string]float64) {

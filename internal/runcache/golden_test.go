@@ -1,0 +1,74 @@
+package runcache
+
+import (
+	"testing"
+
+	"strex/internal/sim"
+)
+
+// Golden content addresses for fixed keys. These literals pin the key
+// derivation itself — canonical-string layout, field order, digest
+// domain separation, FormatVersion, tracefile.Version — not just its
+// stability within one process. They are what makes the sharded mode
+// safe: coordinator and workers address one shared cache directory by
+// these strings, so a silent derivation change would not fail loudly,
+// it would fork the key space and quietly duplicate every artifact
+// (or, worse, mix artifacts across incompatible derivations).
+//
+// If one of these tests fails, the derivation changed. That is allowed
+// — but it must be deliberate: bump FormatVersion (which orphans old
+// artifacts cleanly), then regenerate the literals below from the new
+// derivation. Never "fix" the literal alone.
+func TestGoldenSetKeys(t *testing.T) {
+	cases := []struct {
+		name string
+		key  SetKey
+		want string
+	}{
+		{
+			name: "benchmark stream",
+			key:  SetKey{Workload: "tpcc1", Seed: 42, Scale: 1, Txns: 160, TypeID: -1},
+			want: "1c4d7b71bd620a1786fdb3b44a5e41bbe724561f6ce4abdd69915425d57f3b42",
+		},
+		{
+			name: "typed synth with extra params",
+			key: SetKey{
+				Workload: "synth", Seed: 7, Scale: 0, Txns: 120, TypeID: 2,
+				Extra: "synth.Params{FootprintUnits:4, Types:4, DataReuse:0.5}",
+			},
+			want: "fea70fc206d9218f3771a87e78add1e5d2fcd6dd86c954cb1d356f55e93c882c",
+		},
+	}
+	for _, tc := range cases {
+		if got := tc.key.Hash(); got != tc.want {
+			t.Errorf("%s: SetKey.Hash() = %s, want %s\n(key derivation changed: bump FormatVersion and regenerate the goldens)",
+				tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestGoldenRunKeys(t *testing.T) {
+	setID := SetKey{Workload: "tpcc1", Seed: 42, Scale: 1, Txns: 160, TypeID: -1}.Hash()
+	cases := []struct {
+		name string
+		key  RunKey
+		want string
+	}{
+		{
+			name: "default config strex run",
+			key:  RunKey{Config: sim.DefaultConfig(4), Sched: "strex/w30/t10", SetID: setID},
+			want: "dd62ff3f1f03630bdfd9948a73ddf98bc33081491f6007aa142296e6a915647d",
+		},
+		{
+			name: "derived replicate set under a cell label",
+			key:  RunKey{Config: sim.DefaultConfig(8), Sched: "fig4:base", SetID: setID + "+replicate10"},
+			want: "90f858a540574e0043473b00a49744119d4370a7b5dd0683a9c5d96b7e68ed78",
+		},
+	}
+	for _, tc := range cases {
+		if got := tc.key.Hash(); got != tc.want {
+			t.Errorf("%s: RunKey.Hash() = %s, want %s\n(key derivation changed — possibly a new sim.Config field, which %%#v folds in by design: bump FormatVersion and regenerate the goldens)",
+				tc.name, got, tc.want)
+		}
+	}
+}

@@ -35,6 +35,7 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"io/fs"
@@ -42,6 +43,7 @@ import (
 	"path/filepath"
 	"sort"
 	"sync/atomic"
+	"time"
 
 	"strex/internal/atomicfile"
 	"strex/internal/sim"
@@ -325,9 +327,20 @@ func (c *Cache) Size() (int64, error) {
 	return total, err
 }
 
+// pruneTempGrace is how old a dot-prefixed temp file must be before
+// Prune treats it as orphaned. Sharded execution points several worker
+// processes at one cache directory, so a temp file may be a write in
+// flight in another process — removing it would break that writer's
+// rename. Anything older than the grace period is debris from a crash.
+var pruneTempGrace = 15 * time.Minute
+
 // Prune evicts least-recently-modified artifacts until the cache is at
 // or below maxBytes (0 empties it entirely). It returns the number of
-// files removed. Partially written temp files are always removed.
+// files removed. Orphaned temp files (older than pruneTempGrace) are
+// always removed; young ones are left alone as probable in-flight
+// writes from a concurrent process. Prune is safe to run while other
+// processes read and write the same directory: files that vanish
+// between the scan and the removal are simply counted as already gone.
 func (c *Cache) Prune(maxBytes int64) (int, error) {
 	if !c.Enabled() {
 		return 0, nil
@@ -340,6 +353,9 @@ func (c *Cache) Prune(maxBytes int64) (int, error) {
 	var files []file
 	var total int64
 	err := filepath.WalkDir(c.dir, func(path string, d fs.DirEntry, err error) error {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil // raced with a concurrent Prune/rename
+		}
 		if err != nil || d.IsDir() {
 			return err
 		}
@@ -347,8 +363,10 @@ func (c *Cache) Prune(maxBytes int64) (int, error) {
 		if ierr != nil {
 			return nil
 		}
-		if filepath.Base(path)[0] == '.' { // orphaned temp file
-			os.Remove(path)
+		if filepath.Base(path)[0] == '.' {
+			if time.Since(info.ModTime()) > pruneTempGrace {
+				os.Remove(path) // orphaned temp file from a crashed writer
+			}
 			return nil
 		}
 		files = append(files, file{path, info.Size(), info.ModTime().UnixNano()})
@@ -367,9 +385,14 @@ func (c *Cache) Prune(maxBytes int64) (int, error) {
 		if total <= maxBytes {
 			break
 		}
-		if err := os.Remove(f.path); err == nil {
-			total -= f.size
+		err := os.Remove(f.path)
+		if err == nil {
 			removed++
+		}
+		if err == nil || errors.Is(err, fs.ErrNotExist) {
+			// Either we removed it or a concurrent pruner beat us to it;
+			// both ways those bytes are no longer in the cache.
+			total -= f.size
 		}
 	}
 	return removed, nil

@@ -1,0 +1,206 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"strex/internal/runcache"
+	"strex/internal/sched"
+	"strex/internal/sim"
+)
+
+// fakeRemote scripts RunRemote per call: it serves the payload's
+// pre-recorded result, degrades, or fails, and counts what it saw.
+type fakeRemote struct {
+	calls atomic.Int64
+	serve func(payload interface{}) (runcache.Record, bool, error)
+}
+
+func (f *fakeRemote) RunRemote(ctx context.Context, payload interface{}) (runcache.Record, bool, error) {
+	f.calls.Add(1)
+	return f.serve(payload)
+}
+
+func remoteSpec(t *testing.T) (Spec, sim.Result) {
+	t.Helper()
+	set := testSet(t, 8)
+	spec := Spec{
+		Config: sim.DefaultConfig(2),
+		Set:    set,
+		Sched:  func() sim.Scheduler { return sched.NewBaseline() },
+	}
+	res, err := New(1).Submit(spec).Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec, res
+}
+
+func TestRemoteServesRun(t *testing.T) {
+	spec, want := remoteSpec(t)
+	remote := &fakeRemote{serve: func(payload interface{}) (runcache.Record, bool, error) {
+		if payload != "payload" {
+			return runcache.Record{}, false, fmt.Errorf("unexpected payload %v", payload)
+		}
+		return runcache.RecordOf(want), true, nil
+	}}
+	x := New(1)
+	x.SetRemote(remote)
+	spec.Remote = "payload"
+	f := x.Submit(spec)
+	res, err := f.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats != want.Stats {
+		t.Fatalf("remote result stats diverge:\n got %+v\nwant %+v", res.Stats, want.Stats)
+	}
+	if !f.Executed() {
+		t.Fatal("remote-executed run should report Executed")
+	}
+	if remote.calls.Load() != 1 {
+		t.Fatalf("remote called %d times, want 1", remote.calls.Load())
+	}
+}
+
+func TestRemoteSkippedWithoutPayload(t *testing.T) {
+	spec, want := remoteSpec(t)
+	remote := &fakeRemote{serve: func(interface{}) (runcache.Record, bool, error) {
+		return runcache.Record{}, false, fmt.Errorf("must not be called")
+	}}
+	x := New(1)
+	x.SetRemote(remote)
+	res, err := x.Submit(spec).Wait() // spec.Remote nil: local execution
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats != want.Stats {
+		t.Fatal("local result diverged")
+	}
+	if remote.calls.Load() != 0 {
+		t.Fatalf("remote called %d times for a payload-less spec", remote.calls.Load())
+	}
+}
+
+func TestRemoteUnavailableFallsBackLocally(t *testing.T) {
+	spec, want := remoteSpec(t)
+	remote := &fakeRemote{serve: func(interface{}) (runcache.Record, bool, error) {
+		return runcache.Record{}, false, ErrRemoteUnavailable
+	}}
+	x := New(1)
+	x.SetRemote(remote)
+	spec.Remote = "payload"
+	f := x.Submit(spec)
+	res, err := f.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats != want.Stats {
+		t.Fatal("fallback result diverged from local execution")
+	}
+	if !f.Executed() {
+		t.Fatal("fallback run executes locally, Executed must be true")
+	}
+}
+
+func TestRemoteHardErrorFailsFuture(t *testing.T) {
+	spec, _ := remoteSpec(t)
+	boom := errors.New("worker rejected the spec")
+	remote := &fakeRemote{serve: func(interface{}) (runcache.Record, bool, error) {
+		return runcache.Record{}, false, boom
+	}}
+	x := New(1)
+	x.SetRemote(remote)
+	spec.Remote = "payload"
+	if _, err := x.Submit(spec).Wait(); !errors.Is(err, boom) {
+		t.Fatalf("want the remote's error, got %v", err)
+	}
+}
+
+func TestRemoteResultStoredInCache(t *testing.T) {
+	spec, want := remoteSpec(t)
+	cache, err := runcache.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	remote := &fakeRemote{serve: func(interface{}) (runcache.Record, bool, error) {
+		return runcache.RecordOf(want), true, nil
+	}}
+	x := New(1)
+	x.SetCache(cache)
+	x.SetRemote(remote)
+	spec.Remote = "payload"
+	spec.CacheKey = "deadbeef"
+	if _, err := x.Submit(spec).Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := cache.GetResult("deadbeef"); !ok {
+		t.Fatal("remote result not stored under the spec's cache key")
+	}
+	// A second executor serves the run from disk without touching the
+	// remote — the shared cache directory as coordination substrate.
+	y := New(1)
+	y.SetCache(cache)
+	y.SetRemote(&fakeRemote{serve: func(interface{}) (runcache.Record, bool, error) {
+		return runcache.Record{}, false, fmt.Errorf("must not be called")
+	}})
+	f := y.Submit(spec)
+	res, err := f.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats != want.Stats || !f.FromCache() {
+		t.Fatalf("second run not served from cache (fromCache=%v)", f.FromCache())
+	}
+}
+
+// TestRemoteForPerReplicate pins the per-replicate payload contract:
+// without RemoteFor only replicate 0 may carry Spec.Remote (a shared
+// payload would hand every replicate the same remote result), and with
+// RemoteFor each replicate gets its own payload.
+func TestRemoteForPerReplicate(t *testing.T) {
+	spec, _ := remoteSpec(t)
+	var mu sync.Mutex
+	seen := map[string]bool{}
+	remote := &fakeRemote{serve: func(payload interface{}) (runcache.Record, bool, error) {
+		mu.Lock()
+		seen[payload.(string)] = true
+		mu.Unlock()
+		return runcache.Record{}, false, ErrRemoteUnavailable // run locally; we only observe payloads
+	}}
+	x := New(1)
+	x.SetRemote(remote)
+	rs := ReplicateSpec{Spec: spec}
+	rs.Spec.Remote = "rep0"
+	rs.RemoteFor = func(rep int, cfg sim.Config, cacheKey string) interface{} {
+		return fmt.Sprintf("rep%d", rep)
+	}
+	b := x.SubmitReplicates(rs, 3)
+	for i := 0; i < b.Len(); i++ {
+		if _, err := b.WaitRep(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(seen) != 3 || !seen["rep0"] || !seen["rep1"] || !seen["rep2"] {
+		t.Fatalf("remote payloads = %v, want rep0..rep2 each once", seen)
+	}
+
+	// Without RemoteFor, replicates > 0 must not inherit replicate 0's
+	// payload.
+	seen = map[string]bool{}
+	rs2 := ReplicateSpec{Spec: spec}
+	rs2.Spec.Remote = "rep0"
+	b2 := x.SubmitReplicates(rs2, 3)
+	for i := 0; i < b2.Len(); i++ {
+		if _, err := b2.WaitRep(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(seen) != 1 || !seen["rep0"] {
+		t.Fatalf("without RemoteFor only replicate 0 may go remote, saw %v", seen)
+	}
+}

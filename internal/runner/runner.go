@@ -35,6 +35,7 @@ package runner
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -97,6 +98,34 @@ type Spec struct {
 	// leave the tracer empty — and the tracer is detached before the
 	// engine returns to the pool. Tracing never changes results.
 	Trace *obs.Timeline
+	// Remote, when non-nil and the executor carries a remote runner
+	// (SetRemote), is the opaque wire payload describing this run to the
+	// remote fleet (the coordinator's shard.WireSpec). Remote-eligible
+	// runs bypass the local worker semaphore — the remote side bounds
+	// its own concurrency — and fall back to local execution when the
+	// remote reports ErrRemoteUnavailable. Because a run is a pure
+	// function of its spec, remote and local execution are
+	// interchangeable bit-for-bit; Remote only moves the work. Traced
+	// specs always execute locally (the trace records this process's
+	// engine).
+	Remote interface{}
+}
+
+// ErrRemoteUnavailable is returned by a RemoteRunner that cannot
+// currently execute anything (every worker dead or the payload not
+// recognized). The executor reacts by running the spec locally — remote
+// execution degrades to "slower", never to "failed run".
+var ErrRemoteUnavailable = errors.New("runner: remote execution unavailable")
+
+// RemoteRunner executes one run somewhere else. RunRemote blocks until
+// the run completes (or ctx is cancelled) and returns the result in its
+// serialized cache form plus whether a simulator actually executed
+// (false = served from a remote cache or memo). It must be safe for
+// concurrent use — the executor calls it from many run goroutines.
+// Implementations signal "fall back to local" with ErrRemoteUnavailable;
+// any other error fails the run's future.
+type RemoteRunner interface {
+	RunRemote(ctx context.Context, payload interface{}) (rec runcache.Record, executed bool, err error)
 }
 
 // dedupKey is the in-process memo key for a spec with a SchedID.
@@ -116,11 +145,18 @@ type Future struct {
 
 // Result blocks until the run completes and returns its result. If the
 // run panicked (a simulator invariant violation), Result re-panics with
-// the same value in the caller's goroutine.
+// the same value in the caller's goroutine; a run failed by an error —
+// cancellation via Spec.Ctx, or a permanent remote failure — panics
+// with that error rather than returning a zero Result as if the run had
+// measured all-zero stats. Callers that want the error as a value use
+// Wait.
 func (f *Future) Result() sim.Result {
 	<-f.done
 	if f.pan != nil {
 		panic(f.pan)
+	}
+	if f.err != nil {
+		panic(f.err)
 	}
 	return f.res
 }
@@ -165,8 +201,9 @@ func (f *Future) FromCache() bool {
 // admission limit rather than a per-caller one. The zero value is not
 // usable; call New.
 type Executor struct {
-	sem   chan struct{}   // counting semaphore bounding concurrent runs
-	cache *runcache.Cache // nil = no result memoization
+	sem    chan struct{}   // counting semaphore bounding concurrent runs
+	cache  *runcache.Cache // nil = no result memoization
+	remote RemoteRunner    // nil = all runs execute locally
 
 	submitted atomic.Int64
 	completed atomic.Int64
@@ -265,6 +302,15 @@ func (x *Executor) Workers() int { return cap(x.sem) }
 // concurrently, which runcache's atomic artifact discipline permits.
 func (x *Executor) SetCache(c *runcache.Cache) { x.cache = c }
 
+// SetRemote attaches a remote runner consulted for every Spec that
+// carries a Remote payload. Call it before the first Submit; nil (the
+// default) keeps every run local. The local disk cache, when attached,
+// still short-circuits remote dispatch — a warm run never crosses the
+// network — and remotely produced records are stored under the spec's
+// CacheKey, so a sharded cold run warms the local cache exactly like a
+// local one.
+func (x *Executor) SetRemote(r RemoteRunner) { x.remote = r }
+
 // SetRunObserver registers a callback invoked with the wall-clock
 // duration of every actually-executed run. Call it before the first
 // Submit; the callback runs on worker goroutines and must be
@@ -344,9 +390,24 @@ func (x *Executor) Submit(spec Spec) *Future {
 		x.inprocMu.Unlock()
 	}
 	go func() {
-		x.sem <- struct{}{}
+		// Remote-eligible runs skip the local worker semaphore: the
+		// remote coordinator bounds its own per-worker concurrency, and
+		// holding a local slot while blocked on an RPC would starve the
+		// local pool. The slot is acquired late iff the run falls back to
+		// local execution.
+		remote := x.remote != nil && spec.Remote != nil && spec.Trace == nil
+		acquired := false
+		acquire := func() {
+			x.sem <- struct{}{}
+			acquired = true
+		}
+		if !remote {
+			acquire()
+		}
 		defer func() {
-			<-x.sem
+			if acquired {
+				<-x.sem
+			}
 			if r := recover(); r != nil {
 				f.pan = r
 			}
@@ -371,6 +432,29 @@ func (x *Executor) Submit(spec Spec) *Future {
 			if rec, ok := x.cache.GetResult(spec.CacheKey); ok {
 				f.res = rec.Result()
 				f.cached = true
+				return
+			}
+		}
+		if remote {
+			ctx := spec.Ctx
+			if ctx == nil {
+				ctx = context.Background()
+			}
+			rec, executed, err := x.remote.RunRemote(ctx, spec.Remote)
+			switch {
+			case err == nil:
+				f.res = rec.Result()
+				f.executed = executed
+				if spec.CacheKey != "" {
+					// Store the remote record locally so a warm rerun is
+					// warm even with the fleet detached.
+					_ = x.cache.PutResult(spec.CacheKey, rec)
+				}
+				return
+			case errors.Is(err, ErrRemoteUnavailable):
+				acquire() // fleet gone: degrade to local execution
+			default:
+				f.err = err
 				return
 			}
 		}
@@ -493,6 +577,13 @@ type ReplicateSpec struct {
 	// 0 keeps Spec.CacheKey and derived replicates run uncached — a
 	// shared key would alias distinct runs.
 	KeyFor func(rep int, cfg sim.Config) string
+	// RemoteFor, when non-nil, supplies replicate rep's remote wire
+	// payload given its final config and cache key (nil return = that
+	// replicate executes locally). When nil, replicate 0 keeps
+	// Spec.Remote and derived replicates run locally — replicates
+	// differ in seed, set and key, so sharing one payload would hand
+	// every replicate the same remote run.
+	RemoteFor func(rep int, cfg sim.Config, cacheKey string) interface{}
 }
 
 // Batch is the pending result of a replicated submission: one future
@@ -566,6 +657,11 @@ func (x *Executor) SubmitReplicates(rs ReplicateSpec, n int) *Batch {
 			spec.CacheKey = rs.KeyFor(rep, spec.Config)
 		} else if rep > 0 {
 			spec.CacheKey = ""
+		}
+		if rs.RemoteFor != nil {
+			spec.Remote = rs.RemoteFor(rep, spec.Config, spec.CacheKey)
+		} else if rep > 0 {
+			spec.Remote = nil
 		}
 		b.futs[rep] = x.Submit(spec)
 	}

@@ -1,0 +1,19 @@
+package service
+
+import "testing"
+
+// TestGoldenJobKey pins the JobSpec coalescing key the same way
+// runcache's golden tests pin the disk-cache keys (see the comment
+// there): daemon restarts and mixed-version fleets rely on equal specs
+// producing equal keys across processes. A deliberate derivation change
+// must regenerate this literal, never the other way around.
+func TestGoldenJobKey(t *testing.T) {
+	s := JobSpec{Workload: "tatp", Txns: 120, Seed: 1, Sched: "strex", Cores: 4, TeamSize: 10}
+	if err := s.normalize(Limits{}); err != nil {
+		t.Fatal(err)
+	}
+	const want = "56c576e525f07709516f61668324aba2"
+	if got := s.Key(); got != want {
+		t.Errorf("JobSpec.Key() = %s, want %s (key derivation changed: regenerate the golden deliberately)", got, want)
+	}
+}

@@ -1,0 +1,608 @@
+package shard
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"strex/internal/obs"
+	"strex/internal/runcache"
+	"strex/internal/runner"
+)
+
+// Options configures a Coordinator.
+type Options struct {
+	// Log receives dispatch and failure events (nil = silent).
+	Log *slog.Logger
+	// HandshakeTimeout bounds the per-worker /v1/workerz handshake
+	// (default 5s). Run RPCs themselves are unbounded — a simulation
+	// takes as long as it takes; liveness comes from connection errors.
+	HandshakeTimeout time.Duration
+	// SpeculateAfter is how long a run must be in flight with every
+	// queue empty before an idle worker launches a duplicate attempt
+	// (default 1s). Determinism makes duplicates free: both attempts
+	// yield byte-identical records, first one back wins.
+	SpeculateAfter time.Duration
+}
+
+// WorkerMetrics is a snapshot of one worker's dispatch accounting.
+type WorkerMetrics struct {
+	URL        string `json:"url"`
+	Slots      int    `json:"slots"`
+	Alive      bool   `json:"alive"`
+	Dispatched int64  `json:"dispatched"`
+	Completed  int64  `json:"completed"`
+	Stolen     int64  `json:"stolen"`
+	Speculated int64  `json:"speculated"`
+	Retried    int64  `json:"retried"`
+	Failures   int64  `json:"failures"`
+	RunMillis  int64  `json:"run_millis"`
+}
+
+// workerState is the coordinator's view of one worker process. Counters
+// are guarded by Coordinator.mu.
+type workerState struct {
+	url    string
+	client *http.Client
+	slots  int
+	alive  bool
+
+	dispatched int64
+	completed  int64
+	stolen     int64
+	speculated int64
+	retried    int64
+	failures   int64
+	runMillis  int64
+}
+
+// task is one run moving through the coordinator. All fields are
+// guarded by Coordinator.mu; done is closed exactly once, when the
+// task resolves.
+type task struct {
+	spec      *WireSpec
+	done      chan struct{}
+	attempted map[int]bool // worker index -> has attempted this run
+	attempts  int
+	live      int // attempts currently in flight
+	started   time.Time
+	cancels   []context.CancelFunc
+
+	resolved bool
+	rec      runcache.Record
+	executed bool
+	err      error
+}
+
+// Coordinator fans simulation runs out to a fleet of worker processes.
+// It implements runner.RemoteRunner, so plugging it into an Executor
+// (SetRemote) converts every existing driver to location-transparent
+// execution behind the unchanged Submit/Future interface.
+//
+// Scheduling: each run's partition key hashes it to a home worker
+// (stable across processes); each worker drains its own queue first,
+// steals from the back of the longest other queue when idle, and —
+// once every queue is empty — speculates duplicate attempts of
+// still-running stragglers. A worker whose connection drops is marked
+// dead and its queued and in-flight keys are resubmitted to survivors.
+// When no workers remain, pending and future runs resolve with
+// runner.ErrRemoteUnavailable and the executor degrades to local
+// execution.
+type Coordinator struct {
+	log     *slog.Logger
+	baseCtx context.Context
+	cancel  context.CancelFunc
+	rpc     *obs.Hist
+	specAge time.Duration
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	workers   []*workerState
+	queues    [][]*task
+	inflight  map[*task]struct{}
+	alive     int
+	closed    bool
+	fallbacks int64
+
+	wg sync.WaitGroup
+}
+
+// New connects to the given worker base URLs ("host:port" or
+// "http://host:port") and starts the dispatch loops — one goroutine per
+// advertised worker slot. Unreachable workers are skipped with a
+// warning; New fails only when none respond.
+func New(urls []string, opt Options) (*Coordinator, error) {
+	if len(urls) == 0 {
+		return nil, fmt.Errorf("shard: no worker URLs")
+	}
+	if opt.HandshakeTimeout <= 0 {
+		opt.HandshakeTimeout = 5 * time.Second
+	}
+	if opt.SpeculateAfter <= 0 {
+		opt.SpeculateAfter = time.Second
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	c := &Coordinator{
+		log:      obs.Or(opt.Log),
+		baseCtx:  ctx,
+		cancel:   cancel,
+		rpc:      obs.NewHist(),
+		specAge:  opt.SpeculateAfter,
+		inflight: make(map[*task]struct{}),
+	}
+	c.cond = sync.NewCond(&c.mu)
+	for _, u := range urls {
+		u = strings.TrimRight(strings.TrimSpace(u), "/")
+		if u == "" {
+			continue
+		}
+		if !strings.Contains(u, "://") {
+			u = "http://" + u
+		}
+		w := &workerState{url: u, client: &http.Client{}}
+		info, err := c.handshake(w, opt.HandshakeTimeout)
+		if err != nil {
+			c.log.Warn("shard: worker handshake failed, skipping", "url", u, "err", err)
+			w.failures++
+		} else {
+			w.alive = true
+			w.slots = info.Parallel
+			if w.slots < 1 {
+				w.slots = 1
+			}
+			c.alive++
+		}
+		c.workers = append(c.workers, w)
+	}
+	if c.alive == 0 {
+		cancel()
+		return nil, fmt.Errorf("shard: no workers reachable out of %d", len(c.workers))
+	}
+	c.queues = make([][]*task, len(c.workers))
+	for wi, w := range c.workers {
+		if !w.alive {
+			continue
+		}
+		for s := 0; s < w.slots; s++ {
+			c.wg.Add(1)
+			go c.loop(wi)
+		}
+	}
+	// Idle loops park on the cond; a straggler aging past SpeculateAfter
+	// generates no event of its own, so a ticker re-wakes them to check.
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		tick := time.NewTicker(opt.SpeculateAfter)
+		defer tick.Stop()
+		for {
+			select {
+			case <-c.baseCtx.Done():
+				return
+			case <-tick.C:
+				c.cond.Broadcast()
+			}
+		}
+	}()
+	return c, nil
+}
+
+func (c *Coordinator) handshake(w *workerState, timeout time.Duration) (WorkerInfo, error) {
+	ctx, cancel := context.WithTimeout(c.baseCtx, timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, w.url+"/v1/workerz", nil)
+	if err != nil {
+		return WorkerInfo{}, err
+	}
+	resp, err := w.client.Do(req)
+	if err != nil {
+		return WorkerInfo{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return WorkerInfo{}, fmt.Errorf("handshake status %d", resp.StatusCode)
+	}
+	var info WorkerInfo
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		return WorkerInfo{}, err
+	}
+	return info, nil
+}
+
+// RunRemote implements runner.RemoteRunner: payload must be a
+// *WireSpec. It enqueues the run on its home worker and blocks until
+// some attempt resolves it or ctx is cancelled. ErrRemoteUnavailable
+// (fleet gone, or a non-WireSpec payload) tells the executor to run
+// locally instead.
+func (c *Coordinator) RunRemote(ctx context.Context, payload interface{}) (runcache.Record, bool, error) {
+	ws, ok := payload.(*WireSpec)
+	if !ok || ws == nil {
+		return runcache.Record{}, false, runner.ErrRemoteUnavailable
+	}
+	t := &task{spec: ws, done: make(chan struct{}), attempted: make(map[int]bool)}
+	c.mu.Lock()
+	if c.closed || c.alive == 0 {
+		c.fallbacks++
+		c.mu.Unlock()
+		return runcache.Record{}, false, runner.ErrRemoteUnavailable
+	}
+	home := c.homeLocked(ws.PartitionKey())
+	c.queues[home] = append(c.queues[home], t)
+	c.cond.Broadcast()
+	c.mu.Unlock()
+
+	select {
+	case <-t.done:
+	case <-ctx.Done():
+		c.resolve(t, runcache.Record{}, false, ctx.Err())
+		<-t.done
+	}
+	if t.err != nil {
+		if errors.Is(t.err, runner.ErrRemoteUnavailable) {
+			c.mu.Lock()
+			c.fallbacks++
+			c.mu.Unlock()
+		}
+		return runcache.Record{}, false, t.err
+	}
+	return t.rec, t.executed, nil
+}
+
+// homeLocked maps a partition key to its home worker, probing past dead
+// workers so the assignment stays stable for the surviving fleet.
+func (c *Coordinator) homeLocked(key string) int {
+	n := len(c.workers)
+	h := Partition(key, n)
+	for i := 0; i < n; i++ {
+		wi := (h + i) % n
+		if c.workers[wi].alive {
+			return wi
+		}
+	}
+	return h
+}
+
+// loop is one worker slot: pick a task, attempt it, repeat.
+func (c *Coordinator) loop(wi int) {
+	defer c.wg.Done()
+	w := c.workers[wi]
+	for {
+		c.mu.Lock()
+		var t *task
+		var mode string
+		for {
+			if c.closed || !w.alive {
+				c.mu.Unlock()
+				return
+			}
+			t, mode = c.nextLocked(wi)
+			if t != nil {
+				break
+			}
+			c.cond.Wait()
+		}
+		t.attempted[wi] = true
+		t.attempts++
+		t.live++
+		t.started = time.Now()
+		c.inflight[t] = struct{}{}
+		w.dispatched++
+		switch mode {
+		case "steal":
+			w.stolen++
+		case "spec":
+			w.speculated++
+		}
+		c.mu.Unlock()
+		c.attempt(wi, w, t)
+	}
+}
+
+// nextLocked picks worker wi's next task: own queue head first, then
+// the back of the longest other queue (work stealing), then — only when
+// every queue is empty — a duplicate attempt of an unresolved in-flight
+// run older than SpeculateAfter (straggler speculation).
+func (c *Coordinator) nextLocked(wi int) (*task, string) {
+	if t := c.popLocked(wi, false); t != nil {
+		return t, "own"
+	}
+	best, bestLen := -1, 0
+	for qi := range c.queues {
+		if qi == wi {
+			continue
+		}
+		if n := c.pendingLocked(qi); n > bestLen {
+			best, bestLen = qi, n
+		}
+	}
+	if best >= 0 {
+		if t := c.popLocked(best, true); t != nil {
+			return t, "steal"
+		}
+	}
+	for t := range c.inflight {
+		if !t.resolved && !t.attempted[wi] && time.Since(t.started) >= c.specAge {
+			return t, "spec"
+		}
+	}
+	return nil, ""
+}
+
+// popLocked removes and returns the next unresolved task of queue qi
+// (head for the owner, tail for a thief), discarding tasks that were
+// resolved while queued (e.g. by submitter cancellation).
+func (c *Coordinator) popLocked(qi int, fromTail bool) *task {
+	q := c.queues[qi]
+	for len(q) > 0 {
+		var t *task
+		if fromTail {
+			t, q = q[len(q)-1], q[:len(q)-1]
+		} else {
+			t, q = q[0], q[1:]
+		}
+		if !t.resolved {
+			c.queues[qi] = q
+			return t
+		}
+	}
+	c.queues[qi] = q
+	return nil
+}
+
+// pendingLocked counts unresolved tasks queued on qi.
+func (c *Coordinator) pendingLocked(qi int) int {
+	n := 0
+	for _, t := range c.queues[qi] {
+		if !t.resolved {
+			n++
+		}
+	}
+	return n
+}
+
+// attempt executes one run RPC against worker wi and routes the result:
+// success resolves the task; a 400 is a permanent spec error; any other
+// status retries on a different worker; a transport error declares the
+// worker dead and resubmits its keys.
+func (c *Coordinator) attempt(wi int, w *workerState, t *task) {
+	defer func() {
+		c.mu.Lock()
+		t.live--
+		if t.live == 0 {
+			delete(c.inflight, t)
+		}
+		c.mu.Unlock()
+	}()
+
+	ctx, cancel := context.WithCancel(c.baseCtx)
+	defer cancel()
+	c.mu.Lock()
+	if t.resolved {
+		c.mu.Unlock()
+		return
+	}
+	t.cancels = append(t.cancels, cancel)
+	c.mu.Unlock()
+
+	start := time.Now()
+	reply, status, err := c.post(ctx, w, t.spec)
+	c.rpc.RecordSince(start)
+	switch {
+	case err != nil && ctx.Err() != nil:
+		// Attempt cancelled: the task resolved elsewhere, or shutdown.
+	case err == nil:
+		c.mu.Lock()
+		w.completed++
+		w.runMillis += reply.Millis
+		c.mu.Unlock()
+		c.resolve(t, reply.Record, reply.Executed, nil)
+	case status == 0:
+		c.workerDown(wi, w, t, err)
+	case status == http.StatusBadRequest:
+		// The spec itself is unservable; no other worker will do better.
+		c.resolve(t, runcache.Record{}, false, fmt.Errorf("shard: %w", err))
+	default:
+		c.retryElsewhere(w, t, err)
+	}
+}
+
+// post performs the run RPC. A nil error means a decoded 200 reply.
+// status 0 with an error is a transport failure (the worker is
+// presumed dead); a non-200 status carries the worker's message.
+func (c *Coordinator) post(ctx context.Context, w *workerState, ws *WireSpec) (RunReply, int, error) {
+	body, err := json.Marshal(ws)
+	if err != nil {
+		return RunReply{}, 0, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.url+"/v1/run", bytes.NewReader(body))
+	if err != nil {
+		return RunReply{}, 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := w.client.Do(req)
+	if err != nil {
+		return RunReply{}, 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return RunReply{}, resp.StatusCode,
+			fmt.Errorf("worker %s: status %d: %s", w.url, resp.StatusCode, bytes.TrimSpace(msg))
+	}
+	var reply RunReply
+	if err := json.NewDecoder(resp.Body).Decode(&reply); err != nil {
+		// A torn 200 body: the run may have succeeded, so retry rather
+		// than declaring the worker dead.
+		return RunReply{}, http.StatusInternalServerError,
+			fmt.Errorf("worker %s: bad reply: %v", w.url, err)
+	}
+	return reply, http.StatusOK, nil
+}
+
+// workerDown marks worker wi dead and resubmits every key it held —
+// its queued tasks and the failed attempt's own task — to survivors.
+func (c *Coordinator) workerDown(wi int, w *workerState, t *task, cause error) {
+	c.mu.Lock()
+	if w.alive {
+		w.alive = false
+		w.failures++
+		c.alive--
+		c.log.Warn("shard: worker down, resubmitting its keys",
+			"url", w.url, "queued", c.pendingLocked(wi), "err", cause)
+		orphans := c.queues[wi]
+		c.queues[wi] = nil
+		for _, o := range orphans {
+			if !o.resolved {
+				c.requeueLocked(o)
+			}
+		}
+	}
+	if !t.resolved {
+		w.retried++
+		c.requeueLocked(t)
+	}
+	c.cond.Broadcast()
+	c.mu.Unlock()
+}
+
+// retryElsewhere re-dispatches a task after a retryable failure on w,
+// preferring a worker that has not yet attempted it. With no candidate
+// left, the last error is the task's answer.
+func (c *Coordinator) retryElsewhere(w *workerState, t *task, cause error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	w.failures++
+	if t.resolved {
+		return
+	}
+	target := -1
+	for wi, cand := range c.workers {
+		if cand.alive && !t.attempted[wi] {
+			target = wi
+			break
+		}
+	}
+	if target < 0 {
+		c.resolveLocked(t, runcache.Record{}, false, fmt.Errorf("shard: %w", cause))
+		return
+	}
+	w.retried++
+	c.log.Warn("shard: retrying run on another worker",
+		"label", t.spec.Label, "target", c.workers[target].url, "err", cause)
+	c.queues[target] = append(c.queues[target], t)
+	c.cond.Broadcast()
+}
+
+// requeueLocked rehomes a task onto a surviving worker, preferring one
+// that has not attempted it. With the whole fleet gone the task
+// resolves with ErrRemoteUnavailable and its submitter runs locally.
+func (c *Coordinator) requeueLocked(t *task) {
+	if c.alive == 0 {
+		c.resolveLocked(t, runcache.Record{}, false, runner.ErrRemoteUnavailable)
+		return
+	}
+	target := -1
+	for wi, w := range c.workers {
+		if w.alive && !t.attempted[wi] {
+			target = wi
+			break
+		}
+	}
+	if target < 0 {
+		target = c.homeLocked(t.spec.PartitionKey())
+	}
+	c.queues[target] = append(c.queues[target], t)
+}
+
+func (c *Coordinator) resolve(t *task, rec runcache.Record, executed bool, err error) {
+	c.mu.Lock()
+	c.resolveLocked(t, rec, executed, err)
+	c.mu.Unlock()
+}
+
+// resolveLocked settles a task exactly once: first result (or first
+// permanent error) wins, racing duplicate attempts are cancelled.
+func (c *Coordinator) resolveLocked(t *task, rec runcache.Record, executed bool, err error) {
+	if t.resolved {
+		return
+	}
+	t.resolved = true
+	t.rec, t.executed, t.err = rec, executed, err
+	for _, cancel := range t.cancels {
+		cancel()
+	}
+	t.cancels = nil
+	close(t.done)
+}
+
+// Metrics snapshots the per-worker dispatch accounting, in the order
+// the workers were given to New.
+func (c *Coordinator) Metrics() []WorkerMetrics {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]WorkerMetrics, len(c.workers))
+	for i, w := range c.workers {
+		out[i] = WorkerMetrics{
+			URL:        w.url,
+			Slots:      w.slots,
+			Alive:      w.alive,
+			Dispatched: w.dispatched,
+			Completed:  w.completed,
+			Stolen:     w.stolen,
+			Speculated: w.speculated,
+			Retried:    w.retried,
+			Failures:   w.failures,
+			RunMillis:  w.runMillis,
+		}
+	}
+	return out
+}
+
+// RPCLatency snapshots the run-RPC latency histogram (nanoseconds).
+func (c *Coordinator) RPCLatency() obs.HistSnapshot { return c.rpc.Snapshot() }
+
+// LocalFallbacks counts runs the coordinator handed back to local
+// execution (fleet unreachable at submit time or lost mid-run).
+func (c *Coordinator) LocalFallbacks() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.fallbacks
+}
+
+// AliveWorkers reports how many workers are currently serving.
+func (c *Coordinator) AliveWorkers() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.alive
+}
+
+// Close stops dispatch, cancels in-flight attempts, resolves pending
+// tasks with ErrRemoteUnavailable (their submitters degrade to local
+// execution), and waits for the dispatch loops to exit.
+func (c *Coordinator) Close() {
+	c.cancel()
+	c.mu.Lock()
+	if !c.closed {
+		c.closed = true
+		for qi := range c.queues {
+			for _, t := range c.queues[qi] {
+				c.resolveLocked(t, runcache.Record{}, false, runner.ErrRemoteUnavailable)
+			}
+			c.queues[qi] = nil
+		}
+		for t := range c.inflight {
+			c.resolveLocked(t, runcache.Record{}, false, runner.ErrRemoteUnavailable)
+		}
+	}
+	c.cond.Broadcast()
+	c.mu.Unlock()
+	c.wg.Wait()
+}

@@ -45,6 +45,29 @@ type Set struct {
 	DataBlocks int
 }
 
+// ReplicateIdentical builds the "identical transactions" derivation of
+// a set: every transaction replicated times times, replicas of the same
+// instance interleaved so they arrive together, all sharing the parent's
+// trace buffers (the set stays read-only, so sharing is safe). It is a
+// pure function of (parent content, times) — the experiment suite's
+// Figure 4 study and the sharding workers both derive the set through
+// this one function, which is what keeps the derived set's content
+// address ("+replicateN" on the parent's) honest across processes.
+func ReplicateIdentical(s *Set, times int) *Set {
+	out := &Set{Name: s.Name + "-identical", Types: s.Types, Layout: s.Layout}
+	id := 0
+	for _, tx := range s.Txns {
+		for r := 0; r < times; r++ {
+			out.Txns = append(out.Txns, &Txn{
+				ID: id, Type: tx.Type, Header: tx.Header, Trace: tx.Trace,
+			})
+			id++
+		}
+	}
+	out.DataBlocks = s.DataBlocks
+	return out
+}
+
 // Clone returns a deep copy of the set: fresh Txn structs and fresh
 // trace buffers (entries included), sharing only the immutable Layout
 // and the Types slice. Mutating the clone cannot be observed through the

@@ -144,6 +144,11 @@ func (c Config) build() (sim.Config, error) {
 type Workload struct {
 	set  *workload.Set
 	prov tracefile.Provenance
+	// syn holds the raw synth parameters when this is a generated Synth
+	// workload — the structural form of prov.Extra, needed to describe
+	// the set to sharding workers (see sharding.go). Nil for fixed
+	// benchmarks and trace-file loads.
+	syn *synth.Params
 }
 
 // Name returns the workload label (e.g. "TPC-C-10").
@@ -248,8 +253,11 @@ func BuildWorkload(name string, opts WorkloadOptions) (*Workload, error) {
 		canonical = info.Name // aliases share artifacts and provenance
 	}
 	var extra string
+	var syn *synth.Params
 	if canonical == "Synth" {
 		extra = fmt.Sprintf("%#v", sp) // synth knobs determine content too
+		p := sp
+		syn = &p
 	}
 	var rc *runcache.Cache
 	var key runcache.SetKey
@@ -267,7 +275,7 @@ func BuildWorkload(name string, opts WorkloadOptions) (*Workload, error) {
 			Extra:    extra,
 		}
 		if set, ok := rc.GetSet(key); ok {
-			return &Workload{set: set, prov: provenance(canonical, extra, opts)}, nil
+			return &Workload{set: set, prov: provenance(canonical, extra, opts), syn: syn}, nil
 		}
 	}
 	set, err := bench.BuildSet(name, opts.Txns, bench.Options{
@@ -284,7 +292,7 @@ func BuildWorkload(name string, opts WorkloadOptions) (*Workload, error) {
 		// for result stores.
 		_ = rc.PutSet(key, set)
 	}
-	return &Workload{set: set, prov: provenance(canonical, extra, opts)}, nil
+	return &Workload{set: set, prov: provenance(canonical, extra, opts), syn: syn}, nil
 }
 
 func provenance(canonical, extra string, opts WorkloadOptions) tracefile.Provenance {
@@ -481,52 +489,10 @@ type RunSpec struct {
 // scheduler, and runs are deterministic, so the results are bit-for-bit
 // identical to calling Run in a loop — only the wall-clock changes.
 // onProgress, if non-nil, is invoked after each completed run.
+// RunMany is the in-process special case of RunManySharded (see
+// sharding.go).
 func RunMany(w *Workload, specs []RunSpec, parallel int, onProgress func(done, total int)) ([]Result, error) {
-	if w == nil || w.set == nil || len(w.set.Txns) == 0 {
-		return nil, fmt.Errorf("strex: RunMany needs a non-empty workload")
-	}
-	type run struct {
-		spec runner.Spec
-		name string
-	}
-	runs := make([]run, len(specs))
-	for i, rs := range specs {
-		simCfg, err := rs.Config.build()
-		if err != nil {
-			return nil, err
-		}
-		// Schedulers are built eagerly on this goroutine: it surfaces
-		// config errors before any run starts, and the hybrid's profiling
-		// pass stays off the worker pool.
-		s, err := rs.Config.scheduler(rs.Sched, w, simCfg.Cores)
-		if err != nil {
-			return nil, err
-		}
-		runs[i] = run{
-			spec: runner.Spec{
-				Label:  s.Name(),
-				Config: simCfg,
-				Set:    w.set,
-				Sched:  func() sim.Scheduler { return s },
-			},
-			name: s.Name(),
-		}
-	}
-	x := runner.New(parallel)
-	if onProgress != nil {
-		x.OnProgress(func(done, submitted int, label string) {
-			onProgress(done, len(specs))
-		})
-	}
-	rspecs := make([]runner.Spec, len(runs))
-	for i, r := range runs {
-		rspecs[i] = r.spec
-	}
-	out := make([]Result, len(runs))
-	for i, res := range x.Map(rspecs) {
-		out[i] = toResult(runs[i].name, res, len(w.set.Txns), runs[i].spec.Config.Cores)
-	}
-	return out, nil
+	return RunManySharded(w, specs, GridOptions{Parallel: parallel, OnProgress: onProgress})
 }
 
 // Summary describes one metric across the replicates of a
@@ -633,76 +599,10 @@ func RunDraws(cfg Config, draws []*Workload, kind SchedulerKind, parallel int) (
 // 16-run grid at -parallel 16 keeps 16 simulations in flight, exactly
 // like the non-replicated RunMany. Results come back in spec order.
 // onProgress, if non-nil, is invoked after each completed replicate
-// with (done, total) counted across the whole grid.
+// with (done, total) counted across the whole grid. RunManyDraws is
+// the in-process special case of RunManyDrawsSharded (see sharding.go).
 func RunManyDraws(draws []*Workload, specs []RunSpec, parallel int, onProgress func(done, total int)) ([]*ReplicatedResult, error) {
-	if len(draws) == 0 {
-		return nil, fmt.Errorf("strex: RunManyDraws needs at least one workload draw")
-	}
-	n := len(draws)
-	x := runner.New(parallel)
-	total := n * len(specs)
-	if onProgress != nil {
-		x.OnProgress(func(done, submitted int, label string) {
-			onProgress(done, total)
-		})
-	}
-	type cell struct {
-		simCfg sim.Config
-		scheds []sim.Scheduler
-		batch  *runner.Batch
-	}
-	cells := make([]cell, len(specs))
-	for i, spec := range specs {
-		simCfg, err := spec.Config.build()
-		if err != nil {
-			return nil, err
-		}
-		// Scheduler construction stays on the caller's goroutine (like
-		// RunMany's eager construction): only simulations fan out.
-		scheds := make([]sim.Scheduler, n)
-		for rep, w := range draws {
-			s, err := spec.Config.scheduler(spec.Sched, w, simCfg.Cores)
-			if err != nil {
-				return nil, err
-			}
-			scheds[rep] = s
-		}
-		rs := runner.ReplicateSpec{Spec: runner.Spec{
-			Label:  scheds[0].Name(),
-			Config: simCfg,
-			Set:    draws[0].set,
-			Sched:  func() sim.Scheduler { return scheds[0] },
-		}}
-		rs.SetFor = func(rep int) *workload.Set { return draws[rep].set }
-		rs.SchedFor = func(rep int) func() sim.Scheduler {
-			s := scheds[rep]
-			return func() sim.Scheduler { return s }
-		}
-		cells[i] = cell{simCfg: simCfg, scheds: scheds, batch: x.SubmitReplicates(rs, n)}
-	}
-	out := make([]*ReplicatedResult, len(cells))
-	for i, c := range cells {
-		rr := &ReplicatedResult{
-			Results: make([]Result, 0, n),
-			Seeds:   make([]uint64, n),
-		}
-		impki := make([]float64, n)
-		dmpki := make([]float64, n)
-		tpm := make([]float64, n)
-		lat := make([]float64, n)
-		for rep, res := range c.batch.Results() {
-			rr.Seeds[rep] = draws[rep].prov.Seed
-			r := toResult(c.scheds[rep].Name(), res, len(draws[rep].set.Txns), c.simCfg.Cores)
-			rr.Results = append(rr.Results, r)
-			impki[rep], dmpki[rep], tpm[rep], lat[rep] = r.IMPKI, r.DMPKI, r.ThroughputTPM, r.MeanLatency
-		}
-		rr.IMPKI = summaryOf(stats.Summarize(impki))
-		rr.DMPKI = summaryOf(stats.Summarize(dmpki))
-		rr.Throughput = summaryOf(stats.Summarize(tpm))
-		rr.MeanLatency = summaryOf(stats.Summarize(lat))
-		out[i] = rr
-	}
-	return out, nil
+	return RunManyDrawsSharded(draws, specs, GridOptions{Parallel: parallel, OnProgress: onProgress})
 }
 
 // HardwareCostBytes returns STREX's per-core storage cost in bytes
