@@ -21,8 +21,10 @@
 // is purely a wall-clock knob.
 // -only runs a single experiment: table1, table2, table3, table4, fig2,
 // fig4, fig5, fig6, fig7, fig8, fig9, sweep (the synthetic
-// footprint-sensitivity sweep) or smoke (one Baseline-vs-STREX
-// comparison per registered workload; CI runs this at tiny scale).
+// footprint-sensitivity sweep), smoke (one Baseline-vs-STREX
+// comparison per registered workload; CI runs this at tiny scale) or
+// openloop (open-loop arrival processes and a two-tenant mix, with
+// queue-wait/sojourn latency quantiles; see docs/WORKLOADS.md).
 //
 // -cache-dir persists generated workload traces and completed run
 // results in a content-addressed store: a warm rerun performs zero
@@ -32,8 +34,8 @@
 // clean across reruns). See docs/TRACES.md for the invalidation rules.
 // -json writes machine-readable run summaries (workload, scheduler,
 // cores, cycles, L1-I MPKI, throughput) for the experiments that record
-// them (fig5, fig6, sweep, smoke) — CI publishes BENCH_suite.json this
-// way.
+// them (fig5, fig6, sweep, smoke, openloop) — CI publishes
+// BENCH_suite.json and BENCH_openloop.json this way.
 //
 // -worker turns the binary into a sharding worker: it serves simulation
 // runs over HTTP for a coordinator and announces "listening on
@@ -177,23 +179,24 @@ func main() {
 	}
 
 	drivers := map[string]func() *metrics.Table{
-		"table1": suite.Table1,
-		"table2": suite.Table2,
-		"table3": suite.Table3,
-		"table4": suite.Table4,
-		"fig2":   suite.Figure2,
-		"fig4":   suite.Figure4,
-		"fig5":   suite.Figure5,
-		"fig6":   suite.Figure6,
-		"fig7":   suite.Figure7,
-		"fig8":   suite.Figure8,
-		"fig9":   suite.Figure9,
-		"sweep":  suite.FootprintSweep,
-		"smoke":  suite.WorkloadSmoke,
+		"table1":   suite.Table1,
+		"table2":   suite.Table2,
+		"table3":   suite.Table3,
+		"table4":   suite.Table4,
+		"fig2":     suite.Figure2,
+		"fig4":     suite.Figure4,
+		"fig5":     suite.Figure5,
+		"fig6":     suite.Figure6,
+		"fig7":     suite.Figure7,
+		"fig8":     suite.Figure8,
+		"fig9":     suite.Figure9,
+		"sweep":    suite.FootprintSweep,
+		"smoke":    suite.WorkloadSmoke,
+		"openloop": suite.OpenLoop,
 	}
 	// Paper artifacts in paper order, then the registry-era extensions
-	// (footprint sweep, all-workload smoke).
-	order := []string{"table1", "table2", "fig2", "fig4", "fig5", "fig6", "fig7", "fig8", "table3", "fig9", "table4", "sweep", "smoke"}
+	// (footprint sweep, all-workload smoke, open-loop arrivals).
+	order := []string{"table1", "table2", "fig2", "fig4", "fig5", "fig6", "fig7", "fig8", "table3", "fig9", "table4", "sweep", "smoke", "openloop"}
 
 	// Tables go to stdout; timings go to stderr so that stdout is
 	// byte-identical across reruns (the cached-rerun equivalence check

@@ -86,6 +86,9 @@ func main() {
 	synthUnits := flag.Float64("synth-units", 0, "synth: per-type footprint in 32KB L1-I units (0 = default 4)")
 	synthTypes := flag.Int("synth-types", 0, "synth: transaction type count (0 = default 4)")
 	synthReuse := flag.Float64("synth-reuse", 0, "synth: shared-data reuse fraction (0 = default 0.5)")
+	arrivalProc := flag.String("arrival", "", "open-loop arrival process: fixed, poisson, mmpp/bursty, diurnal (empty = closed loop; see docs/WORKLOADS.md)")
+	rate := flag.Float64("rate", 0, "open-loop offered load per tenant in txns/Mcycle (<= 0 = infinite rate)")
+	tenantsList := flag.String("tenants", "", "comma-separated additional workloads sharing the machine as open-loop tenants")
 	seedsN := flag.Int("seeds", 1, "seed-replicates per configuration (N > 1 prints mean ±95% CI rows; see docs/STATS.md)")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "concurrent runs for grids (1 = serial)")
 	quiet := flag.Bool("quiet", false, "suppress the progress line on stderr")
@@ -165,6 +168,39 @@ func main() {
 			fail(err)
 		}
 		defer fleet.Close()
+	}
+
+	if *arrivalProc != "" || *tenantsList != "" {
+		// Open-loop mode: transactions arrive at generated clocks instead
+		// of all at cycle 0, and the report is the latency distribution an
+		// open-loop client observes. Single-draw by construction (the
+		// arrival schedule is part of the scenario identity).
+		if *seedsN > 1 {
+			fail(fmt.Errorf("-arrival reports per-draw latency quantiles; use -seeds 1"))
+		}
+		if *timeline != "" || *loadTrace != "" || *saveTrace != "" {
+			fail(fmt.Errorf("-arrival cannot be combined with -timeline/-load-trace/-save-trace"))
+		}
+		cores, err := parseInts(*coresList)
+		if err != nil {
+			fail(err)
+		}
+		kinds, err := parseScheds(*schedList)
+		if err != nil {
+			fail(err)
+		}
+		wopts := strex.WorkloadOptions{
+			Txns:                *txns,
+			Seed:                *seed,
+			Scale:               *scale,
+			SynthFootprintUnits: *synthUnits,
+			SynthTypes:          *synthTypes,
+			SynthDataReuse:      *synthReuse,
+			CacheDir:            *cacheDir,
+			NoCache:             *noCache,
+		}
+		runOpenLoopGrid(*wl, *tenantsList, *arrivalProc, *rate, wopts, cores, kinds, *team, *policy, *pf, *seed, fail)
+		return
 	}
 
 	if *seedsN > 1 {
@@ -416,6 +452,66 @@ func runReplicatedGrid(ctx context.Context, fleet *strex.Fleet, wl string, wopts
 			specs[i].Config.Cores, rr.Results[0].Scheduler,
 			rr.IMPKI.Format(2), rr.DMPKI.Format(2), rr.Throughput.Format(2), lat.Format(2))
 	}
+}
+
+// runOpenLoopGrid runs the (cores × scheduler) grid open-loop: the
+// primary workload plus any -tenants share the machine, each offered
+// at -rate under the -arrival process, and every cell reports
+// queue-wait and sojourn quantiles next to delivered throughput. All
+// cells see identical arrival schedules, so differences are scheduler
+// effects.
+func runOpenLoopGrid(wl, tenantsCSV, process string, rate float64, wopts strex.WorkloadOptions,
+	cores []int, kinds []strex.SchedulerKind, team int, policy, pf string, seed uint64, fail func(error)) {
+	names := []string{wl}
+	for _, t := range strings.Split(tenantsCSV, ",") {
+		if t = strings.TrimSpace(t); t != "" {
+			names = append(names, t)
+		}
+	}
+	tenants := make([]strex.TenantSpec, len(names))
+	for i, name := range names {
+		tenants[i] = strex.TenantSpec{
+			Workload: name,
+			Options:  wopts,
+			Arrival:  strex.ArrivalSpec{Process: process, Rate: rate},
+		}
+	}
+	offered := "inf"
+	if rate > 0 {
+		offered = fmt.Sprintf("%g/Mc", rate)
+	}
+	if process == "" {
+		process = "poisson"
+	}
+	fmt.Printf("open loop: %s, %s arrivals at %s per tenant, %d txns/tenant\n\n",
+		strings.Join(names, "+"), process, offered, wopts.Txns)
+	fmt.Printf("%-6s  %-22s  %-9s  %10s  %12s  %12s  %12s  %12s\n",
+		"cores", "scheduler", "tenant", "tput/Mc", "wait p99", "sojourn p50", "sojourn p99", "sojourn p999")
+	for _, c := range cores {
+		for _, kind := range kinds {
+			cfg := strex.DefaultConfig(c)
+			cfg.TeamSize = team
+			cfg.Policy = policy
+			cfg.Prefetcher = pf
+			cfg.Seed = seed
+			res, err := strex.RunOpenLoop(cfg, tenants, kind)
+			if err != nil {
+				fail(err)
+			}
+			row := func(tenant string, tput string, tr strex.TenantResult) {
+				fmt.Printf("%-6d  %-22s  %-9s  %10s  %12.0f  %12.0f  %12.0f  %12.0f\n",
+					c, res.Scheduler, tenant, tput,
+					tr.QueueWait.P99, tr.Sojourn.P50, tr.Sojourn.P99, tr.Sojourn.P999)
+			}
+			row("all", fmt.Sprintf("%.2f", res.ThroughputTPM), res.Overall)
+			if len(res.Tenants) > 1 {
+				for _, tr := range res.Tenants {
+					row(tr.Name, "-", tr)
+				}
+			}
+		}
+	}
+	fmt.Printf("\nlatencies in cycles (arrival -> first dispatch / completion), exact order-statistic quantiles\n")
 }
 
 func parseInts(list string) ([]int, error) {

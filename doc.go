@@ -90,6 +90,19 @@
 // choices, the confidence-interval formula and how replicates are
 // addressed in the run cache.
 //
+// Closed-loop runs (everything above) make every transaction eligible
+// at cycle 0 and measure throughput. RunOpenLoop instead offers
+// transactions at clocks drawn from a seed-deterministic arrival
+// process (fixed, poisson, mmpp/bursty, diurnal — internal/arrival)
+// and reports the latencies an open-loop client observes: per-tenant
+// queue-wait and sojourn p50/p99/p999. Multiple TenantSpec entries
+// share the machine as a multi-tenant mix with disjoint address
+// spaces; an infinite-rate single tenant reproduces Run bit for bit
+// (the differential gate in the tests pins it). The CLIs expose the
+// same knobs as -arrival/-rate/-tenants, and the openloop experiment
+// family publishes the curated scenario grid — see docs/WORKLOADS.md
+// and docs/RUNNING.md.
+//
 // For long-lived use, cmd/strexd serves the whole stack over HTTP/JSON
 // (internal/service): jobs from every tenant share one bounded runner
 // pool (NewPool/Pool.RunDrawsCtx, the context-aware facade over

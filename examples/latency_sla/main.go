@@ -1,8 +1,10 @@
 // Latency SLA tuning: STREX trades transaction latency for throughput
 // through the team-size parameter, like the request batch size in
 // VoltDB that the paper cites (Section 5.4). This example sweeps the
-// team size and reports mean and tail latency next to throughput, then
-// picks the largest team that still meets a latency budget.
+// team size and reports mean and tail latency next to throughput,
+// picks the largest team that still meets a latency budget, then
+// sweeps offered load open-loop at that team size to find how far the
+// machine can be pushed before the sojourn tail blows the same budget.
 //
 //	go run ./examples/latency_sla
 package main
@@ -10,7 +12,6 @@ package main
 import (
 	"fmt"
 	"log"
-	"sort"
 
 	"strex"
 )
@@ -36,7 +37,9 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		p95 := percentile(res.Latencies, 0.95) / 1e6
+		// The shared exact-quantile rule (internal/stats.Quantile) —
+		// the same statistic the open-loop summaries report.
+		p95 := strex.LatencyQuantile(res.Latencies, 0.95) / 1e6
 		fmt.Printf("%-10d %12.2f %12.2f %12.2f\n",
 			team, res.ThroughputTPM, res.MeanLatency/1e6, p95)
 		if p95 <= latencyBudgetMcyc && res.ThroughputTPM > bestTPM {
@@ -48,14 +51,38 @@ func main() {
 		return
 	}
 	fmt.Printf("\npick team size %d: %.2f txn/Mcycle within the latency budget\n", bestTeam, bestTPM)
-}
 
-func percentile(latencies []uint64, q float64) float64 {
-	if len(latencies) == 0 {
-		return 0
+	// Part two: hold the chosen team size and sweep offered load as a
+	// fraction of the measured closed-loop capacity. Closed-loop
+	// latency answers "how long does a batch take"; an open-loop client
+	// cares about sojourn time (arrival to completion) under a given
+	// arrival rate — which degrades gracefully until the machine
+	// saturates, then the queue grows with the horizon.
+	fmt.Printf("\noffered-load sweep (Poisson arrivals, team size %d):\n\n", bestTeam)
+	fmt.Printf("%-10s %12s %12s %14s %6s\n", "load", "offered/Mc", "tput/Mc", "sojourn p99 Mc", "SLA")
+	cfg := strex.DefaultConfig(4)
+	cfg.TeamSize = bestTeam
+	for _, frac := range []float64{0.3, 0.5, 0.7, 0.9, 1.1} {
+		rate := frac * bestTPM
+		tenants := []strex.TenantSpec{{
+			Workload: "TPC-C-10",
+			Options:  strex.WorkloadOptions{Txns: 160, Seed: 1},
+			Arrival:  strex.ArrivalSpec{Process: "poisson", Rate: rate, Seed: 7},
+		}}
+		res, err := strex.RunOpenLoop(cfg, tenants, strex.SchedSTREX)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Sojourn quantiles are in cycles; the SLA is in megacycles.
+		// Holding the open-loop tail (p99) to the closed-loop p95
+		// budget is deliberately conservative.
+		p99 := res.Overall.Sojourn.P99 / 1e6
+		verdict := "ok"
+		if p99 > latencyBudgetMcyc {
+			verdict = "MISS"
+		}
+		fmt.Printf("%-10s %12.3f %12.3f %14.2f %6s\n",
+			fmt.Sprintf("%.0f%%", frac*100), rate, res.ThroughputTPM, p99, verdict)
 	}
-	s := append([]uint64(nil), latencies...)
-	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
-	idx := int(q * float64(len(s)-1))
-	return float64(s[idx])
+	fmt.Println("\nrule of thumb: the highest load whose sojourn tail stays under budget is the admission ceiling")
 }

@@ -1,0 +1,262 @@
+// Package arrival generates open-loop transaction arrival schedules:
+// for each transaction in a workload set, the simulated cycle at which
+// it becomes eligible to run. A closed-loop run is the degenerate case
+// where every arrival clock is zero (infinite offered load) — the
+// engine's differential gate holds the two bit-for-bit identical.
+//
+// Four interarrival processes are provided, all seed-deterministic via
+// internal/xrand: a fixed-rate clock (deterministic spacing), a Poisson
+// process (exponential interarrivals), a two-state MMPP (Markov-
+// modulated Poisson — bursty traffic alternating between a high-rate
+// and a low-rate state), and a diurnal non-homogeneous Poisson process
+// (sinusoidal rate envelope, sampled by Lewis-Shedler thinning).
+//
+// Rates are expressed in transactions per megacycle, the simulator's
+// native throughput unit, so an offered load can be read directly
+// against a run's txn/Mcycle capacity.
+package arrival
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"strex/internal/xrand"
+)
+
+// Kind selects an interarrival process.
+type Kind int
+
+const (
+	// Fixed spaces arrivals deterministically at 1/Rate megacycles.
+	Fixed Kind = iota
+	// Poisson draws exponential interarrivals at Rate.
+	Poisson
+	// MMPP is a two-state Markov-modulated Poisson process: the rate
+	// alternates between Burst·(2·Rate/(Burst+1)) (high state) and
+	// 2·Rate/(Burst+1) (low state) with exponential dwell times of mean
+	// Period megacycles, preserving a long-run mean of Rate.
+	MMPP
+	// Diurnal is a non-homogeneous Poisson process whose rate follows
+	// Rate·(1 + Amp·sin(2πt/Period)) — a compressed day/night envelope.
+	Diurnal
+)
+
+var kindNames = [...]string{"fixed", "poisson", "mmpp", "diurnal"}
+
+func (k Kind) String() string {
+	if k < 0 || int(k) >= len(kindNames) {
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+	return kindNames[k]
+}
+
+// ParseKind resolves a process name ("bursty" is an alias for mmpp).
+func ParseKind(s string) (Kind, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "fixed":
+		return Fixed, nil
+	case "poisson":
+		return Poisson, nil
+	case "mmpp", "bursty":
+		return MMPP, nil
+	case "diurnal":
+		return Diurnal, nil
+	}
+	return 0, fmt.Errorf("arrival: unknown process %q (want fixed, poisson, mmpp/bursty, or diurnal)", s)
+}
+
+// Spec parameterizes an arrival schedule.
+type Spec struct {
+	Kind Kind
+	// Rate is the long-run mean arrival rate in transactions per
+	// megacycle. A non-positive or non-finite rate degenerates to
+	// infinite offered load: every transaction arrives at cycle 0,
+	// which is exactly the closed-loop contract.
+	Rate float64
+	// Burst is the MMPP high/low rate ratio (default 8).
+	Burst float64
+	// Period is the MMPP mean state dwell, or the diurnal envelope
+	// period, in megacycles (defaults 50 and 200 respectively).
+	Period float64
+	// Amp is the diurnal envelope's relative amplitude, clamped to
+	// [0, 0.95] (default 0.8).
+	Amp float64
+	// Seed selects the deterministic random stream (Fixed ignores it).
+	Seed uint64
+}
+
+// maxClock caps arrival clocks far below uint64 overflow so that any
+// downstream clock arithmetic (install bumps, switch costs, latency
+// charges) cannot wrap.
+const maxClock = uint64(1) << 62
+
+// maxSteps bounds the per-arrival work of the state-switching (MMPP)
+// and thinning (diurnal) samplers. Realistic parameters use a handful
+// of steps per arrival; adversarial ones (dwells or acceptance rates
+// vanishingly small next to interarrivals) fall back to one draw at
+// the long-run mean rate, keeping Schedule O(n·maxSteps) worst case.
+const maxSteps = 4096
+
+// degenerate reports whether the spec collapses to infinite offered
+// load (all arrivals at cycle 0).
+func (s Spec) degenerate() bool {
+	return !(s.Rate > 0) || math.IsInf(s.Rate, 1)
+}
+
+// normalized applies the documented parameter defaults and clamps.
+func (s Spec) normalized() Spec {
+	if !(s.Burst >= 1) || math.IsInf(s.Burst, 1) {
+		s.Burst = 8
+	}
+	if !(s.Period > 0) || math.IsInf(s.Period, 1) {
+		if s.Kind == Diurnal {
+			s.Period = 200
+		} else {
+			s.Period = 50
+		}
+	}
+	if !(s.Amp >= 0) {
+		s.Amp = 0.8
+	}
+	if s.Amp > 0.95 {
+		s.Amp = 0.95
+	}
+	return s
+}
+
+// ID renders the canonical schedule descriptor used in experiment cell
+// labels and cache keys: equal IDs produce byte-identical schedules.
+func (s Spec) ID() string {
+	if s.degenerate() {
+		return s.Kind.String() + "/inf"
+	}
+	s = s.normalized()
+	switch s.Kind {
+	case Fixed:
+		return fmt.Sprintf("fixed/r%g", s.Rate)
+	case MMPP:
+		return fmt.Sprintf("mmpp/r%g/b%g/p%g/s%d", s.Rate, s.Burst, s.Period, s.Seed)
+	case Diurnal:
+		return fmt.Sprintf("diurnal/r%g/a%g/p%g/s%d", s.Rate, s.Amp, s.Period, s.Seed)
+	default:
+		return fmt.Sprintf("poisson/r%g/s%d", s.Rate, s.Seed)
+	}
+}
+
+// Schedule generates the arrival clocks for n transactions: a
+// non-decreasing slice of cycles, one per transaction in set order,
+// capped at maxClock. The schedule is a pure function of (Spec, n).
+func (s Spec) Schedule(n int) []uint64 {
+	if n <= 0 {
+		return nil
+	}
+	clocks := make([]uint64, n)
+	if s.degenerate() {
+		return clocks
+	}
+	s = s.normalized()
+	meanIA := 1e6 / s.Rate // mean interarrival, cycles
+	switch s.Kind {
+	case Fixed:
+		for i := range clocks {
+			clocks[i] = clampClock(float64(i) * meanIA)
+		}
+	case Poisson:
+		rng := xrand.New(s.Seed)
+		t := 0.0
+		for i := range clocks {
+			t += expo(rng) * meanIA
+			clocks[i] = clampClock(t)
+		}
+	case MMPP:
+		s.scheduleMMPP(clocks, meanIA)
+	case Diurnal:
+		s.scheduleDiurnal(clocks, meanIA)
+	default:
+		panic(fmt.Sprintf("arrival: unknown kind %d", int(s.Kind)))
+	}
+	return clocks
+}
+
+// expo draws a unit-mean exponential variate.
+func expo(rng *xrand.RNG) float64 {
+	return -math.Log1p(-rng.Float64())
+}
+
+// clampClock converts an accumulated float64 cycle count to a clock,
+// saturating at maxClock (NaN also saturates: it only arises from
+// inf-minus-inf style accumulator overflow, which means "past horizon").
+func clampClock(t float64) uint64 {
+	if !(t < float64(maxClock)) {
+		return maxClock
+	}
+	if t < 0 {
+		return 0
+	}
+	return uint64(t)
+}
+
+// scheduleMMPP samples the two-state Markov-modulated Poisson process
+// exactly: exponential interarrivals at the current state's rate,
+// restarted (memorylessly) at each state switch.
+func (s Spec) scheduleMMPP(clocks []uint64, meanIA float64) {
+	rng := xrand.New(s.Seed)
+	// High/low rates preserving the long-run mean: dwells are equal in
+	// expectation, so the mean rate is the plain average of the two.
+	rHigh := 2 * s.Rate * s.Burst / (s.Burst + 1) / 1e6 // per cycle
+	rLow := 2 * s.Rate / (s.Burst + 1) / 1e6
+	dwellMean := s.Period * 1e6 // cycles
+	state := int(rng.Uint64() & 1)
+	dwell := math.Max(1, expo(rng)*dwellMean)
+	t := 0.0
+	for i := range clocks {
+		emitted := false
+		for step := 0; step < maxSteps && t < float64(maxClock); step++ {
+			r := rLow
+			if state == 1 {
+				r = rHigh
+			}
+			d := expo(rng) / r
+			if d <= dwell {
+				t += d
+				dwell -= d
+				emitted = true
+				break
+			}
+			t += dwell
+			dwell = math.Max(1, expo(rng)*dwellMean)
+			state ^= 1
+		}
+		if !emitted {
+			// Pathological parameters: fall back to the long-run mean.
+			t += expo(rng) * meanIA
+		}
+		clocks[i] = clampClock(t)
+	}
+}
+
+// scheduleDiurnal samples the sinusoidal-envelope process by
+// Lewis-Shedler thinning against the envelope peak rate.
+func (s Spec) scheduleDiurnal(clocks []uint64, meanIA float64) {
+	rng := xrand.New(s.Seed)
+	peak := s.Rate * (1 + s.Amp) / 1e6 // proposals per cycle
+	omega := 2 * math.Pi / (s.Period * 1e6)
+	t := 0.0
+	for i := range clocks {
+		accepted := false
+		for step := 0; step < maxSteps && t < float64(maxClock); step++ {
+			t += expo(rng) / peak
+			lam := s.Rate * (1 + s.Amp*math.Sin(omega*t)) / 1e6
+			if rng.Float64()*peak <= lam {
+				accepted = true
+				break
+			}
+		}
+		if !accepted {
+			// Pathological parameters: fall back to the long-run mean.
+			t += expo(rng) * meanIA
+		}
+		clocks[i] = clampClock(t)
+	}
+}

@@ -1,0 +1,244 @@
+package arrival
+
+// Statistical property tests for the arrival generators. Every test
+// uses a fixed seed, so each check is deterministic — the statistical
+// bounds are chosen so the pinned streams pass with wide margin, and a
+// regression that distorts the distribution (wrong rate scaling, a
+// dropped log, swapped MMPP states) lands far outside them.
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"strex/internal/stats"
+)
+
+// interarrivals projects a schedule to its gaps (first gap from 0).
+func interarrivals(clocks []uint64) []float64 {
+	out := make([]float64, len(clocks))
+	prev := uint64(0)
+	for i, c := range clocks {
+		out[i] = float64(c - prev)
+		prev = c
+	}
+	return out
+}
+
+// TestPoissonInterarrivalMoments checks the exponential law at n=10k:
+// the sample mean of the interarrivals must cover the true mean within
+// its own 95% confidence interval, and the squared coefficient of
+// variation must sit near 1 (the exponential's signature; a
+// deterministic clock gives 0, heavy-tailed mixing gives >1).
+func TestPoissonInterarrivalMoments(t *testing.T) {
+	const n = 10000
+	spec := Spec{Kind: Poisson, Rate: 1.0, Seed: 42} // mean interarrival 1e6 cycles
+	ia := interarrivals(spec.Schedule(n))
+	sum := stats.Summarize(ia)
+	want := 1e6
+	if math.Abs(sum.Mean-want) > sum.CI95 {
+		t.Errorf("poisson mean interarrival %.0f outside CI95 ±%.0f of %g", sum.Mean, sum.CI95, want)
+	}
+	cv2 := (sum.Stddev / sum.Mean) * (sum.Stddev / sum.Mean)
+	if cv2 < 0.9 || cv2 > 1.1 {
+		t.Errorf("poisson interarrival CV² = %.3f, want ≈1 (exponential)", cv2)
+	}
+}
+
+// TestMMPPStateDwell pins the two-state semantics two ways. With a
+// dwell far beyond the horizon the process never leaves its initial
+// state, so the observed rate must match one of the two modulated
+// rates — not the long-run mean. With short dwells the long-run mean
+// is restored and interarrivals are overdispersed and positively
+// autocorrelated (bursts cluster), which a memoryless Poisson stream
+// is not.
+func TestMMPPStateDwell(t *testing.T) {
+	const n = 10000
+	const rate, burst = 1.0, 16.0
+	rHigh := 2 * rate * burst / (burst + 1) // per Mcycle
+	rLow := 2 * rate / (burst + 1)
+
+	// Dwell mean 1e9 Mcycles: the horizon (~n Mcycles) sees one state.
+	frozen := Spec{Kind: MMPP, Rate: rate, Burst: burst, Period: 1e9, Seed: 7}
+	sum := stats.Summarize(interarrivals(frozen.Schedule(n)))
+	meanRate := 1e6 / sum.Mean
+	dHigh := math.Abs(meanRate-rHigh) / rHigh
+	dLow := math.Abs(meanRate-rLow) / rLow
+	if dHigh > 0.05 && dLow > 0.05 {
+		t.Errorf("frozen-dwell MMPP rate %.3f/Mc matches neither state (high %.3f, low %.3f)",
+			meanRate, rHigh, rLow)
+	}
+	if math.Abs(meanRate-rate)/rate < 0.3 {
+		t.Errorf("frozen-dwell MMPP rate %.3f/Mc sits at the long-run mean — states not dwelled", meanRate)
+	}
+
+	// Mixing dwells (tens of arrivals per state visit): long-run mean
+	// restored, burstiness visible.
+	mixing := Spec{Kind: MMPP, Rate: rate, Burst: burst, Period: 20, Seed: 7}
+	ia := interarrivals(mixing.Schedule(n))
+	sum = stats.Summarize(ia)
+	meanRate = 1e6 / sum.Mean
+	if math.Abs(meanRate-rate)/rate > 0.1 {
+		t.Errorf("mixing MMPP long-run rate %.3f/Mc, want %g ±10%%", meanRate, rate)
+	}
+	cv2 := (sum.Stddev / sum.Mean) * (sum.Stddev / sum.Mean)
+	if cv2 < 1.5 {
+		t.Errorf("mixing MMPP interarrival CV² = %.2f, want >1.5 (overdispersed)", cv2)
+	}
+	if r1 := lag1Autocorr(ia); r1 < 0.1 {
+		t.Errorf("mixing MMPP lag-1 interarrival autocorrelation %.3f, want >0.1 (bursts cluster)", r1)
+	}
+}
+
+func lag1Autocorr(xs []float64) float64 {
+	s := stats.Summarize(xs)
+	var num, den float64
+	for i := range xs {
+		d := xs[i] - s.Mean
+		den += d * d
+		if i > 0 {
+			num += d * (xs[i-1] - s.Mean)
+		}
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// TestDiurnalEnvelopeShape checks the sinusoidal rate envelope: binned
+// by phase within the period, arrival counts must peak where sin peaks
+// and trough where it bottoms, and the arrival-weighted mean of
+// sin(ωt) must approach Amp/2 (the size-biased expectation under
+// λ(t) ∝ 1+Amp·sin(ωt)).
+func TestDiurnalEnvelopeShape(t *testing.T) {
+	const n = 20000
+	spec := Spec{Kind: Diurnal, Rate: 2.0, Amp: 0.8, Period: 10, Seed: 13}
+	clocks := spec.Schedule(n)
+	period := 10 * 1e6
+	omega := 2 * math.Pi / period
+
+	const bins = 8
+	var count [bins]int
+	var sinSum float64
+	for _, c := range clocks {
+		phase := math.Mod(float64(c), period) / period
+		count[int(phase*bins)%bins]++
+		sinSum += math.Sin(omega * float64(c))
+	}
+	// sin peaks in bin 2 (phase [0.25,0.375)) side of the cycle and
+	// bottoms around bin 6 (phase [0.75,0.875)).
+	peak := count[1] + count[2]
+	trough := count[5] + count[6]
+	if peak < 3*trough {
+		t.Errorf("diurnal envelope too flat: peak bins %d vs trough bins %d (want ≥3×)", peak, trough)
+	}
+	meanSin := sinSum / float64(n)
+	if meanSin < 0.3 || meanSin > 0.5 {
+		t.Errorf("diurnal arrival-weighted mean sin = %.3f, want ≈Amp/2 = 0.4", meanSin)
+	}
+}
+
+// TestSameSeedByteIdentical: schedules are pure functions of (Spec, n).
+func TestSameSeedByteIdentical(t *testing.T) {
+	specs := []Spec{
+		{Kind: Fixed, Rate: 0.5},
+		{Kind: Poisson, Rate: 0.5, Seed: 3},
+		{Kind: MMPP, Rate: 0.5, Burst: 4, Period: 10, Seed: 3},
+		{Kind: Diurnal, Rate: 0.5, Amp: 0.6, Period: 30, Seed: 3},
+	}
+	for _, s := range specs {
+		a, b := s.Schedule(500), s.Schedule(500)
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("%s: same spec produced different schedules", s.ID())
+		}
+	}
+}
+
+// TestDifferentSeedDiverges: seeded processes must move with the seed;
+// the fixed clock must not.
+func TestDifferentSeedDiverges(t *testing.T) {
+	for _, kind := range []Kind{Poisson, MMPP, Diurnal} {
+		a := Spec{Kind: kind, Rate: 0.5, Seed: 1}.Schedule(100)
+		b := Spec{Kind: kind, Rate: 0.5, Seed: 2}.Schedule(100)
+		if reflect.DeepEqual(a, b) {
+			t.Errorf("%s: seeds 1 and 2 produced identical schedules", kind)
+		}
+	}
+	a := Spec{Kind: Fixed, Rate: 0.5, Seed: 1}.Schedule(100)
+	b := Spec{Kind: Fixed, Rate: 0.5, Seed: 2}.Schedule(100)
+	if !reflect.DeepEqual(a, b) {
+		t.Error("fixed: schedule depends on seed, want seed-invariant")
+	}
+}
+
+// TestDegenerateSpecs: non-positive, NaN and +Inf rates are infinite
+// offered load — every clock zero, the closed-loop contract.
+func TestDegenerateSpecs(t *testing.T) {
+	for _, rate := range []float64{0, -1, math.NaN(), math.Inf(1)} {
+		for _, kind := range []Kind{Fixed, Poisson, MMPP, Diurnal} {
+			s := Spec{Kind: kind, Rate: rate, Seed: 5}
+			clocks := s.Schedule(64)
+			for i, c := range clocks {
+				if c != 0 {
+					t.Fatalf("%s rate=%v: clock[%d]=%d, want all zero", kind, rate, i, c)
+				}
+			}
+			if got := s.ID(); got != kind.String()+"/inf" {
+				t.Errorf("%s rate=%v: ID=%q, want %q", kind, rate, got, kind.String()+"/inf")
+			}
+		}
+	}
+	if got := (Spec{Kind: Poisson, Rate: 1}).Schedule(0); got != nil {
+		t.Errorf("Schedule(0) = %v, want nil", got)
+	}
+	if got := (Spec{Kind: Poisson, Rate: 1}).Schedule(-3); got != nil {
+		t.Errorf("Schedule(-3) = %v, want nil", got)
+	}
+}
+
+// TestFixedSpacing: the fixed clock is exact arithmetic, no jitter.
+func TestFixedSpacing(t *testing.T) {
+	clocks := Spec{Kind: Fixed, Rate: 0.5}.Schedule(10) // every 2e6 cycles
+	for i, c := range clocks {
+		if want := uint64(float64(i) * 2e6); c != want {
+			t.Fatalf("fixed clock[%d] = %d, want %d", i, c, want)
+		}
+	}
+}
+
+func TestParseKindRoundTrip(t *testing.T) {
+	for _, kind := range []Kind{Fixed, Poisson, MMPP, Diurnal} {
+		got, err := ParseKind(kind.String())
+		if err != nil || got != kind {
+			t.Errorf("ParseKind(%q) = %v, %v", kind.String(), got, err)
+		}
+	}
+	if got, err := ParseKind("bursty"); err != nil || got != MMPP {
+		t.Errorf("ParseKind(bursty) = %v, %v, want MMPP", got, err)
+	}
+	if _, err := ParseKind("lognormal"); err == nil {
+		t.Error("ParseKind(lognormal) accepted, want error")
+	}
+}
+
+// TestIDDistinguishesParameters: the descriptor must move with every
+// knob that changes the schedule (it feeds cache keys).
+func TestIDDistinguishesParameters(t *testing.T) {
+	base := Spec{Kind: MMPP, Rate: 1, Burst: 4, Period: 10, Seed: 3}
+	variants := []Spec{
+		{Kind: MMPP, Rate: 2, Burst: 4, Period: 10, Seed: 3},
+		{Kind: MMPP, Rate: 1, Burst: 8, Period: 10, Seed: 3},
+		{Kind: MMPP, Rate: 1, Burst: 4, Period: 20, Seed: 3},
+		{Kind: MMPP, Rate: 1, Burst: 4, Period: 10, Seed: 4},
+		{Kind: Poisson, Rate: 1, Seed: 3},
+	}
+	for _, v := range variants {
+		if v.ID() == base.ID() {
+			t.Errorf("specs %+v and %+v share ID %q", base, v, base.ID())
+		}
+	}
+	if base.ID() != (Spec{Kind: MMPP, Rate: 1, Burst: 4, Period: 10, Seed: 3}).ID() {
+		t.Error("identical specs produced different IDs")
+	}
+}

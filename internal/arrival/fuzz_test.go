@@ -1,0 +1,68 @@
+package arrival
+
+// FuzzArrivalSchedule drives the generators with adversarial
+// parameters — negative, NaN and infinite rates, vanishing dwells,
+// out-of-range amplitudes, degenerate lengths — and checks the
+// invariants the engine's admission loop relies on: schedules are
+// always the requested length, non-decreasing, capped at maxClock, and
+// pure functions of their spec.
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+func FuzzArrivalSchedule(f *testing.F) {
+	f.Add(uint8(0), 0.5, 0.0, 0.0, 0.0, uint64(1), uint16(16))    // fixed
+	f.Add(uint8(1), 1.0, 0.0, 0.0, 0.0, uint64(42), uint16(100))  // poisson
+	f.Add(uint8(2), 0.1, 16.0, 2.0, 0.0, uint64(7), uint16(64))   // mmpp
+	f.Add(uint8(3), 2.0, 0.0, 10.0, 0.8, uint64(13), uint16(128)) // diurnal
+	f.Add(uint8(1), 0.0, 0.0, 0.0, 0.0, uint64(0), uint16(8))     // zero rate
+	f.Add(uint8(2), math.NaN(), math.NaN(), math.NaN(), math.NaN(), uint64(3), uint16(4))
+	f.Add(uint8(3), math.Inf(1), math.Inf(1), math.Inf(1), math.Inf(1), uint64(3), uint16(4))
+	f.Add(uint8(2), 1e-300, 1e300, 1e-300, 0.5, uint64(9), uint16(32)) // pathological sampler params
+	f.Add(uint8(3), 1e300, 1e300, 1e300, -5.0, uint64(9), uint16(32))  // huge rate, negative amp
+	f.Add(uint8(1), 5e-7, 0.0, 0.0, 0.0, uint64(2), uint16(64))        // interarrival ~2e12 cycles
+	f.Add(uint8(0), -3.0, 0.0, 0.0, 0.0, uint64(0), uint16(1))         // negative rate, single txn
+	f.Add(uint8(77), 1.0, 2.0, 3.0, 0.4, uint64(5), uint16(16))        // out-of-range kind byte
+
+	f.Fuzz(func(t *testing.T, kind uint8, rate, burst, period, amp float64, seed uint64, n uint16) {
+		spec := Spec{
+			Kind:   Kind(kind % 4),
+			Rate:   rate,
+			Burst:  burst,
+			Period: period,
+			Amp:    amp,
+			Seed:   seed,
+		}
+		count := int(n % 512)
+		clocks := spec.Schedule(count)
+		if len(clocks) != count {
+			t.Fatalf("len = %d, want %d", len(clocks), count)
+		}
+		var prev uint64
+		for i, c := range clocks {
+			if c < prev {
+				t.Fatalf("%s: clocks[%d]=%d < clocks[%d]=%d (non-monotone)", spec.ID(), i, c, i-1, prev)
+			}
+			if c > maxClock {
+				t.Fatalf("%s: clocks[%d]=%d past the %d horizon", spec.ID(), i, c, maxClock)
+			}
+			prev = c
+		}
+		if spec.degenerate() {
+			for i, c := range clocks {
+				if c != 0 {
+					t.Fatalf("%s: degenerate spec clock[%d]=%d, want 0", spec.ID(), i, c)
+				}
+			}
+		}
+		if again := spec.Schedule(count); !reflect.DeepEqual(clocks, again) {
+			t.Fatalf("%s: schedule is not deterministic", spec.ID())
+		}
+		if spec.ID() == "" {
+			t.Fatal("empty schedule descriptor")
+		}
+	})
+}

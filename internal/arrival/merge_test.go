@@ -1,0 +1,188 @@
+package arrival
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"strex/internal/bench"
+	"strex/internal/codegen"
+	"strex/internal/trace"
+	"strex/internal/workload"
+)
+
+func buildSet(t *testing.T, name string, txns int, seed uint64) *workload.Set {
+	t.Helper()
+	set, err := bench.BuildSet(name, txns, bench.Options{Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return set
+}
+
+// blockSets collects the instruction blocks (headers included) and data
+// blocks touched by the transactions at the given indices.
+func blockSets(s *workload.Set, idx []int) (instr, data map[uint32]bool) {
+	instr, data = map[uint32]bool{}, map[uint32]bool{}
+	for _, i := range idx {
+		tx := s.Txns[i]
+		instr[tx.Header] = true
+		for _, e := range tx.Trace.Entries {
+			if e.Kind == trace.KInstr {
+				instr[e.Block] = true
+			} else {
+				data[e.Block] = true
+			}
+		}
+	}
+	return instr, data
+}
+
+func TestMergeTenantsDisjointAddressSpaces(t *testing.T) {
+	a := buildSet(t, "TPC-C-1", 6, 11)
+	b := buildSet(t, "TATP", 5, 12)
+	mix, err := MergeTenants([]Tenant{
+		{Name: "alpha", Set: a, Spec: Spec{Kind: Poisson, Rate: 0.05, Seed: 1}},
+		{Name: "beta", Set: b, Spec: Spec{Kind: Poisson, Rate: 0.05, Seed: 2}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(mix.Set.Txns); got != 11 {
+		t.Fatalf("merged txns = %d, want 11", got)
+	}
+	if err := mix.Set.Validate(); err != nil {
+		t.Fatalf("merged set invalid: %v", err)
+	}
+
+	// Clocks sorted and aligned; tenants attributed with full counts.
+	var idxA, idxB []int
+	for i, tn := range mix.Tenant {
+		if i > 0 && mix.Clocks[i] < mix.Clocks[i-1] {
+			t.Fatalf("merged clocks not sorted at %d", i)
+		}
+		switch tn {
+		case 0:
+			idxA = append(idxA, i)
+		case 1:
+			idxB = append(idxB, i)
+		default:
+			t.Fatalf("bad tenant index %d", tn)
+		}
+	}
+	if len(idxA) != 6 || len(idxB) != 5 {
+		t.Fatalf("tenant attribution counts %d/%d, want 6/5", len(idxA), len(idxB))
+	}
+
+	// No cache block — instruction or data — is shared across tenants:
+	// this is what keeps STREX strata tenant-pure in a mix.
+	iA, dA := blockSets(mix.Set, idxA)
+	iB, dB := blockSets(mix.Set, idxB)
+	for blk := range iA {
+		if iB[blk] {
+			t.Fatalf("instruction block %d shared across tenants", blk)
+		}
+		if blk >= codegen.DataBase {
+			t.Fatalf("instruction block %d crossed into data space", blk)
+		}
+	}
+	for blk := range dA {
+		if dB[blk] {
+			t.Fatalf("data block %d shared across tenants", blk)
+		}
+		if blk < codegen.DataBase {
+			t.Fatalf("data block %d below DataBase", blk)
+		}
+	}
+
+	// Types carry the tenant prefix.
+	for _, ty := range mix.Set.Types {
+		if !strings.HasPrefix(ty, "alpha:") && !strings.HasPrefix(ty, "beta:") {
+			t.Fatalf("merged type %q lacks tenant prefix", ty)
+		}
+	}
+	if mix.Names[0] != "alpha" || mix.Names[1] != "beta" {
+		t.Fatalf("names = %v", mix.Names)
+	}
+}
+
+// TestMergeTenantsLeavesInputsUntouched: merging clones; the tenant
+// sets remain valid in their own address spaces afterwards.
+func TestMergeTenantsLeavesInputsUntouched(t *testing.T) {
+	a := buildSet(t, "Voter", 4, 21)
+	b := buildSet(t, "SmallBank", 4, 22)
+	headersBefore := make([]uint32, len(a.Txns))
+	for i, tx := range a.Txns {
+		headersBefore[i] = tx.Header
+	}
+	entry0 := a.Txns[0].Trace.Entries[0]
+	if _, err := MergeTenants([]Tenant{
+		{Set: a, Spec: Spec{Kind: Fixed, Rate: 0.1}},
+		{Set: b, Spec: Spec{Kind: Fixed, Rate: 0.1}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, tx := range a.Txns {
+		if tx.Header != headersBefore[i] {
+			t.Fatalf("merge rewrote input set header %d", i)
+		}
+	}
+	if a.Txns[0].Trace.Entries[0] != entry0 {
+		t.Fatal("merge rewrote an input trace entry")
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatalf("input set invalid after merge: %v", err)
+	}
+}
+
+// TestMergeSingleTenantIsIdentity: one tenant keeps its set pointer —
+// no clone, no rewrite — so infinite-rate single-tenant open loop is
+// structurally the closed-loop run.
+func TestMergeSingleTenantIsIdentity(t *testing.T) {
+	a := buildSet(t, "TATP", 5, 31)
+	spec := Spec{Kind: Poisson, Rate: 0.2, Seed: 9}
+	mix, err := MergeTenants([]Tenant{{Set: a, Spec: spec}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mix.Set != a {
+		t.Fatal("single-tenant merge cloned the set")
+	}
+	if !reflect.DeepEqual(mix.Clocks, spec.Schedule(5)) {
+		t.Fatal("single-tenant clocks differ from the spec's schedule")
+	}
+	if mix.Names[0] != a.Name {
+		t.Fatalf("default name %q, want set name %q", mix.Names[0], a.Name)
+	}
+}
+
+func TestMergeTenantsDeterministic(t *testing.T) {
+	mk := func() *Mix {
+		a := buildSet(t, "TPC-C-1", 5, 41)
+		b := buildSet(t, "Synth", 5, 42)
+		mix, err := MergeTenants([]Tenant{
+			{Set: a, Spec: Spec{Kind: MMPP, Rate: 0.05, Seed: 1}},
+			{Set: b, Spec: Spec{Kind: Diurnal, Rate: 0.05, Seed: 2}},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return mix
+	}
+	x, y := mk(), mk()
+	if !reflect.DeepEqual(x.Clocks, y.Clocks) || !reflect.DeepEqual(x.Tenant, y.Tenant) {
+		t.Fatal("merge is not deterministic")
+	}
+	if x.Set.Name != y.Set.Name || len(x.Set.Txns) != len(y.Set.Txns) {
+		t.Fatal("merged sets differ across identical merges")
+	}
+}
+
+func TestMergeTenantsErrors(t *testing.T) {
+	if _, err := MergeTenants(nil); err == nil {
+		t.Error("empty tenant list accepted")
+	}
+	if _, err := MergeTenants([]Tenant{{Set: &workload.Set{Name: "empty"}}}); err == nil {
+		t.Error("empty set accepted")
+	}
+}

@@ -29,10 +29,11 @@ func goldenSuite() *Suite {
 func TestGoldenTables(t *testing.T) {
 	s := goldenSuite()
 	tables := map[string]*metrics.Table{
-		"fig5":  s.Figure5(),
-		"fig7":  s.Figure7(),
-		"sweep": s.FootprintSweep(),
-		"smoke": s.WorkloadSmoke(),
+		"fig5":     s.Figure5(),
+		"fig7":     s.Figure7(),
+		"sweep":    s.FootprintSweep(),
+		"smoke":    s.WorkloadSmoke(),
+		"openloop": s.OpenLoop(),
 	}
 	for name, tab := range tables {
 		path := filepath.Join("testdata", "golden_"+name+".txt")

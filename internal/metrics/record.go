@@ -31,6 +31,18 @@ type RunRecord struct {
 	DMPKI         float64 `json:"l1d_mpki"`
 	ThroughputTPM float64 `json:"txn_per_mcycle"`
 
+	// Arrival through Tenants describe open-loop runs (the openloop
+	// experiment family): the arrival-process descriptors, the total
+	// offered load, the overall latency summaries, and the per-tenant
+	// breakdown of a multi-tenant mix. All omitempty, so closed-loop
+	// records — every record before the open-loop family existed — are
+	// byte-identical to the earlier schema.
+	Arrival     string          `json:"arrival,omitempty"`
+	OfferedRate float64         `json:"offered_txn_per_mcycle,omitempty"`
+	QueueWait   *LatencySummary `json:"queue_wait,omitempty"`
+	Sojourn     *LatencySummary `json:"sojourn,omitempty"`
+	Tenants     []TenantRecord  `json:"tenants,omitempty"`
+
 	// Replicates holds the per-seed measurements when the run was
 	// replicated (len >= 2; index 0 is the verbatim-seed run the scalar
 	// fields above mirror). Absent on single-seed runs.
@@ -53,6 +65,44 @@ type Replicate struct {
 	IMPKI         float64 `json:"l1i_mpki"`
 	DMPKI         float64 `json:"l1d_mpki"`
 	ThroughputTPM float64 `json:"txn_per_mcycle"`
+}
+
+// LatencySummary condenses a latency distribution to the quantiles the
+// paper's tail-latency discussion uses, in cycles (exact order
+// statistics — stats.Quantile — not histogram-bucket approximations,
+// so recorded summaries are byte-stable across runs).
+type LatencySummary struct {
+	Mean float64 `json:"mean_cycles"`
+	P50  float64 `json:"p50_cycles"`
+	P99  float64 `json:"p99_cycles"`
+	P999 float64 `json:"p999_cycles"`
+}
+
+// LatencySummaryOf summarizes a series of per-transaction latencies in
+// cycles.
+func LatencySummaryOf(cycles []float64) LatencySummary {
+	var sum float64
+	for _, x := range cycles {
+		sum += x
+	}
+	out := LatencySummary{
+		P50:  stats.Quantile(cycles, 0.50),
+		P99:  stats.Quantile(cycles, 0.99),
+		P999: stats.Quantile(cycles, 0.999),
+	}
+	if len(cycles) > 0 {
+		out.Mean = sum / float64(len(cycles))
+	}
+	return out
+}
+
+// TenantRecord is one tenant's share of an open-loop multi-tenant run.
+type TenantRecord struct {
+	Tenant      string         `json:"tenant"`
+	Txns        int            `json:"txns"`
+	OfferedRate float64        `json:"offered_txn_per_mcycle,omitempty"`
+	QueueWait   LatencySummary `json:"queue_wait"`
+	Sojourn     LatencySummary `json:"sojourn"`
 }
 
 // RunSummary is the per-metric aggregate block of a replicated record.

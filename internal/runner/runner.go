@@ -98,6 +98,15 @@ type Spec struct {
 	// leave the tracer empty — and the tracer is detached before the
 	// engine returns to the pool. Tracing never changes results.
 	Trace *obs.Timeline
+	// Arrivals, when non-nil, arms open-loop admission for this run
+	// (sim.Engine.SetArrivals): one non-decreasing arrival clock per
+	// transaction in set order. Arrival-bearing specs are exempt from
+	// in-process dedup — the dedup key identifies the closed-loop
+	// (Config, scheduler, set) triple, which no longer pins the result —
+	// and always execute locally (the remote wire format carries no
+	// arrival schedule). Callers wanting disk memoization must fold the
+	// schedule's identity (arrival.Spec.ID) into CacheKey themselves.
+	Arrivals []uint64
 	// Remote, when non-nil and the executor carries a remote runner
 	// (SetRemote), is the opaque wire payload describing this run to the
 	// remote fleet (the coordinator's shard.WireSpec). Remote-eligible
@@ -351,7 +360,7 @@ func (x *Executor) Submit(spec Spec) *Future {
 	// the first. The derived run still stores under its own disk cache
 	// key so a warm rerun finds every label it expects. Traced specs are
 	// exempt: their whole point is the execution itself.
-	if spec.SchedID != "" && spec.Trace == nil {
+	if spec.SchedID != "" && spec.Trace == nil && spec.Arrivals == nil {
 		key := dedupKey(&spec)
 		x.inprocMu.Lock()
 		if ent, ok := x.inproc[key]; ok && ent.set == spec.Set {
@@ -395,7 +404,7 @@ func (x *Executor) Submit(spec Spec) *Future {
 		// holding a local slot while blocked on an RPC would starve the
 		// local pool. The slot is acquired late iff the run falls back to
 		// local execution.
-		remote := x.remote != nil && spec.Remote != nil && spec.Trace == nil
+		remote := x.remote != nil && spec.Remote != nil && spec.Trace == nil && spec.Arrivals == nil
 		acquired := false
 		acquire := func() {
 			x.sem <- struct{}{}
@@ -492,6 +501,9 @@ func (x *Executor) execute(spec *Spec) (sim.Result, error) {
 		eng.SetStop(spec.Ctx.Done())
 	}
 	eng.SetTimeline(spec.Trace)
+	if spec.Arrivals != nil {
+		eng.SetArrivals(spec.Arrivals)
+	}
 	start := time.Now()
 	res := eng.Run().Detach()
 	elapsed := time.Since(start)
@@ -503,6 +515,7 @@ func (x *Executor) execute(spec *Spec) (sim.Result, error) {
 	}
 	eng.SetStop(nil)
 	eng.SetTimeline(nil)
+	eng.SetArrivals(nil)
 	x.pool.put(geo, eng, cap(x.sem))
 	return res, nil
 }

@@ -123,6 +123,35 @@ type JobResult struct {
 	DMPKI       strex.Summary `json:"dmpki"`
 	Throughput  strex.Summary `json:"throughput_tpm"`
 	MeanLatency strex.Summary `json:"mean_latency"`
+
+	// OpenLoop carries the open-loop latency payload when the job ran
+	// with an arrival process (JobSpec.Arrival); nil on closed-loop
+	// jobs, whose wire shape therefore stays byte-identical to the
+	// pre-open-loop schema.
+	OpenLoop *OpenLoopMetrics `json:"open_loop,omitempty"`
+}
+
+// OpenLoopMetrics is the wire shape of an open-loop run: the arrival
+// descriptor, whole-run service throughput, and queue-wait/sojourn
+// quantiles overall and per tenant (multi-tenant jobs only).
+type OpenLoopMetrics struct {
+	Arrival       string          `json:"arrival"`
+	Cores         int             `json:"cores"`
+	Txns          int             `json:"txns"`
+	Cycles        uint64          `json:"cycles"`
+	ThroughputTPM float64         `json:"throughput_tpm"`
+	Overall       TenantMetrics   `json:"overall"`
+	Tenants       []TenantMetrics `json:"tenants,omitempty"`
+}
+
+// TenantMetrics is one tenant's share of an open-loop run. Latencies
+// are in cycles, exact order-statistic quantiles.
+type TenantMetrics struct {
+	Tenant     string                 `json:"tenant"`
+	Txns       int                    `json:"txns"`
+	OfferedTPM float64                `json:"offered_tpm,omitempty"`
+	QueueWait  strex.LatencyQuantiles `json:"queue_wait"`
+	Sojourn    strex.LatencyQuantiles `json:"sojourn"`
 }
 
 // RepMetrics is one replicate's headline metrics (the per-transaction
@@ -170,6 +199,44 @@ func resultOf(spec JobSpec, rr *strex.ReplicatedResult) *JobResult {
 		}
 	}
 	return jr
+}
+
+// openLoopResultOf projects a facade OpenLoopResult into the wire
+// shape. Seeds and Reps are filled with the single draw's identity so
+// closed-loop consumers reading those fields see a well-formed (if
+// headline-free) result.
+func openLoopResultOf(spec JobSpec, res *strex.OpenLoopResult) *JobResult {
+	ol := &OpenLoopMetrics{
+		Arrival:       spec.Arrival,
+		Cores:         res.Cores,
+		Txns:          res.Txns,
+		Cycles:        res.Cycles,
+		ThroughputTPM: res.ThroughputTPM,
+		Overall:       tenantMetricsOf(res.Overall),
+	}
+	if len(res.Tenants) > 1 {
+		ol.Tenants = make([]TenantMetrics, len(res.Tenants))
+		for i, tr := range res.Tenants {
+			ol.Tenants[i] = tenantMetricsOf(tr)
+		}
+	}
+	return &JobResult{
+		Workload:  spec.Workload,
+		Scheduler: res.Scheduler,
+		Seeds:     []uint64{spec.Seed},
+		Reps:      []RepMetrics{},
+		OpenLoop:  ol,
+	}
+}
+
+func tenantMetricsOf(tr strex.TenantResult) TenantMetrics {
+	return TenantMetrics{
+		Tenant:     tr.Name,
+		Txns:       tr.Txns,
+		OfferedTPM: tr.OfferedTPM,
+		QueueWait:  tr.QueueWait,
+		Sojourn:    tr.Sojourn,
+	}
 }
 
 func ms(t time.Time) int64 {

@@ -1,0 +1,120 @@
+package service
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestOpenLoopJob is the open-loop happy path over the wire: a
+// two-tenant mix with a Poisson arrival process runs, lands an
+// OpenLoop payload, and a warm resubmission replays byte-identically
+// without a fresh execution.
+func TestOpenLoopJob(t *testing.T) {
+	s, hs := newTestServer(t, Config{Parallel: 1})
+	spec := JobSpec{Workload: "tatp", Tenants: "tpcc1", Arrival: "poisson",
+		Rate: 0.05, Txns: 8, Seed: 5, Cores: 2, ClientID: "ol"}
+
+	st, code := postJob(t, hs, spec)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit status = %d, want 202", code)
+	}
+	fin := waitState(t, s, st.ID, StateDone)
+	if fin.Generations == nil || *fin.Generations < 1 {
+		t.Fatalf("cold open-loop generations = %v, want >= 1", fin.Generations)
+	}
+	code, _, raw := getResultRaw(t, hs, st.ID)
+	if code != http.StatusOK {
+		t.Fatalf("result status = %d, want 200", code)
+	}
+	var jr JobResult
+	if err := json.Unmarshal([]byte(raw), &jr); err != nil {
+		t.Fatal(err)
+	}
+	ol := jr.OpenLoop
+	if ol == nil {
+		t.Fatal("open-loop job returned no OpenLoop payload")
+	}
+	if ol.Arrival != "poisson" || ol.Cores != 2 || ol.Txns != 16 {
+		t.Fatalf("open-loop header = %+v", ol)
+	}
+	if len(ol.Tenants) != 2 || ol.Tenants[0].Tenant != "TATP" || ol.Tenants[1].Tenant != "TPC-C-1" {
+		t.Fatalf("tenants = %+v", ol.Tenants)
+	}
+	q := ol.Overall.Sojourn
+	if !(q.P50 <= q.P99 && q.P99 <= q.P999) || q.P999 <= 0 {
+		t.Fatalf("sojourn quantiles out of order: %+v", q)
+	}
+
+	// Warm resubmission: identical spec, identical bytes, zero fresh
+	// generations (memo or disk cache absorbs the run).
+	st2, _ := postJob(t, hs, spec)
+	fin2 := waitState(t, s, st2.ID, StateDone)
+	if fin2.Generations == nil || *fin2.Generations != 0 {
+		t.Fatalf("warm open-loop generations = %v, want 0", fin2.Generations)
+	}
+	_, _, raw2 := getResultRaw(t, hs, st2.ID)
+	if raw2 != raw {
+		t.Fatalf("warm open-loop result diverged:\ncold: %s\nwarm: %s", raw, raw2)
+	}
+}
+
+// TestOpenLoopSpecIdentity: the arrival knobs extend the coalescing
+// key only when set, so closed-loop keys (including the pinned golden)
+// are untouched, while distinct open-loop scenarios never coalesce.
+func TestOpenLoopSpecIdentity(t *testing.T) {
+	norm := func(s JobSpec) JobSpec {
+		if err := s.normalize(Limits{}); err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	closed := norm(JobSpec{Workload: "tatp"})
+	open := norm(JobSpec{Workload: "tatp", Arrival: "poisson", Rate: 0.1})
+	if closed.Key() == open.Key() {
+		t.Fatal("open-loop spec shares a key with its closed-loop twin")
+	}
+	if other := norm(JobSpec{Workload: "tatp", Arrival: "mmpp", Rate: 0.1}); open.Key() == other.Key() {
+		t.Fatal("distinct arrival processes share a key")
+	}
+	if other := norm(JobSpec{Workload: "tatp", Arrival: "poisson", Rate: 0.2}); open.Key() == other.Key() {
+		t.Fatal("distinct rates share a key")
+	}
+	if other := norm(JobSpec{Workload: "tatp", Arrival: "poisson", Rate: 0.1, Tenants: "voter"}); open.Key() == other.Key() {
+		t.Fatal("distinct tenant mixes share a key")
+	}
+	// Rate or Tenants alone imply an open-loop run; the process
+	// defaults to poisson and tenant aliases canonicalize.
+	implied := norm(JobSpec{Workload: "tatp", Rate: 0.1})
+	if implied.Arrival != "poisson" || implied.Key() != open.Key() {
+		t.Fatalf("rate-only spec = %+v (key %s), want poisson/%s", implied, implied.Key(), open.Key())
+	}
+	aliased := norm(JobSpec{Workload: "tatp", Arrival: "Bursty", Rate: 0.1, Tenants: " voter , smallbank "})
+	if aliased.Arrival != "mmpp" || aliased.Tenants != "Voter,SmallBank" {
+		t.Fatalf("aliases not canonicalized: %+v", aliased)
+	}
+}
+
+// TestOpenLoopSpecValidation: malformed open-loop submissions are
+// rejected at the door.
+func TestOpenLoopSpecValidation(t *testing.T) {
+	_, hs := newTestServer(t, Config{Parallel: 1})
+	for _, body := range []string{
+		`{"workload":"tatp","arrival":"zipf"}`,
+		`{"workload":"tatp","arrival":"poisson","rate":-1}`,
+		`{"workload":"tatp","arrival":"poisson","seeds":2}`,
+		`{"workload":"tatp","arrival":"poisson","timeline":true}`,
+		`{"workload":"tatp","tenants":"no-such-benchmark"}`,
+		`{"workload":"tatp","arrival":"poisson","tenants":"tpcc1,tpcc1,tpcc1,tpcc1,tpcc1,tpcc1,tpcc1,tpcc1"}`,
+	} {
+		resp, err := http.Post(hs.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("submit %s = %d, want 400", body, resp.StatusCode)
+		}
+	}
+}

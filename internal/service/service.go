@@ -396,18 +396,38 @@ func (s *Server) runFlight(fl *flight) {
 		tl = obs.NewTimeline(s.cfg.TimelineEvents)
 	}
 	started := time.Now()
-	draws, err := strex.ReplicateWorkloads(spec.Workload, spec.workloadOptions(s.cfg.CacheDir), spec.Seeds)
 	var rr *strex.ReplicatedResult
+	var olResult *JobResult
+	var err error
 	gens := 0
-	if err == nil {
-		onProgress := func(done, total int) {
-			fl.done.Store(int64(done))
-			fl.total.Store(int64(total))
+	if spec.openLoop() {
+		// Open-loop flight: one run of the merged multi-tenant scenario
+		// (normalize pinned seeds=1 and rejected -timeline). A cache-
+		// absorbed run charges zero generations, like a warm replicate.
+		fl.total.Store(1)
+		var res *strex.OpenLoopResult
+		var executed bool
+		res, executed, err = s.pool.RunOpenLoopCtx(fl.ctx, spec.config(), spec.tenantSpecs(s.cfg.CacheDir), spec.kind())
+		if err == nil {
+			fl.done.Store(1)
+			olResult = openLoopResultOf(spec, res)
+			if executed {
+				gens = 1
+			}
 		}
-		if tl != nil {
-			rr, gens, err = s.pool.RunDrawsTracedCtx(fl.ctx, spec.config(), draws, spec.kind(), tl, onProgress)
-		} else {
-			rr, gens, err = s.pool.RunDrawsCtx(fl.ctx, spec.config(), draws, spec.kind(), onProgress)
+	} else {
+		var draws []*strex.Workload
+		draws, err = strex.ReplicateWorkloads(spec.Workload, spec.workloadOptions(s.cfg.CacheDir), spec.Seeds)
+		if err == nil {
+			onProgress := func(done, total int) {
+				fl.done.Store(int64(done))
+				fl.total.Store(int64(total))
+			}
+			if tl != nil {
+				rr, gens, err = s.pool.RunDrawsTracedCtx(fl.ctx, spec.config(), draws, spec.kind(), tl, onProgress)
+			} else {
+				rr, gens, err = s.pool.RunDrawsCtx(fl.ctx, spec.config(), draws, spec.kind(), onProgress)
+			}
 		}
 	}
 	elapsed := time.Since(started)
@@ -434,7 +454,11 @@ func (s *Server) runFlight(fl *flight) {
 	now = time.Now()
 	var result *JobResult
 	if err == nil {
-		result = resultOf(spec, rr)
+		if olResult != nil {
+			result = olResult
+		} else {
+			result = resultOf(spec, rr)
+		}
 		if !spec.Timeline {
 			s.memo.put(fl.key, result)
 		}

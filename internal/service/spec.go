@@ -4,8 +4,11 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
+	"math"
+	"strings"
 
 	"strex"
+	"strex/internal/arrival"
 	"strex/internal/bench"
 	"strex/internal/cache"
 )
@@ -38,6 +41,19 @@ type JobSpec struct {
 	// Seeds is the replicate count (default 1, capped by MaxSeeds);
 	// N > 1 returns mean ±95% CI aggregates like strexsim -seeds.
 	Seeds int `json:"seeds,omitempty"`
+
+	// Arrival selects an open-loop arrival process (fixed, poisson,
+	// mmpp/bursty, diurnal — strexsim -arrival). Empty means closed
+	// loop: every transaction eligible at cycle 0, the schema every
+	// pre-open-loop client speaks. Setting Rate or Tenants without
+	// Arrival defaults the process to poisson.
+	Arrival string `json:"arrival,omitempty"`
+	// Rate is the offered load per tenant in txns/Mcycle (<= 0 =
+	// infinite rate, which reproduces the closed-loop run bit-for-bit).
+	Rate float64 `json:"rate,omitempty"`
+	// Tenants lists additional workloads sharing the machine in an
+	// open-loop run, comma-separated registry names.
+	Tenants string `json:"tenants,omitempty"`
 
 	// Timeline, when true, records a quantum-level run timeline of
 	// replicate 0's engine, retrievable as Chrome trace-event JSON from
@@ -132,7 +148,73 @@ func (s *JobSpec) normalize(lim Limits) error {
 	default:
 		return fmt.Errorf("unknown prefetcher %q (next-line, pif)", s.Prefetcher)
 	}
+	if s.Arrival == "" && (s.Rate != 0 || s.Tenants != "") {
+		s.Arrival = "poisson"
+	}
+	if s.Arrival != "" {
+		kind, err := arrival.ParseKind(s.Arrival)
+		if err != nil {
+			return err
+		}
+		s.Arrival = kind.String()
+		if s.Rate < 0 || math.IsNaN(s.Rate) || math.IsInf(s.Rate, 0) {
+			return fmt.Errorf("rate %g out of range (want a finite rate >= 0 txns/Mcycle; 0 = infinite)", s.Rate)
+		}
+		if s.Seeds > 1 {
+			return fmt.Errorf("open-loop jobs are single-draw (the arrival schedule is part of the scenario); use seeds 1")
+		}
+		if s.Timeline {
+			return fmt.Errorf("open-loop jobs cannot record a timeline")
+		}
+		names := s.tenantList()
+		if 1+len(names) > maxTenants {
+			return fmt.Errorf("too many tenants: %d (max %d including the primary workload)", 1+len(names), maxTenants)
+		}
+		for i, name := range names {
+			ti, ok := bench.Lookup(name)
+			if !ok {
+				return fmt.Errorf("unknown tenant workload %q (see strexsim -list)", name)
+			}
+			names[i] = ti.Name
+		}
+		s.Tenants = strings.Join(names, ",")
+	}
 	return nil
+}
+
+// maxTenants bounds an open-loop mix's workload count (the per-tenant
+// txns all multiply into one machine's thread table).
+const maxTenants = 8
+
+// openLoop reports whether the (normalized) spec requests an open-loop
+// run.
+func (s *JobSpec) openLoop() bool { return s.Arrival != "" }
+
+// tenantList splits the Tenants field, dropping empties.
+func (s *JobSpec) tenantList() []string {
+	var out []string
+	for _, t := range strings.Split(s.Tenants, ",") {
+		if t = strings.TrimSpace(t); t != "" {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// tenantSpecs projects an open-loop spec into the facade's tenant
+// list: the primary workload plus every Tenants entry, all sharing the
+// generation options and the arrival process.
+func (s *JobSpec) tenantSpecs(cacheDir string) []strex.TenantSpec {
+	names := append([]string{s.Workload}, s.tenantList()...)
+	out := make([]strex.TenantSpec, len(names))
+	for i, name := range names {
+		out[i] = strex.TenantSpec{
+			Workload: name,
+			Options:  s.workloadOptions(cacheDir),
+			Arrival:  strex.ArrivalSpec{Process: s.Arrival, Rate: s.Rate},
+		}
+	}
+	return out
 }
 
 func canonicalSched(kind strex.SchedulerKind) string {
@@ -161,6 +243,11 @@ func (s *JobSpec) Key() string {
 		s.SynthUnits, s.SynthTypes, s.SynthReuse, s.Seeds,
 		s.Sched, s.Cores, s.L1IKB, s.L1DKB, s.L1Ways,
 		s.Policy, s.Prefetcher, s.TeamSize, s.PoolWindow, s.Timeline)
+	if s.Arrival != "" || s.Rate != 0 || s.Tenants != "" {
+		// Appended only for open-loop specs, so every closed-loop key —
+		// including the pinned golden — is unchanged by the extension.
+		canon += fmt.Sprintf("|arr=%s|rate=%g|ten=%s", s.Arrival, s.Rate, s.Tenants)
+	}
 	h := sha256.Sum256([]byte("job\x00" + canon))
 	return hex.EncodeToString(h[:16])
 }

@@ -18,6 +18,16 @@ import (
 // both.
 func (e *Engine) RunReference() Result {
 	for e.live > 0 {
+		if e.arr != nil {
+			busy := false
+			for _, c := range e.cores {
+				if c.Cur != nil {
+					busy = true
+					break
+				}
+			}
+			e.admitArrivals(busy)
+		}
 		// Offer work to idle cores.
 		for _, c := range e.cores {
 			if c.Cur == nil {

@@ -314,6 +314,13 @@ type Engine struct {
 	live       int       // threads not yet finished
 	busyCycles uint64
 
+	// arr, when non-nil, holds each thread's open-loop arrival clock
+	// (aligned with threads, non-decreasing; see SetArrivals). arrNext
+	// is the first thread not yet admitted to the pending queue. A nil
+	// arr is the closed loop: every thread pending at cycle 0.
+	arr     []uint64
+	arrNext int
+
 	// threadArena backs threads: Reset recycles it so a pooled engine's
 	// steady state performs no per-run allocation. Result.Threads alias
 	// the arena — Result.Detach copies them out before the next Reset.
@@ -364,6 +371,82 @@ func (e *Engine) Stopped() bool { return e.stopped }
 // clocks, or results. Callers that pool engines must detach before
 // returning one to the pool.
 func (e *Engine) SetTimeline(tl *obs.Timeline) { e.tl = tl }
+
+// SetArrivals arms (clocks non-nil) or disarms (nil) open-loop
+// admission for the next run. clocks[i] is the cycle thread i becomes
+// eligible to run; the slice must be non-decreasing with one clock per
+// transaction in set order. While armed, the pending queue starts
+// empty and each thread joins it — EnqueueCycle and ReadyAt stamped
+// with its arrival clock — once the machine's time frontier reaches
+// that clock; a fully drained machine jumps to the next arrival
+// instead of panicking. An all-zero clock vector admits everything at
+// cycle 0 and is bit-for-bit identical to the closed loop (the
+// differential gate in the facade tests pins this).
+//
+// Call between New/Reset and Run. Like SetStop and SetTimeline this is
+// a per-run arming: prepare disarms automatically, and callers that
+// pool engines must disarm (nil) before returning one — disarming
+// restores the closed-loop pending queue.
+func (e *Engine) SetArrivals(clocks []uint64) {
+	if clocks == nil {
+		if e.arr != nil {
+			e.arr = nil
+			e.arrNext = 0
+			e.pending = e.pending[:0]
+			e.pending = append(e.pending, e.threads...)
+		}
+		return
+	}
+	if len(clocks) != len(e.threads) {
+		panic(fmt.Sprintf("sim: SetArrivals with %d clocks for %d threads", len(clocks), len(e.threads)))
+	}
+	for i := 1; i < len(clocks); i++ {
+		if clocks[i] < clocks[i-1] {
+			panic("sim: SetArrivals clocks must be non-decreasing")
+		}
+	}
+	e.arr = clocks
+	e.arrNext = 0
+	e.pending = e.pending[:0]
+}
+
+// admitArrivals is the per-iteration open-loop admission step shared
+// by Run, runSolo and RunReference. Every thread whose arrival clock
+// has been reached by the machine's time frontier — the maximum core
+// clock, a pure function of machine state, so all three execution
+// loops admit identically at equivalent states regardless of their
+// step granularity — joins the pending queue. When no core is busy
+// and nothing is pending, the machine is idle-waiting: time jumps to
+// the next arrival so at least one thread becomes dispatchable.
+// pending was preallocated at full capacity by prepare, so admission
+// never allocates (the zero-alloc steady state holds).
+func (e *Engine) admitArrivals(busy bool) {
+	if e.arrNext >= len(e.arr) {
+		return
+	}
+	now := e.cores[0].Clock
+	for _, c := range e.cores[1:] {
+		if c.Clock > now {
+			now = c.Clock
+		}
+	}
+	e.admit(now)
+	if !busy && len(e.pending) == 0 && e.arrNext < len(e.arr) {
+		e.admit(e.arr[e.arrNext])
+	}
+}
+
+// admit moves every thread that has arrived by cycle now from the
+// arrival stream to the pending queue, stamping its queue entry.
+func (e *Engine) admit(now uint64) {
+	for e.arrNext < len(e.arr) && e.arr[e.arrNext] <= now {
+		t := e.threads[e.arrNext]
+		t.EnqueueCycle = e.arr[e.arrNext]
+		t.ReadyAt = e.arr[e.arrNext]
+		e.pending = append(e.pending, t)
+		e.arrNext++
+	}
+}
 
 // stopRequested polls the stop channel at stopStride granularity — the
 // heap loop's steps are fine-grained (sub-quantum), so the common case
@@ -472,6 +555,8 @@ func (e *Engine) prepare(set *workload.Set, sched Scheduler) {
 	}
 	e.live = n
 	e.busyCycles = 0
+	e.arr = nil // arrivals are a per-run arming, like a timeline tracer
+	e.arrNext = 0
 	sched.Bind(e)
 }
 
@@ -665,6 +750,9 @@ func (e *Engine) Run() Result {
 		if e.stopRequested() {
 			e.stopped = true
 			break
+		}
+		if e.arr != nil {
+			e.admitArrivals(len(e.heap) > 0)
 		}
 		if len(e.idle) > 0 {
 			e.dispatchIdle()
@@ -895,6 +983,9 @@ func (e *Engine) runSolo() {
 		if e.stopNow() {
 			e.stopped = true
 			return
+		}
+		if e.arr != nil {
+			e.admitArrivals(c.Cur != nil)
 		}
 		if c.Cur == nil {
 			t := e.sched.Dispatch(c.ID)

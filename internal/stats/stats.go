@@ -199,3 +199,41 @@ func TCritical95(df int) float64 {
 	x := (1 / float64(df)) / (1 / float64(last.df))
 	return tInf + x*(last.t-tInf)
 }
+
+// Quantile returns the q-quantile (q in [0,1], clamped) of xs by
+// linear interpolation between order statistics (the type-7 estimator:
+// position q·(n-1)), the one exact-quantile rule shared by the
+// open-loop latency summaries, the experiment tables and the examples.
+// xs need not be sorted (a sorted copy is taken); an empty series
+// yields 0, never NaN.
+func Quantile(xs []float64, q float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[n-1]
+	}
+	pos := q * float64(n-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= n {
+		return sorted[n-1]
+	}
+	return sorted[lo] + frac*(sorted[lo+1]-sorted[lo])
+}
+
+// QuantileU64 is Quantile over a uint64 series (cycle counts — the
+// engine's latency stamps).
+func QuantileU64(xs []uint64, q float64) float64 {
+	fs := make([]float64, len(xs))
+	for i, x := range xs {
+		fs[i] = float64(x)
+	}
+	return Quantile(fs, q)
+}

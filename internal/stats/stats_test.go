@@ -235,3 +235,38 @@ func TestSummaryFormat(t *testing.T) {
 		t.Fatalf("Format = %q", got)
 	}
 }
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{9, 1, 7, 3, 5} // sorted: 1 3 5 7 9
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {-1, 1}, {1, 9}, {2, 9},
+		{0.5, 5},
+		{0.25, 3},
+		{0.125, 2}, // interpolates halfway between 1 and 3
+		{0.99, 8.92},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.q); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Quantile(q=%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	// The input must not be reordered.
+	if xs[0] != 9 || xs[4] != 5 {
+		t.Fatal("Quantile mutated its input")
+	}
+	if got := Quantile(nil, 0.5); got != 0 {
+		t.Errorf("Quantile(nil) = %v, want 0", got)
+	}
+	if got := Quantile([]float64{4}, 0.999); got != 4 {
+		t.Errorf("single-element quantile = %v, want 4", got)
+	}
+}
+
+func TestQuantileU64(t *testing.T) {
+	if got := QuantileU64([]uint64{10, 20, 30}, 0.5); got != 20 {
+		t.Errorf("QuantileU64 median = %v, want 20", got)
+	}
+	if got := QuantileU64(nil, 0.5); got != 0 {
+		t.Errorf("QuantileU64(nil) = %v, want 0", got)
+	}
+}
